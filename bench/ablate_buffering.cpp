@@ -1,0 +1,54 @@
+// Ablation: pipeline output-buffer size, flush timer, and the explicit
+// application flush (paper §"Initial Investigations and Tuning" and
+// §"Buffer Tuning").
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+
+int main() {
+  using namespace hsim;
+  const content::MicroscapeSite& site = harness::shared_site();
+
+  std::printf("=== Ablation: pipeline buffer size (flush timer 50 ms, "
+              "explicit first flush, WAN first visit) ===\n\n");
+  std::printf("%8s %8s %8s %8s\n", "BufBytes", "Pa", "Sec", "Bytes");
+  for (std::size_t buf : {64u, 256u, 512u, 1024u, 1460u, 2920u, 8192u}) {
+    harness::ExperimentSpec spec;
+    spec.network = harness::wan_profile();
+    spec.server = server::jigsaw_config();
+    spec.client =
+        harness::robot_config(client::ProtocolMode::kHttp11Pipelined);
+    spec.client.pipeline_buffer = buf;
+    spec.scenario = harness::Scenario::kFirstVisit;
+    const harness::AveragedResult r = harness::run_averaged(spec, site, 3);
+    std::printf("%8zu %8.1f %8.2f %8.0f\n", buf, r.packets, r.seconds,
+                r.bytes);
+  }
+  std::printf("\nThe paper chose 1024 bytes: two 512-byte or one Ethernet "
+              "segment.\n\n");
+
+  std::printf("=== Ablation: flush timer (buffer 1024 B, WAN cache "
+              "revalidation) ===\n\n");
+  std::printf("%10s %8s %8s  %s\n", "Timer[ms]", "Pa", "Sec",
+              "explicit first flush");
+  for (const bool explicit_flush : {true, false}) {
+    for (const int timer_ms : {10, 50, 200, 1000}) {
+      harness::ExperimentSpec spec;
+      spec.network = harness::wan_profile();
+      spec.server = server::jigsaw_config();
+      spec.client =
+          harness::robot_config(client::ProtocolMode::kHttp11Pipelined);
+      spec.client.flush_timeout = sim::milliseconds(timer_ms);
+      spec.client.explicit_first_flush = explicit_flush;
+      spec.scenario = harness::Scenario::kRevalidation;
+      const harness::AveragedResult r = harness::run_averaged(spec, site, 3);
+      std::printf("%10d %8.1f %8.2f  %s\n", timer_ms, r.packets, r.seconds,
+                  explicit_flush ? "yes" : "no");
+    }
+  }
+  std::printf(
+      "\nThe paper's initial tests used a 1 s timer and no explicit flush\n"
+      "(Table 3's poor elapsed times); application knowledge — flushing\n"
+      "right after the HTML request — beats any timer setting.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation: the Nagle interaction (paper §"Nagle Interaction").
+//
+// A pipelined implementation that buffers its output well rarely trips the
+// Nagle algorithm; one that dribbles small writes interacts badly with it
+// and can suffer "very significant performance degradation". The scenario
+// is a WAN first visit, where image requests are generated progressively as
+// the HTML arrives — so an unbuffered client issues many small writes while
+// earlier request bytes are still unacknowledged. Four cells:
+//   {well-buffered, small writes} x {Nagle on, TCP_NODELAY}.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+
+int main() {
+  using namespace hsim;
+  const content::MicroscapeSite& site = harness::shared_site();
+
+  struct Cell {
+    const char* label;
+    bool buffered;
+    bool nodelay;
+  };
+  const Cell cells[] = {
+      {"buffered output, TCP_NODELAY", true, true},
+      {"buffered output, Nagle on", true, false},
+      {"small writes,    TCP_NODELAY", false, true},
+      {"small writes,    Nagle on", false, false},
+  };
+
+  std::printf("=== Ablation: Nagle x output buffering (pipelined first "
+              "visit, Jigsaw, WAN) ===\n\n");
+  std::printf("%-34s %8s %8s %10s\n", "Configuration", "Pa", "Sec", "Bytes");
+  for (const Cell& cell : cells) {
+    harness::ExperimentSpec spec;
+    spec.network = harness::wan_profile();
+    spec.server = server::jigsaw_config();
+    spec.client =
+        harness::robot_config(client::ProtocolMode::kHttp11Pipelined);
+    spec.client.nodelay = cell.nodelay;
+    spec.client.tcp.nodelay = cell.nodelay;
+    spec.server.nodelay = cell.nodelay;
+    if (!cell.buffered) {
+      spec.client.pipeline_buffer = 1;  // write each request as generated
+      spec.client.explicit_first_flush = false;
+      spec.client.flush_timeout = sim::milliseconds(1);
+    }
+    spec.scenario = harness::Scenario::kFirstVisit;
+    const harness::RunResult r = harness::run_once(spec, site);
+    std::printf("%-34s %8.0f %8.2f %10.0f\n", cell.label, r.packets(),
+                r.seconds(), r.bytes());
+  }
+  std::printf(
+      "\nExpected shape: with good buffering Nagle is harmless (identical\n"
+      "rows); with small writes Nagle coalesces packets at the cost of\n"
+      "waiting for ACKs, while TCP_NODELAY spends more, smaller packets.\n"
+      "Hence the paper's advice: implementations that buffer output should\n"
+      "set TCP_NODELAY.\n");
+  return 0;
+}

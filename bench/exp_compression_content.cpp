@@ -1,0 +1,121 @@
+// Reproduces two content-level compression findings:
+//
+// 1. Tag case (paper §"Further Compression Experiments"): "Compression is
+//    significantly worse (.35 rather than .27) if mixed case HTML tags are
+//    used. The best compression was found if all HTML tags were uniformly
+//    lower case."
+// 2. Preset dictionaries (paper §"Future Work"): "the use of compression
+//    dictionaries optimized for HTML and CSS1 text" — measured here with a
+//    real RFC 1950 FDICT stream.
+#include <cstdio>
+#include <string>
+
+#include "deflate/deflate.hpp"
+#include "harness/experiment.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace hsim;
+
+/// Rewrites tag and attribute names with the given casing policy.
+/// policy: 0 = lowercase (as generated), 1 = mixed case, 2 = UPPERCASE.
+std::string recase_tags(const std::string& html, int policy,
+                        std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::string out = html;
+  bool in_tag = false;
+  bool in_quotes = false;
+  bool upper_this_word = false;
+  bool at_word_start = true;
+  for (char& c : out) {
+    if (!in_tag) {
+      if (c == '<') {
+        in_tag = true;
+        at_word_start = true;
+      }
+      continue;
+    }
+    if (c == '"') in_quotes = !in_quotes;
+    if (in_quotes) continue;
+    if (c == '>') {
+      in_tag = false;
+      continue;
+    }
+    const bool is_letter =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    if (!is_letter) {
+      at_word_start = true;
+      continue;
+    }
+    if (at_word_start) {
+      at_word_start = false;
+      upper_this_word = policy == 2 || (policy == 1 && rng.chance(0.5));
+    }
+    if (upper_this_word && c >= 'a' && c <= 'z') {
+      c = static_cast<char>(c - 'a' + 'A');
+    }
+  }
+  return out;
+}
+
+double ratio(const std::string& text) {
+  const auto compressed = deflate::zlib_compress(text);
+  return static_cast<double>(compressed.size()) / text.size();
+}
+
+}  // namespace
+
+int main() {
+  const std::string& html = harness::shared_site().html;
+
+  std::printf("=== Tag case vs deflate ratio (42 KB Microscape HTML) ===\n\n");
+  const char* labels[] = {"all lowercase tags", "mixed case tags",
+                          "ALL UPPERCASE tags"};
+  double ratios[3];
+  for (int policy = 0; policy < 3; ++policy) {
+    const std::string variant = recase_tags(html, policy, 42);
+    ratios[policy] = ratio(variant);
+    std::printf("%-22s ratio %.3f\n", labels[policy], ratios[policy]);
+  }
+  std::printf("\nPaper: 0.27 lowercase vs 0.35 mixed — lowercase lets the\n"
+              "compression dictionary reuse common English words. Measured\n"
+              "penalty for mixed case: +%.0f%% compressed size.\n\n",
+              100.0 * (ratios[1] - ratios[0]) / ratios[0]);
+
+  std::printf("=== Preset HTML dictionary (RFC 1950 FDICT) ===\n\n");
+  const auto dict = hsim::deflate::html_preset_dictionary();
+  std::printf("Dictionary: %zu bytes of common 1997 markup phrases\n\n",
+              dict.size());
+  std::printf("%-26s %8s %10s %10s %8s\n", "Document", "Size", "deflate",
+              "+dict", "gain");
+  struct Doc {
+    const char* label;
+    std::string text;
+  };
+  const Doc docs[] = {
+      {"tiny page (1 KB)", html.substr(0, 1024)},
+      {"small page (4 KB)", html.substr(0, 4096)},
+      {"CSS style rule", "P.banner { color: white; background: #FC0; "
+                         "font: bold oblique 20px sans-serif; "
+                         "padding: 0.2em 10em 0.2em 1em }"},
+      {"full page (42 KB)", html},
+  };
+  for (const Doc& doc : docs) {
+    const std::span<const std::uint8_t> bytes(
+        reinterpret_cast<const std::uint8_t*>(doc.text.data()),
+        doc.text.size());
+    const auto plain = hsim::deflate::zlib_compress(bytes);
+    const auto with_dict =
+        hsim::deflate::zlib_compress_with_dictionary(bytes, dict);
+    std::printf("%-26s %8zu %10zu %10zu %7.0f%%\n", doc.label,
+                doc.text.size(), plain.size(), with_dict.size(),
+                100.0 * (static_cast<double>(plain.size()) -
+                         static_cast<double>(with_dict.size())) /
+                    static_cast<double>(plain.size()));
+  }
+  std::printf("\nDictionaries pay off most on small documents — exactly the\n"
+              "HTTP headers / small-stylesheet regime the paper's future-work\n"
+              "section points at.\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Reproduces Table 4: Jigsaw, high bandwidth / low latency (LAN).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hsim;
+  using bench::PaperRow;
+  using client::ProtocolMode;
+  const std::vector<PaperRow> rows = {
+      {"HTTP/1.0", ProtocolMode::kHttp10Parallel,
+       {510.2, 216289, 0.97, 8.6}, {374.8, 61117, 0.78, 19.7}},
+      {"HTTP/1.1", ProtocolMode::kHttp11Persistent,
+       {281.0, 191843, 1.25, 5.5}, {133.4, 17694, 0.89, 23.2}},
+      {"HTTP/1.1 Pipelined", ProtocolMode::kHttp11Pipelined,
+       {181.8, 191551, 0.68, 3.7}, {32.8, 17694, 0.54, 6.9}},
+      {"HTTP/1.1 Pipelined w. compression",
+       ProtocolMode::kHttp11PipelinedCompressed,
+       {148.8, 159654, 0.71, 3.6}, {32.6, 17687, 0.54, 6.9}},
+  };
+  bench::run_protocol_table("Table 4 - Jigsaw - High Bandwidth, Low Latency",
+                            harness::lan_profile(), server::jigsaw_config(),
+                            rows);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Reproduces Table 5: Apache, high bandwidth / low latency (LAN).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hsim;
+  using bench::PaperRow;
+  using client::ProtocolMode;
+  const std::vector<PaperRow> rows = {
+      {"HTTP/1.0", ProtocolMode::kHttp10Parallel,
+       {489.4, 215536, 0.72, 8.3}, {365.4, 60605, 0.41, 19.4}},
+      {"HTTP/1.1", ProtocolMode::kHttp11Persistent,
+       {244.2, 189023, 0.81, 4.9}, {98.4, 14009, 0.40, 21.9}},
+      {"HTTP/1.1 Pipelined", ProtocolMode::kHttp11Pipelined,
+       {175.8, 189607, 0.49, 3.6}, {29.2, 14009, 0.23, 7.7}},
+      {"HTTP/1.1 Pipelined w. compression",
+       ProtocolMode::kHttp11PipelinedCompressed,
+       {139.8, 156834, 0.41, 3.4}, {28.4, 14002, 0.23, 7.5}},
+  };
+  bench::run_protocol_table("Table 5 - Apache - High Bandwidth, Low Latency",
+                            harness::lan_profile(), server::apache_config(),
+                            rows);
+  return 0;
+}

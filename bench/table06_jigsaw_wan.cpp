@@ -1,0 +1,23 @@
+// Reproduces Table 6: Jigsaw, high bandwidth / high latency (WAN).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hsim;
+  using bench::PaperRow;
+  using client::ProtocolMode;
+  const std::vector<PaperRow> rows = {
+      {"HTTP/1.0", ProtocolMode::kHttp10Parallel,
+       {565.8, 251913, 4.17, 8.2}, {389.2, 62348, 2.96, 20.0}},
+      {"HTTP/1.1", ProtocolMode::kHttp11Persistent,
+       {304.0, 193595, 6.64, 5.9}, {137.0, 18065.6, 4.95, 23.3}},
+      {"HTTP/1.1 Pipelined", ProtocolMode::kHttp11Pipelined,
+       {214.2, 193887, 2.33, 4.2}, {34.8, 18233.2, 1.10, 7.1}},
+      {"HTTP/1.1 Pipelined w. compression",
+       ProtocolMode::kHttp11PipelinedCompressed,
+       {183.2, 161698, 2.09, 4.3}, {35.4, 19102.2, 1.15, 6.9}},
+  };
+  bench::run_protocol_table("Table 6 - Jigsaw - High Bandwidth, High Latency",
+                            harness::wan_profile(), server::jigsaw_config(),
+                            rows);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Reproduces Table 7: Apache, high bandwidth / high latency (WAN).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hsim;
+  using bench::PaperRow;
+  using client::ProtocolMode;
+  const std::vector<PaperRow> rows = {
+      {"HTTP/1.0", ProtocolMode::kHttp10Parallel,
+       {559.6, 248655.2, 4.09, 8.3}, {370.0, 61887, 2.64, 19.3}},
+      {"HTTP/1.1", ProtocolMode::kHttp11Persistent,
+       {309.4, 191436.0, 6.14, 6.1}, {104.2, 14255, 4.43, 22.6}},
+      {"HTTP/1.1 Pipelined", ProtocolMode::kHttp11Pipelined,
+       {221.4, 191180.6, 2.23, 4.4}, {29.8, 15352, 0.86, 7.2}},
+      {"HTTP/1.1 Pipelined w. compression",
+       ProtocolMode::kHttp11PipelinedCompressed,
+       {182.0, 159170.0, 2.11, 4.4}, {29.0, 15088, 0.83, 7.2}},
+  };
+  bench::run_protocol_table("Table 7 - Apache - High Bandwidth, High Latency",
+                            harness::wan_profile(), server::apache_config(),
+                            rows);
+  return 0;
+}

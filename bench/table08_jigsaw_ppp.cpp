@@ -1,0 +1,22 @@
+// Reproduces Table 8: Jigsaw, low bandwidth / high latency (28.8k PPP).
+// The paper omits HTTP/1.0 on PPP, so the rows start at persistent HTTP/1.1.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hsim;
+  using bench::PaperRow;
+  using client::ProtocolMode;
+  const std::vector<PaperRow> rows = {
+      {"HTTP/1.1", ProtocolMode::kHttp11Persistent,
+       {309.6, 190687, 63.8, 6.1}, {89.2, 17528, 12.9, 16.9}},
+      {"HTTP/1.1 Pipelined", ProtocolMode::kHttp11Pipelined,
+       {284.4, 190735, 53.3, 5.6}, {31.0, 17598, 5.4, 6.6}},
+      {"HTTP/1.1 Pipelined w. compression",
+       ProtocolMode::kHttp11PipelinedCompressed,
+       {234.2, 159449, 47.4, 5.5}, {31.0, 17591, 5.4, 6.6}},
+  };
+  bench::run_protocol_table("Table 8 - Jigsaw - Low Bandwidth, High Latency",
+                            harness::ppp_profile(), server::jigsaw_config(),
+                            rows);
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Reproduces Table 9: Apache, low bandwidth / high latency (28.8k PPP).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hsim;
+  using bench::PaperRow;
+  using client::ProtocolMode;
+  const std::vector<PaperRow> rows = {
+      {"HTTP/1.1", ProtocolMode::kHttp11Persistent,
+       {308.6, 187869, 65.6, 6.2}, {89.0, 13843, 11.1, 20.5}},
+      {"HTTP/1.1 Pipelined", ProtocolMode::kHttp11Pipelined,
+       {281.4, 187918, 53.4, 5.7}, {26.0, 13912, 3.4, 7.0}},
+      {"HTTP/1.1 Pipelined w. compression",
+       ProtocolMode::kHttp11PipelinedCompressed,
+       {233.0, 157214, 47.2, 5.6}, {26.0, 13905, 3.4, 7.0}},
+  };
+  bench::run_protocol_table("Table 9 - Apache - Low Bandwidth, High Latency",
+                            harness::ppp_profile(), server::apache_config(),
+                            rows);
+  return 0;
+}

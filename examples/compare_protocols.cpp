@@ -1,0 +1,65 @@
+// Runs the paper's full protocol matrix over a chosen network environment
+// and prints a Table 4..9-style summary.
+//
+// Usage: compare_protocols [lan|wan|ppp] [jigsaw|apache] [runs]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hsim;
+  harness::NetworkProfile network = harness::wan_profile();
+  server::ServerConfig server_config = server::jigsaw_config();
+  unsigned runs = 3;
+
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "lan") == 0) network = harness::lan_profile();
+    else if (std::strcmp(argv[1], "wan") == 0) network = harness::wan_profile();
+    else if (std::strcmp(argv[1], "ppp") == 0) network = harness::ppp_profile();
+    else {
+      std::fprintf(stderr, "usage: %s [lan|wan|ppp] [jigsaw|apache] [runs]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (argc > 2 && std::strcmp(argv[2], "apache") == 0) {
+    server_config = server::apache_config();
+  }
+  if (argc > 3) runs = static_cast<unsigned>(std::atoi(argv[3]));
+
+  const content::MicroscapeSite& site = harness::shared_site();
+  std::printf("Network: %s   Server: %s   (%u runs per cell)\n\n",
+              network.name.c_str(), server_config.server_name.c_str(), runs);
+
+  std::vector<harness::TableRow> rows;
+  const client::ProtocolMode modes[] = {
+      client::ProtocolMode::kHttp10Parallel,
+      client::ProtocolMode::kHttp11Persistent,
+      client::ProtocolMode::kHttp11Pipelined,
+      client::ProtocolMode::kHttp11PipelinedCompressed,
+  };
+  for (const auto mode : modes) {
+    // The paper omits HTTP/1.0 for the modem link.
+    if (network.bandwidth_bps < 100'000 &&
+        mode == client::ProtocolMode::kHttp10Parallel) {
+      continue;
+    }
+    harness::TableRow row;
+    row.label = std::string(client::to_string(mode));
+    harness::ExperimentSpec spec;
+    spec.network = network;
+    spec.server = server_config;
+    spec.client = harness::robot_config(mode);
+    spec.scenario = harness::Scenario::kFirstVisit;
+    row.first_visit = harness::run_averaged(spec, site, runs);
+    spec.scenario = harness::Scenario::kRevalidation;
+    row.revalidation = harness::run_averaged(spec, site, runs);
+    rows.push_back(std::move(row));
+  }
+  std::printf("%s\n",
+              harness::render_table("Protocol comparison", rows, false).c_str());
+  return 0;
+}

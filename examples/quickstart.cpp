@@ -1,0 +1,52 @@
+// Quickstart: fetch the Microscape page over a simulated WAN with each of
+// the paper's four protocol configurations and print what tcpdump would see.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+int main() {
+  using namespace hsim;
+  const content::MicroscapeSite& site = harness::shared_site();
+  std::printf("Microscape test site: HTML %zu bytes, %zu images, "
+              "%zu image bytes\n\n",
+              site.html.size(), site.images.size(), site.total_image_bytes());
+
+  const client::ProtocolMode modes[] = {
+      client::ProtocolMode::kHttp10Parallel,
+      client::ProtocolMode::kHttp11Persistent,
+      client::ProtocolMode::kHttp11Pipelined,
+      client::ProtocolMode::kHttp11PipelinedCompressed,
+  };
+
+  std::printf("First-time retrieval, Jigsaw profile, WAN (~90ms RTT):\n");
+  for (const auto mode : modes) {
+    harness::ExperimentSpec spec;
+    spec.network = harness::wan_profile();
+    spec.server = server::jigsaw_config();
+    spec.client = harness::robot_config(mode);
+    spec.scenario = harness::Scenario::kFirstVisit;
+    const harness::AveragedResult r = harness::run_averaged(spec, site, 3);
+    std::printf("%s\n",
+                harness::render_summary_line(
+                    std::string(client::to_string(mode)), r)
+                    .c_str());
+  }
+
+  std::printf("\nCache validation, same setup:\n");
+  for (const auto mode : modes) {
+    harness::ExperimentSpec spec;
+    spec.network = harness::wan_profile();
+    spec.server = server::jigsaw_config();
+    spec.client = harness::robot_config(mode);
+    spec.scenario = harness::Scenario::kRevalidation;
+    const harness::AveragedResult r = harness::run_averaged(spec, site, 3);
+    std::printf("%s\n",
+                harness::render_summary_line(
+                    std::string(client::to_string(mode)), r)
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Client-side document cache with HTTP/1.1 validators.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "http/date.hpp"
+
+namespace hsim::client {
+
+struct CacheEntry {
+  std::string etag;
+  http::UnixSeconds last_modified = 0;
+  std::string content_type;
+  std::vector<std::uint8_t> body;
+};
+
+class Cache {
+ public:
+  void store(const std::string& path, CacheEntry entry) {
+    entries_[path] = std::move(entry);
+  }
+  const CacheEntry* find(const std::string& path) const {
+    const auto it = entries_.find(path);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  /// Paths in insertion-independent (sorted) order, root first if present.
+  std::vector<std::string> paths() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [path, entry] : entries_) out.push_back(path);
+    return out;
+  }
+
+ private:
+  std::map<std::string, CacheEntry> entries_;
+};
+
+}  // namespace hsim::client

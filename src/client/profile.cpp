@@ -1,0 +1,50 @@
+#include "client/profile.hpp"
+
+namespace hsim::client {
+
+HeaderProfile robot_profile() {
+  HeaderProfile p;
+  p.name = "libwww-robot";
+  p.user_agent = "libwww-robot/5.1";
+  p.extra_headers = {
+      {"Accept", "image/gif, image/png, text/html, */*"},
+      {"Accept-Language", "en"},
+      {"Accept-Charset", "iso-8859-1,*"},
+  };
+  // With these headers a GET for a Microscape image is ~190 bytes — the
+  // average request size the paper reports for the tuned robot.
+  return p;
+}
+
+HeaderProfile netscape_profile() {
+  HeaderProfile p;
+  p.name = "Navigator-4.0b5";
+  p.user_agent = "Mozilla/4.0b5 [en] (WinNT; I)";
+  p.extra_headers = {
+      {"Accept", "image/gif, image/x-xbitmap, image/jpeg, image/pjpeg, */*"},
+      {"Accept-Language", "en"},
+      {"Accept-Charset", "iso-8859-1,*,utf-8"},
+  };
+  p.send_keep_alive = true;
+  return p;
+}
+
+HeaderProfile msie_profile() {
+  HeaderProfile p;
+  p.name = "MSIE-4.0b1";
+  p.user_agent = "Mozilla/4.0 (compatible; MSIE 4.0b1; Windows NT)";
+  p.extra_headers = {
+      {"Accept",
+       "image/gif, image/x-xbitmap, image/jpeg, image/pjpeg, "
+       "application/vnd.ms-excel, application/msword, "
+       "application/vnd.ms-powerpoint, */*"},
+      {"Accept-Language", "en-us"},
+      {"UA-pixels", "1024x768"},
+      {"UA-color", "color8"},
+      {"UA-OS", "Windows NT"},
+      {"UA-CPU", "x86"},
+  };
+  return p;
+}
+
+}  // namespace hsim::client

@@ -1,0 +1,35 @@
+// Client header profiles.
+//
+// The libwww robot is "very careful not to generate unnecessary headers"
+// (~190 bytes per request); the commercial browsers of Tables 10/11 send
+// considerably more header bytes and use different connection and
+// revalidation strategies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hsim::client {
+
+struct HeaderProfile {
+  std::string name;
+  std::string user_agent;
+  /// Static headers appended to every request (Accept lines etc.).
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  /// HTTP/1.0 browsers that ask for persistent connections.
+  bool send_keep_alive = false;
+};
+
+/// libwww robot 5.1: minimal headers.
+HeaderProfile robot_profile();
+
+/// Netscape Navigator 4.0b5: HTTP/1.0 + Keep-Alive, 4 connections, moderate
+/// header verbosity, date-based revalidation.
+HeaderProfile netscape_profile();
+
+/// MS Internet Explorer 4.0b1: HTTP/1.1, verbose headers; its beta
+/// revalidated images without conditional headers on cache-validate visits
+/// (the paper's Table 10 shows it re-fetching far more than Navigator).
+HeaderProfile msie_profile();
+
+}  // namespace hsim::client

@@ -1,0 +1,509 @@
+#include "client/robot.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "content/microscape.hpp"
+#include "http/date.hpp"
+
+namespace hsim::client {
+
+namespace {
+constexpr unsigned kMaxAttempts = 5;
+
+std::span<const std::uint8_t> as_span(const std::vector<std::uint8_t>& v) {
+  return {v.data(), v.size()};
+}
+}  // namespace
+
+std::string_view to_string(ProtocolMode mode) {
+  switch (mode) {
+    case ProtocolMode::kHttp10Parallel: return "HTTP/1.0";
+    case ProtocolMode::kHttp11Persistent: return "HTTP/1.1";
+    case ProtocolMode::kHttp11Pipelined: return "HTTP/1.1 Pipelined";
+    case ProtocolMode::kHttp11PipelinedCompressed:
+      return "HTTP/1.1 Pipelined w. compression";
+  }
+  return "?";
+}
+
+Robot::Robot(tcp::Host& host, net::IpAddr server_addr, net::Port server_port,
+             ClientConfig config)
+    : host_(host),
+      server_addr_(server_addr),
+      server_port_(server_port),
+      config_(std::move(config)) {}
+
+Robot::~Robot() {
+  for (const LanePtr& lane : lanes_) {
+    if (lane->conn) {
+      lane->conn->set_on_data({});
+      lane->conn->set_on_connected({});
+      lane->conn->set_on_closed({});
+      lane->conn->set_on_reset({});
+      lane->conn->set_on_peer_fin({});
+      lane->conn->set_on_send_space({});
+    }
+  }
+}
+
+void Robot::begin(DoneCallback done) {
+  done_ = std::move(done);
+  stats_ = RobotStats{};
+  stats_.started = host_.event_queue().now();
+  queue_.clear();
+  lanes_.clear();
+  expected_responses_ = 0;
+  completed_responses_ = 0;
+  first_request_issued_ = false;
+  finished_ = false;
+  html_text_.clear();
+  html_raw_consumed_ = 0;
+  refs_discovered_ = 0;
+  inflater_.reset();
+}
+
+void Robot::start_first_visit(const std::string& root, DoneCallback done) {
+  begin(std::move(done));
+  first_visit_ = true;
+  root_target_ = root;
+  PendingRequest req;
+  req.target = root;
+  req.is_root = true;
+  ++expected_responses_;
+  enqueue(std::move(req));
+  pump();
+}
+
+void Robot::start_revalidation(const std::string& root, DoneCallback done) {
+  begin(std::move(done));
+  first_visit_ = false;
+  root_target_ = root;
+
+  // Root first, then every cached object, in document order if known.
+  std::vector<std::string> targets;
+  targets.push_back(root);
+  for (const std::string& path : cache_.paths()) {
+    if (path != root) targets.push_back(path);
+  }
+  for (const std::string& target : targets) {
+    PendingRequest req;
+    req.target = target;
+    req.is_root = (target == root);
+    switch (config_.revalidation) {
+      case RevalidationStyle::kConditionalGet:
+        req.method = http::Method::kGet;
+        req.conditional = true;
+        break;
+      case RevalidationStyle::kGetPlusHead:
+        // The old robot: plain GET for the page, HEAD for the images.
+        req.method = req.is_root ? http::Method::kGet : http::Method::kHead;
+        break;
+      case RevalidationStyle::kUnconditionalGet:
+        req.method = http::Method::kGet;
+        break;
+    }
+    ++expected_responses_;
+    enqueue(std::move(req));
+  }
+  pump();
+}
+
+void Robot::enqueue(PendingRequest request) { queue_.push_back(std::move(request)); }
+
+Robot::LanePtr Robot::open_lane() {
+  auto lane = std::make_shared<Lane>();
+  lane->flush_timer = std::make_unique<sim::Timer>(host_.event_queue());
+  tcp::TcpOptions opts = config_.tcp;
+  opts.nodelay = config_.nodelay;
+  lane->conn = host_.connect(server_addr_, server_port_, opts);
+
+  std::weak_ptr<Lane> weak = lane;
+  lane->conn->set_on_connected([this, weak] {
+    if (auto l = weak.lock()) {
+      l->connected = true;
+      pump_lane_output(l);
+    }
+  });
+  lane->conn->set_on_data([this, weak] {
+    if (auto l = weak.lock()) on_lane_data(l);
+  });
+  lane->conn->set_on_send_space([this, weak] {
+    if (auto l = weak.lock()) pump_lane_output(l);
+  });
+  lane->conn->set_on_peer_fin([this, weak] {
+    if (auto l = weak.lock()) {
+      // Server finished sending: complete any read-until-close body.
+      l->parser.on_connection_closed();
+      on_lane_data(l);
+      // Close our half as well (no more requests will ride this lane).
+      l->conn->shutdown_send();
+      if (!l->closed) {
+        l->closed = true;
+        on_lane_closed(l, /*reset=*/false);
+      }
+    }
+  });
+  lane->conn->set_on_closed([this, weak] {
+    if (auto l = weak.lock(); l && !l->closed) {
+      l->closed = true;
+      l->parser.on_connection_closed();
+      on_lane_data(l);
+      on_lane_closed(l, /*reset=*/false);
+    }
+  });
+  lane->conn->set_on_reset([this, weak] {
+    if (auto l = weak.lock(); l && !l->closed) {
+      l->closed = true;
+      ++stats_.resets_seen;
+      on_lane_closed(l, /*reset=*/true);
+    }
+  });
+  lanes_.push_back(lane);
+  return lane;
+}
+
+http::Request Robot::build_request(const PendingRequest& pending) const {
+  http::Request req;
+  req.method = pending.method;
+  req.target = pending.target;
+  req.version =
+      config_.http11() ? http::Version::kHttp11 : http::Version::kHttp10;
+  req.headers.add("Host", config_.host_header);
+  req.headers.add("User-Agent", config_.profile.user_agent);
+  for (const auto& [name, value] : config_.profile.extra_headers) {
+    req.headers.add(name, value);
+  }
+  if (config_.wants_deflate()) {
+    req.headers.add("Accept-Encoding", "deflate");
+  }
+  if (!config_.http11() && config_.profile.send_keep_alive) {
+    req.headers.add("Connection", "Keep-Alive");
+  }
+  if (pending.conditional) {
+    if (const CacheEntry* entry = cache_.find(pending.target)) {
+      if (config_.use_etags && !entry->etag.empty()) {
+        req.headers.add("If-None-Match", entry->etag);
+      } else if (entry->last_modified != 0) {
+        req.headers.add("If-Modified-Since",
+                        http::format_http_date(entry->last_modified));
+      }
+      if (config_.validate_with_ranges && !pending.is_root &&
+          config_.range_prefix_bytes > 0) {
+        // Unchanged -> 304 as usual; changed -> 206 carrying only the
+        // metadata prefix of the new entity.
+        req.headers.add("Range",
+                        "bytes=0-" +
+                            std::to_string(config_.range_prefix_bytes - 1));
+      }
+    }
+  }
+  return req;
+}
+
+void Robot::issue_on_lane(const LanePtr& lane, PendingRequest pending) {
+  const http::Request req = build_request(pending);
+  const auto wire = req.serialize();
+  lane->out_buffer.insert(lane->out_buffer.end(), wire.begin(), wire.end());
+  lane->parser.push_request_context(pending.method);
+  const bool is_first = !first_request_issued_;
+  first_request_issued_ = true;
+  ++stats_.requests_sent;
+  if (pending.attempts > 0) ++stats_.retries;
+  lane->outstanding.push_back(std::move(pending));
+
+  if (!config_.pipelined()) {
+    // Persistent / HTTP/1.0 modes write each request immediately.
+    flush_lane(lane, /*explicit_flush=*/false);
+    return;
+  }
+  // Pipelined: buffer, with three flush triggers (size, explicit, timer).
+  if (is_first && config_.explicit_first_flush) {
+    ++stats_.explicit_flushes;
+    flush_lane(lane, true);
+  } else if (lane->out_buffer.size() >= config_.pipeline_buffer) {
+    ++stats_.size_flushes;
+    flush_lane(lane, false);
+  } else if (!lane->flush_timer->armed()) {
+    std::weak_ptr<Lane> weak = lane;
+    lane->flush_timer->arm(config_.flush_timeout, [this, weak] {
+      if (auto l = weak.lock(); l && !l->out_buffer.empty()) {
+        ++stats_.timer_flushes;
+        flush_lane(l, false);
+      }
+    });
+  }
+}
+
+void Robot::flush_lane(const LanePtr& lane, bool /*explicit_flush*/) {
+  lane->flush_timer->cancel();
+  if (!lane->out_buffer.empty()) {
+    lane->out_unsent.insert(lane->out_unsent.end(), lane->out_buffer.begin(),
+                            lane->out_buffer.end());
+    lane->out_buffer.clear();
+  }
+  pump_lane_output(lane);
+}
+
+void Robot::pump_lane_output(const LanePtr& lane) {
+  if (!lane->connected || lane->closed) return;
+  while (!lane->out_unsent.empty()) {
+    std::vector<std::uint8_t> chunk(lane->out_unsent.begin(),
+                                    lane->out_unsent.end());
+    const std::size_t sent = lane->conn->send(as_span(chunk));
+    lane->out_unsent.erase(lane->out_unsent.begin(),
+                           lane->out_unsent.begin() + sent);
+    if (sent < chunk.size()) break;
+  }
+}
+
+void Robot::pump() {
+  if (finished_) return;
+  if (config_.pipelined()) {
+    // Single persistent connection carrying the whole pipeline.
+    LanePtr lane;
+    for (const LanePtr& l : lanes_) {
+      if (!l->closed) {
+        lane = l;
+        break;
+      }
+    }
+    if (!lane) {
+      if (queue_.empty()) return;
+      lane = open_lane();
+    }
+    while (!queue_.empty()) {
+      PendingRequest req = std::move(queue_.front());
+      queue_.pop_front();
+      issue_on_lane(lane, std::move(req));
+    }
+    return;
+  }
+
+  // Non-pipelined: a pool of connections, one request outstanding per lane.
+  // Covers plain HTTP/1.0 (lane dies per response), HTTP/1.0 + Keep-Alive
+  // and HTTP/1.1 persistent (lane reused), and the browsers' N-parallel
+  // strategies. First reuse idle lanes, then open new ones up to the cap.
+  for (const LanePtr& lane : lanes_) {
+    if (queue_.empty()) break;
+    if (!lane->closed && lane->connected && lane->outstanding.empty()) {
+      PendingRequest req = std::move(queue_.front());
+      queue_.pop_front();
+      issue_on_lane(lane, std::move(req));
+    }
+  }
+  auto open_count = [&] {
+    std::size_t n = 0;
+    for (const LanePtr& l : lanes_) {
+      if (!l->closed) ++n;
+    }
+    return n;
+  };
+  while (!queue_.empty() && open_count() < config_.max_connections) {
+    LanePtr lane = open_lane();
+    PendingRequest req = std::move(queue_.front());
+    queue_.pop_front();
+    issue_on_lane(lane, std::move(req));
+  }
+}
+
+void Robot::on_lane_data(const LanePtr& lane) {
+  if (finished_) return;
+  const std::vector<std::uint8_t> bytes = lane->conn->read_all();
+  if (!bytes.empty()) lane->parser.feed(as_span(bytes));
+
+  while (auto response = lane->parser.next()) {
+    if (lane->outstanding.empty()) break;  // unsolicited data; drop
+    PendingRequest pending = std::move(lane->outstanding.front());
+    lane->outstanding.pop_front();
+    if (config_.per_response_cpu <= 0) {
+      handle_response(lane, pending, std::move(*response));
+      if (finished_) return;
+      continue;
+    }
+    // Response handling costs client CPU, serialized on the one processor.
+    const sim::Time now = host_.event_queue().now();
+    const sim::Time start = std::max(now, client_cpu_free_);
+    client_cpu_free_ = start + config_.per_response_cpu;
+    host_.event_queue().schedule_in(
+        client_cpu_free_ - now,
+        [this, lane, pending = std::move(pending),
+         response = std::move(*response)]() mutable {
+          if (!finished_) handle_response(lane, pending, std::move(response));
+        });
+  }
+  scan_html_progress(lane);
+}
+
+void Robot::scan_html_progress(const LanePtr& lane) {
+  if (!first_visit_ || finished_) return;
+  if (lane->outstanding.empty() || !lane->outstanding.front().is_root) return;
+  const http::Response* partial = lane->parser.partial();
+  if (partial == nullptr) return;
+  const bool deflated =
+      partial->headers.has_token("Content-Encoding", "deflate");
+  if (partial->body.size() > html_raw_consumed_) {
+    ingest_html_bytes(
+        std::span<const std::uint8_t>(partial->body.data() + html_raw_consumed_,
+                                      partial->body.size() - html_raw_consumed_),
+        deflated);
+    discover_references();
+  }
+}
+
+void Robot::ingest_html_bytes(std::span<const std::uint8_t> raw,
+                              bool deflated) {
+  if (stats_.first_html_byte_at == 0 && !raw.empty()) {
+    stats_.first_html_byte_at = host_.event_queue().now();
+  }
+  html_raw_consumed_ += raw.size();
+  if (deflated) {
+    if (!inflater_) inflater_.emplace(deflate::Inflater::Format::kZlib);
+    std::vector<std::uint8_t> out;
+    inflater_->feed(raw, out);
+    html_text_.append(out.begin(), out.end());
+  } else {
+    html_text_.append(raw.begin(), raw.end());
+  }
+}
+
+void Robot::discover_references() {
+  if (!config_.follow_embedded) return;
+  const auto refs = content::scan_image_references(html_text_);
+  bool added = false;
+  for (std::size_t i = refs_discovered_; i < refs.size(); ++i) {
+    PendingRequest req;
+    req.target = refs[i];
+    ++expected_responses_;
+    enqueue(std::move(req));
+    added = true;
+  }
+  refs_discovered_ = std::max(refs_discovered_, refs.size());
+  if (added) pump();
+}
+
+void Robot::handle_response(const LanePtr& lane, const PendingRequest& pending,
+                            http::Response response) {
+  ++completed_responses_;
+  stats_.body_bytes += response.body.size();
+  if (response.status == 200) {
+    ++stats_.responses_ok;
+  } else if (response.status == 206) {
+    ++stats_.responses_partial;
+  } else if (response.status == 304) {
+    ++stats_.responses_not_modified;
+  } else {
+    ++stats_.responses_error;
+  }
+
+  const bool deflated =
+      response.headers.has_token("Content-Encoding", "deflate");
+
+  if (pending.is_root && first_visit_ && response.status == 200) {
+    // Finish ingesting the document (bytes past the last partial scan).
+    if (response.body.size() > html_raw_consumed_) {
+      ingest_html_bytes(
+          std::span<const std::uint8_t>(
+              response.body.data() + html_raw_consumed_,
+              response.body.size() - html_raw_consumed_),
+          deflated);
+    }
+    stats_.html_complete_at = host_.event_queue().now();
+    discover_references();
+    // The whole document is parsed: the application *knows* no further
+    // requests will be generated from it, so flush the tail batch rather
+    // than waiting for the 50 ms timer (the paper's explicit-flush insight).
+    if (config_.pipelined()) {
+      for (const LanePtr& l : lanes_) {
+        if (!l->closed && !l->out_buffer.empty()) {
+          ++stats_.explicit_flushes;
+          flush_lane(l, true);
+        }
+      }
+    }
+    CacheEntry entry;
+    if (const auto etag = response.headers.get("ETag")) {
+      entry.etag = std::string(*etag);
+    }
+    if (const auto lm = response.headers.get("Last-Modified")) {
+      if (const auto t = http::parse_http_date(*lm)) entry.last_modified = *t;
+    }
+    if (const auto ct = response.headers.get("Content-Type")) {
+      entry.content_type = std::string(*ct);
+    }
+    entry.body.assign(html_text_.begin(), html_text_.end());
+    cache_.store(pending.target, std::move(entry));
+  } else if (first_visit_ && response.status == 200) {
+    if (stats_.first_image_done_at == 0) {
+      stats_.first_image_done_at = host_.event_queue().now();
+    }
+    CacheEntry entry;
+    if (const auto etag = response.headers.get("ETag")) {
+      entry.etag = std::string(*etag);
+    }
+    if (const auto lm = response.headers.get("Last-Modified")) {
+      if (const auto t = http::parse_http_date(*lm)) entry.last_modified = *t;
+    }
+    if (const auto ct = response.headers.get("Content-Type")) {
+      entry.content_type = std::string(*ct);
+    }
+    entry.body = std::move(response.body);
+    cache_.store(pending.target, std::move(entry));
+  }
+
+  // HTTP/1.0 without keep-alive: this lane is done (the server will close;
+  // close our half right away and never reuse the lane).
+  if (!config_.http11()) {
+    const bool keep_alive =
+        response.headers.has_token("Connection", "keep-alive");
+    if (!keep_alive) {
+      lane->conn->shutdown_send();
+      lane->closed = true;
+      std::erase(lanes_, lane);
+    }
+  }
+
+  maybe_finish();
+  if (!finished_) pump();
+}
+
+void Robot::on_lane_closed(const LanePtr& lane, bool /*reset*/) {
+  if (finished_) return;
+  lane->flush_timer->cancel();
+  // Unanswered requests (sent but no response) go back on the queue, as do
+  // any bytes that were still buffered and unsent.
+  std::deque<PendingRequest> unanswered = std::move(lane->outstanding);
+  lane->outstanding.clear();
+  bool head = true;
+  for (PendingRequest& req : unanswered) {
+    // Only the head request is charged an attempt: a server that serves N
+    // requests then closes (e.g. Apache 1.2b2's 5-request limit) makes
+    // progress each cycle, so later requests are victims, not failures.
+    if (head) {
+      head = false;
+      if (++req.attempts >= kMaxAttempts) {
+        ++completed_responses_;
+        ++stats_.responses_error;
+        continue;
+      }
+    }
+    queue_.push_back(std::move(req));
+  }
+  std::erase(lanes_, lane);
+  maybe_finish();
+  if (!finished_) pump();
+}
+
+void Robot::maybe_finish() {
+  if (finished_) return;
+  if (completed_responses_ < expected_responses_ || !queue_.empty()) return;
+  finished_ = true;
+  stats_.complete = true;
+  stats_.finished = host_.event_queue().now();
+  for (const LanePtr& lane : lanes_) {
+    if (!lane->closed) lane->conn->shutdown_send();
+  }
+  if (done_) done_();
+}
+
+}  // namespace hsim::client

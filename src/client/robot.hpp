@@ -1,0 +1,219 @@
+// The measurement client ("robot").
+//
+// Reproduces the libwww robot's four modes from the paper:
+//   - HTTP/1.0 with up to 4 parallel short connections (one per request);
+//   - HTTP/1.1 persistent, requests serialized on one connection;
+//   - HTTP/1.1 pipelined: requests buffered (1024 B) with a flush timer and
+//     an explicit application-level flush after the HTML request;
+//   - HTTP/1.1 pipelined + "Accept-Encoding: deflate" with streaming
+//     decompression.
+// In every mode the client scans arriving HTML incrementally and issues
+// image requests as soon as references are discovered.
+//
+// Browser emulation (Tables 10/11) reuses the same machinery with different
+// header profiles, connection strategies and revalidation styles.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/cache.hpp"
+#include "client/profile.hpp"
+#include "deflate/inflate.hpp"
+#include "http/parser.hpp"
+#include "sim/event_queue.hpp"
+#include "tcp/host.hpp"
+
+namespace hsim::client {
+
+enum class ProtocolMode {
+  kHttp10Parallel,
+  kHttp11Persistent,
+  kHttp11Pipelined,
+  kHttp11PipelinedCompressed,
+};
+std::string_view to_string(ProtocolMode mode);
+
+/// How a cache-validation visit expresses its requests.
+enum class RevalidationStyle {
+  /// Full HTTP/1.1 style: conditional GET with If-None-Match on everything.
+  kConditionalGet,
+  /// The old HTTP/1.0 robot: unconditional GET for the HTML plus HEAD for
+  /// every image (transfers the whole HTML body again).
+  kGetPlusHead,
+  /// MSIE 4.0b1's beta behaviour: unconditional GETs (refetches bodies).
+  kUnconditionalGet,
+};
+
+struct ClientConfig {
+  ProtocolMode mode = ProtocolMode::kHttp11Pipelined;
+  unsigned max_connections = 1;  // 4 in HTTP/1.0 mode (Navigator default)
+  std::size_t pipeline_buffer = 1024;
+  sim::Time flush_timeout = sim::milliseconds(50);
+  /// Application-level explicit flush after issuing the first (HTML)
+  /// request — the "Buffer Tuning" optimisation.
+  bool explicit_first_flush = true;
+  bool nodelay = true;
+  RevalidationStyle revalidation = RevalidationStyle::kConditionalGet;
+  HeaderProfile profile = robot_profile();
+  std::string host_header = "www.microscape.test";
+  tcp::TcpOptions tcp;
+
+  /// Prefer If-None-Match entity tags for conditional requests; false falls
+  /// back to If-Modified-Since dates (Navigator's HTTP/1.0 behaviour).
+  bool use_etags = true;
+
+  /// Fetch embedded images discovered in the HTML. Disabled for experiments
+  /// that retrieve the document alone (the paper's §8.2.1 modem test).
+  bool follow_embedded = true;
+
+  /// "Poor man's multiplexing" (paper §"Range Requests and Validation"):
+  /// revalidation requests combine the cache validator with
+  /// `Range: bytes=0-(N-1)`, so an object that *changed* returns only its
+  /// first N bytes (enough for image metadata) instead of monopolizing the
+  /// connection with a full transfer.
+  bool validate_with_ranges = false;
+  std::size_t range_prefix_bytes = 1360;
+
+  /// Client CPU consumed per response (parsing plus cache bookkeeping).
+  /// The paper notes libwww 5.1's two-files-per-object persistent cache
+  /// "became a performance bottleneck in our HTTP/1.1 tests"; the old
+  /// HTTP/1.0 robot had no persistent cache and only pays parse cost.
+  sim::Time per_response_cpu = sim::milliseconds(5);
+
+  bool wants_deflate() const {
+    return mode == ProtocolMode::kHttp11PipelinedCompressed;
+  }
+  bool pipelined() const {
+    return mode == ProtocolMode::kHttp11Pipelined ||
+           mode == ProtocolMode::kHttp11PipelinedCompressed;
+  }
+  bool http11() const { return mode != ProtocolMode::kHttp10Parallel; }
+};
+
+struct RobotStats {
+  std::size_t requests_sent = 0;
+  std::size_t responses_ok = 0;        // 200
+  std::size_t responses_partial = 0;   // 206 (range validation)
+  std::size_t responses_not_modified = 0;
+  std::size_t responses_error = 0;     // 4xx/5xx
+  std::size_t retries = 0;             // re-issued after connection loss
+  std::size_t resets_seen = 0;
+  std::size_t explicit_flushes = 0;
+  std::size_t timer_flushes = 0;
+  std::size_t size_flushes = 0;
+  std::uint64_t body_bytes = 0;
+  sim::Time started = 0;
+  sim::Time finished = 0;
+  bool complete = false;
+
+  // Perceived-performance timestamps (0 = never happened). The paper leaves
+  // time-to-render as future work; these are the raw ingredients.
+  sim::Time first_html_byte_at = 0;   // first decoded document byte
+  sim::Time html_complete_at = 0;     // whole document decoded
+  sim::Time first_image_done_at = 0;  // first embedded object fetched
+
+  double elapsed_seconds() const { return sim::to_seconds(finished - started); }
+  double seconds_to_first_html() const {
+    return sim::to_seconds(first_html_byte_at - started);
+  }
+  double seconds_to_html_complete() const {
+    return sim::to_seconds(html_complete_at - started);
+  }
+};
+
+class Robot {
+ public:
+  using DoneCallback = std::function<void()>;
+
+  Robot(tcp::Host& host, net::IpAddr server_addr, net::Port server_port,
+        ClientConfig config);
+  ~Robot();
+
+  /// First-time visit: fetch `root`, discover embedded images incrementally,
+  /// fetch them all, populate the cache.
+  void start_first_visit(const std::string& root, DoneCallback done);
+
+  /// Cache-validation visit: revalidate the root and every cached entry
+  /// (requires a populated cache, e.g. from a prior first visit).
+  void start_revalidation(const std::string& root, DoneCallback done);
+
+  Cache& cache() { return cache_; }
+  const RobotStats& stats() const { return stats_; }
+  const ClientConfig& config() const { return config_; }
+
+ private:
+  struct PendingRequest {
+    std::string target;
+    http::Method method = http::Method::kGet;
+    bool conditional = false;
+    bool is_root = false;
+    unsigned attempts = 0;
+  };
+
+  /// One TCP connection and its in-flight request queue.
+  struct Lane {
+    tcp::ConnectionPtr conn;
+    http::ResponseParser parser;
+    std::deque<PendingRequest> outstanding;
+    std::vector<std::uint8_t> out_buffer;
+    std::deque<std::uint8_t> out_unsent;
+    bool connected = false;
+    bool closed = false;
+    std::unique_ptr<sim::Timer> flush_timer;
+  };
+  using LanePtr = std::shared_ptr<Lane>;
+
+  void begin(DoneCallback done);
+  void enqueue(PendingRequest request);
+  void pump();                        // assign queued requests to lanes
+  LanePtr open_lane();
+  void issue_on_lane(const LanePtr& lane, PendingRequest request);
+  http::Request build_request(const PendingRequest& pending) const;
+  void flush_lane(const LanePtr& lane, bool explicit_flush);
+  void pump_lane_output(const LanePtr& lane);
+
+  void on_lane_data(const LanePtr& lane);
+  void on_lane_closed(const LanePtr& lane, bool reset);
+  void handle_response(const LanePtr& lane, const PendingRequest& pending,
+                       http::Response response);
+  void scan_html_progress(const LanePtr& lane);
+  void ingest_html_bytes(std::span<const std::uint8_t> raw, bool deflated);
+  void discover_references();
+  void maybe_finish();
+
+  tcp::Host& host_;
+  net::IpAddr server_addr_;
+  net::Port server_port_;
+  ClientConfig config_;
+  Cache cache_;
+  RobotStats stats_;
+  DoneCallback done_;
+
+  std::deque<PendingRequest> queue_;  // not yet assigned to a lane
+  std::vector<LanePtr> lanes_;
+  std::size_t expected_responses_ = 0;
+  std::size_t completed_responses_ = 0;
+  bool first_request_issued_ = false;
+  bool finished_ = false;
+
+  // Incremental HTML handling (first visit).
+  std::string root_target_;
+  bool first_visit_ = false;
+  std::string html_text_;            // decoded document prefix
+  std::size_t html_raw_consumed_ = 0;  // raw body bytes already ingested
+  std::size_t refs_discovered_ = 0;
+  std::optional<deflate::Inflater> inflater_;
+  std::string html_content_type_;
+
+  /// Single client CPU: response processing serializes (models the libwww
+  /// cache overhead the paper describes).
+  sim::Time client_cpu_free_ = 0;
+};
+
+}  // namespace hsim::client

@@ -1,0 +1,81 @@
+#include "content/css.hpp"
+
+#include <cstdio>
+
+namespace hsim::content {
+
+std::string solutions_banner_css() {
+  // Verbatim from the paper (Figure 1's replacement), ~150 bytes.
+  return
+      "P.banner {\n"
+      " color: white;\n"
+      " background: #FC0;\n"
+      " font: bold oblique 20px sans-serif;\n"
+      " padding: 0.2em 10em 0.2em 1em;\n"
+      "}\n"
+      "<P CLASS=banner> solutions\n";
+}
+
+ImageReplacement make_replacement(const std::string& path, ImageKind kind,
+                                  std::size_t gif_bytes, unsigned width,
+                                  unsigned height) {
+  ImageReplacement r;
+  r.path = path;
+  r.kind = kind;
+  r.gif_bytes = gif_bytes;
+  char buf[256];
+  switch (kind) {
+    case ImageKind::kSpacer:
+      // Invisible layout images: replaced by padding/margin on the
+      // containing element — effectively free.
+      r.replaceable = true;
+      std::snprintf(buf, sizeof buf, "style=\"padding:%upx %upx\"",
+                    height / 2, width / 2);
+      r.replacement_markup = buf;
+      break;
+    case ImageKind::kBullet:
+      // Bullets/arrows exist as Unicode glyphs styled with CSS.
+      r.replaceable = true;
+      std::snprintf(buf, sizeof buf,
+                    "<SPAN CLASS=bullet>&#8226;</SPAN>"
+                    ".bullet{color:#c00;font-size:%upx}",
+                    height);
+      r.replacement_markup = buf;
+      break;
+    case ImageKind::kTextBanner:
+      // Text-in-image: the Figure 1 pattern; style rule plus element.
+      r.replaceable = true;
+      std::snprintf(buf, sizeof buf,
+                    "P.b%u{color:white;background:#FC0;"
+                    "font:bold oblique %upx sans-serif;"
+                    "padding:0.2em 10em 0.2em 1em}"
+                    "<P CLASS=b%u> banner text",
+                    width % 40, height, width % 40);
+      r.replacement_markup = buf;
+      break;
+    case ImageKind::kLogo:
+    case ImageKind::kPhoto:
+      // Real graphics cannot be expressed as styled text.
+      r.replaceable = false;
+      break;
+  }
+  return r;
+}
+
+CssAnalysis analyze_replacements(const std::vector<ImageReplacement>& images) {
+  CssAnalysis a;
+  a.images = images;
+  for (const ImageReplacement& r : images) {
+    ++a.total_images;
+    a.gif_bytes_total += r.gif_bytes;
+    if (r.replaceable) {
+      ++a.replaceable_images;
+      a.gif_bytes_replaceable += r.gif_bytes;
+      a.css_bytes += r.replacement_bytes();
+      ++a.requests_saved;
+    }
+  }
+  return a;
+}
+
+}  // namespace hsim::content

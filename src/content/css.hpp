@@ -1,0 +1,57 @@
+// CSS1 text-image replacement analysis (the paper's "Replacing Images with
+// HTML and CSS" section).
+//
+// For each image on the page we decide whether an HTML+CSS equivalent exists
+// (text banners, bullets, spacers — yes; photographs and detailed logos —
+// no), synthesize the actual replacement markup, and compare byte counts and
+// request counts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "content/image.hpp"
+
+namespace hsim::content {
+
+struct ImageReplacement {
+  std::string path;
+  ImageKind kind;
+  std::size_t gif_bytes = 0;
+  bool replaceable = false;
+  /// The HTML+CSS markup that replaces the <img> reference (style rule
+  /// amortized across users of the same class + the inline element).
+  std::string replacement_markup;
+  std::size_t replacement_bytes() const { return replacement_markup.size(); }
+};
+
+struct CssAnalysis {
+  std::vector<ImageReplacement> images;
+  std::size_t total_images = 0;
+  std::size_t replaceable_images = 0;
+  std::size_t gif_bytes_total = 0;        // all static images
+  std::size_t gif_bytes_replaceable = 0;  // bytes eliminated by CSS
+  std::size_t css_bytes = 0;              // markup added to the HTML
+  std::size_t requests_saved = 0;
+
+  double byte_reduction_factor() const {
+    return css_bytes == 0 ? 0.0
+                          : static_cast<double>(gif_bytes_replaceable) /
+                                static_cast<double>(css_bytes);
+  }
+};
+
+/// Decides replaceability by image kind and produces the markup.
+ImageReplacement make_replacement(const std::string& path, ImageKind kind,
+                                  std::size_t gif_bytes, unsigned width,
+                                  unsigned height);
+
+/// The paper's Figure 1: the 682-byte "solutions" banner and its ~150-byte
+/// HTML+CSS equivalent.
+std::string solutions_banner_css();
+
+/// Aggregates replacements for a whole page.
+CssAnalysis analyze_replacements(const std::vector<ImageReplacement>& images);
+
+}  // namespace hsim::content

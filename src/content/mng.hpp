@@ -1,0 +1,33 @@
+// Minimal MNG-style animation container.
+//
+// Substitution note (documented in DESIGN.md): full MNG (draft 19970427) is a
+// large specification; what the paper measures is only the *size advantage*
+// of MNG over animated GIF, which comes from two mechanisms this writer
+// reproduces faithfully:
+//   1. frames are deflate-compressed (PNG-family compression, beats LZW);
+//   2. non-first frames are stored as deltas against the previous frame,
+//      which are mostly zero bytes and compress extremely well.
+// The container uses MNG's chunk structure (signature, MHDR, IHDR/IDAT per
+// frame, MEND) with delta frames in a D-IDAT chunk.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "content/image.hpp"
+
+namespace hsim::content {
+
+std::vector<std::uint8_t> encode_mng(const Animation& animation);
+
+struct MngDecodeResult {
+  Animation animation;
+  bool ok = false;
+  std::string error;
+};
+
+MngDecodeResult decode_mng(std::span<const std::uint8_t> data);
+
+}  // namespace hsim::content

@@ -1,0 +1,51 @@
+#include "deflate/checksum.hpp"
+
+#include <array>
+
+namespace hsim::deflate {
+
+std::uint32_t adler32(std::span<const std::uint8_t> data,
+                      std::uint32_t adler) {
+  constexpr std::uint32_t kMod = 65521;
+  std::uint32_t a = adler & 0xFFFF;
+  std::uint32_t b = (adler >> 16) & 0xFFFF;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    // 5552 is the largest n such that 255*n*(n+1)/2 + (n+1)*(kMod-1) fits in
+    // 32 bits, allowing the modulo to be deferred (RFC 1950 reference impl).
+    std::size_t chunk = std::min<std::size_t>(5552, data.size() - i);
+    for (std::size_t j = 0; j < chunk; ++j) {
+      a += data[i + j];
+      b += a;
+    }
+    a %= kMod;
+    b %= kMod;
+    i += chunk;
+  }
+  return (b << 16) | a;
+}
+
+namespace {
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t crc) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    c = table[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace hsim::deflate

@@ -1,0 +1,22 @@
+// Adler-32 (RFC 1950) and CRC-32 (ISO 3309, as used by PNG and gzip).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace hsim::deflate {
+
+inline constexpr std::uint32_t kAdlerInit = 1;
+
+/// Incremental Adler-32: pass the previous value to continue a running sum.
+std::uint32_t adler32(std::span<const std::uint8_t> data,
+                      std::uint32_t adler = kAdlerInit);
+
+inline constexpr std::uint32_t kCrcInit = 0;
+
+/// Incremental CRC-32 (the polynomial used by PNG/zlib/gzip). Pass the
+/// previous value to continue a running CRC.
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t crc = kCrcInit);
+
+}  // namespace hsim::deflate

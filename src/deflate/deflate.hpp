@@ -1,0 +1,46 @@
+// DEFLATE compressor (RFC 1951) and zlib framing (RFC 1950), from scratch.
+//
+// The compressor runs hash-chain LZ77 with optional lazy matching, splits the
+// token stream into blocks, and for each block emits whichever of
+// stored / fixed-Huffman / dynamic-Huffman is smallest.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hsim::deflate {
+
+/// Compression effort 1..9 (zlib-like): controls hash chain depth and lazy
+/// match evaluation. 0 stores uncompressed blocks.
+struct DeflateOptions {
+  int level = 6;
+};
+
+/// Raw DEFLATE stream (no zlib header/trailer).
+std::vector<std::uint8_t> deflate_compress(std::span<const std::uint8_t> input,
+                                           DeflateOptions options = {});
+
+/// RFC 1950 zlib stream: 2-byte header, deflate data, Adler-32 trailer.
+/// This is the format named by HTTP's "Content-Encoding: deflate".
+std::vector<std::uint8_t> zlib_compress(std::span<const std::uint8_t> input,
+                                        DeflateOptions options = {});
+
+std::vector<std::uint8_t> zlib_compress(std::string_view text,
+                                        DeflateOptions options = {});
+
+/// RFC 1950 stream with a preset dictionary (FDICT set, DICTID = Adler-32 of
+/// the dictionary): the LZ77 window is primed with `dictionary`, so matches
+/// may reach into shared text the receiver already has. This is the paper's
+/// future-work idea of "compression dictionaries optimized for HTML and CSS1
+/// text", which pays off most on small documents.
+std::vector<std::uint8_t> zlib_compress_with_dictionary(
+    std::span<const std::uint8_t> input,
+    std::span<const std::uint8_t> dictionary, DeflateOptions options = {});
+
+/// A dictionary of common 1997 HTML/CSS phrases, usable on both ends.
+std::vector<std::uint8_t> html_preset_dictionary();
+
+}  // namespace hsim::deflate

@@ -1,0 +1,58 @@
+#include "deflate/tables.hpp"
+
+namespace hsim::deflate {
+
+unsigned length_to_code(unsigned length) {
+  // Linear scan is fine: 29 entries, called through a cached table below.
+  static const auto table = [] {
+    std::array<std::uint8_t, kMaxMatch + 1> t{};
+    for (unsigned len = kMinMatch; len <= kMaxMatch; ++len) {
+      unsigned code = 0;
+      for (unsigned i = 0; i < kLengthCodes.size(); ++i) {
+        const unsigned hi = (i + 1 < kLengthCodes.size())
+                                ? kLengthCodes[i + 1].base
+                                : kMaxMatch + 1;
+        if (len >= kLengthCodes[i].base && len < hi) {
+          code = i;
+          break;
+        }
+      }
+      // Length 258 is its own code (28), not 227+extra.
+      if (len == kMaxMatch) code = 28;
+      t[len] = static_cast<std::uint8_t>(code);
+    }
+    return t;
+  }();
+  return table[length];
+}
+
+unsigned distance_to_code(unsigned distance) {
+  // Binary search over the 30 bases.
+  unsigned lo = 0, hi = kDistCodes.size() - 1;
+  while (lo < hi) {
+    const unsigned mid = (lo + hi + 1) / 2;
+    if (kDistCodes[mid].base <= distance) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+std::array<std::uint8_t, kNumLitLenSymbols> fixed_litlen_lengths() {
+  std::array<std::uint8_t, kNumLitLenSymbols> lengths{};
+  for (unsigned i = 0; i <= 143; ++i) lengths[i] = 8;
+  for (unsigned i = 144; i <= 255; ++i) lengths[i] = 9;
+  for (unsigned i = 256; i <= 279; ++i) lengths[i] = 7;
+  for (unsigned i = 280; i <= 287; ++i) lengths[i] = 8;
+  return lengths;
+}
+
+std::array<std::uint8_t, 32> fixed_dist_lengths() {
+  std::array<std::uint8_t, 32> lengths{};
+  lengths.fill(5);
+  return lengths;
+}
+
+}  // namespace hsim::deflate

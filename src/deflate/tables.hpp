@@ -1,0 +1,61 @@
+// Shared RFC 1951 constant tables: length/distance code bases and extra bits,
+// fixed Huffman code lengths, and the code-length-code permutation order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace hsim::deflate {
+
+inline constexpr unsigned kEndOfBlock = 256;
+inline constexpr unsigned kNumLitLenSymbols = 288;
+inline constexpr unsigned kNumDistSymbols = 30;
+inline constexpr unsigned kMinMatch = 3;
+inline constexpr unsigned kMaxMatch = 258;
+inline constexpr unsigned kWindowSize = 32768;
+
+/// Length codes 257..285: base match length and number of extra bits.
+struct LengthCode {
+  std::uint16_t base;
+  std::uint8_t extra_bits;
+};
+inline constexpr std::array<LengthCode, 29> kLengthCodes = {{
+    {3, 0},   {4, 0},   {5, 0},   {6, 0},   {7, 0},   {8, 0},
+    {9, 0},   {10, 0},  {11, 1},  {13, 1},  {15, 1},  {17, 1},
+    {19, 2},  {23, 2},  {27, 2},  {31, 2},  {35, 3},  {43, 3},
+    {51, 3},  {59, 3},  {67, 4},  {83, 4},  {99, 4},  {115, 4},
+    {131, 5}, {163, 5}, {195, 5}, {227, 5}, {258, 0},
+}};
+
+/// Distance codes 0..29: base distance and number of extra bits.
+struct DistCode {
+  std::uint16_t base;
+  std::uint8_t extra_bits;
+};
+inline constexpr std::array<DistCode, 30> kDistCodes = {{
+    {1, 0},     {2, 0},     {3, 0},     {4, 0},     {5, 1},
+    {7, 1},     {9, 2},     {13, 2},    {17, 3},    {25, 3},
+    {33, 4},    {49, 4},    {65, 5},    {97, 5},    {129, 6},
+    {193, 6},   {257, 7},   {385, 7},   {513, 8},   {769, 8},
+    {1025, 9},  {1537, 9},  {2049, 10}, {3073, 10}, {4097, 11},
+    {6145, 11}, {8193, 12}, {12289, 12}, {16385, 13}, {24577, 13},
+}};
+
+/// Order in which code-length-code lengths are transmitted (RFC 1951 §3.2.7).
+inline constexpr std::array<std::uint8_t, 19> kCodeLengthOrder = {
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15};
+
+/// Maps a match length (3..258) to its length code index (0..28 => symbol
+/// 257+index).
+unsigned length_to_code(unsigned length);
+
+/// Maps a distance (1..32768) to its distance code (0..29).
+unsigned distance_to_code(unsigned distance);
+
+/// Fixed Huffman literal/length code lengths (RFC 1951 §3.2.6).
+std::array<std::uint8_t, kNumLitLenSymbols> fixed_litlen_lengths();
+
+/// Fixed Huffman distance code lengths (all 5 bits, 32 symbols).
+std::array<std::uint8_t, 32> fixed_dist_lengths();
+
+}  // namespace hsim::deflate

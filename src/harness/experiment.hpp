@@ -1,0 +1,89 @@
+// Experiment runner: wires a Robot and an HttpServer across a simulated
+// channel, runs the paper's two scenarios, and reports the four quantities
+// of the paper's tables (Pa, Bytes, Sec, %ov) plus richer diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "client/robot.hpp"
+#include "content/microscape.hpp"
+#include "harness/network.hpp"
+#include "net/trace.hpp"
+#include "server/config.hpp"
+#include "server/server.hpp"
+
+namespace hsim::harness {
+
+enum class Scenario { kFirstVisit, kRevalidation };
+std::string_view to_string(Scenario s);
+
+struct ExperimentSpec {
+  NetworkProfile network = lan_profile();
+  server::ServerConfig server = server::jigsaw_config();
+  client::ClientConfig client;
+  Scenario scenario = Scenario::kFirstVisit;
+  std::uint64_t seed = 1;
+  /// Optional: factory producing a payload sizer per link direction (the
+  /// modem-compression model; each direction gets its own dictionary, as
+  /// the two modems of a dialup pair do).
+  std::function<net::Link::PayloadSizer()> make_link_sizer;
+};
+
+struct RunResult {
+  net::TraceSummary trace;
+  client::RobotStats robot;
+  server::ServerStats server;
+  std::uint64_t connections_used = 0;       // client sockets opened
+  std::size_t max_parallel_connections = 0;
+  double mean_packet_train = 0.0;
+  std::vector<std::size_t> packet_trains;
+
+  double packets() const { return static_cast<double>(trace.packets); }
+  double bytes() const { return static_cast<double>(trace.wire_bytes); }
+  double seconds() const { return robot.elapsed_seconds(); }
+  double overhead_percent() const { return trace.overhead_percent; }
+};
+
+/// Runs one measured scenario. For kRevalidation an unmeasured first visit
+/// warms the cache before counters are reset — exactly the paper's protocol.
+RunResult run_once(const ExperimentSpec& spec,
+                   const content::MicroscapeSite& site);
+
+/// Mean over `runs` seeded repetitions (the paper used 5).
+struct AveragedResult {
+  double packets = 0;
+  double bytes = 0;
+  double seconds = 0;
+  double overhead_percent = 0;
+  double packets_c2s = 0;
+  double packets_s2c = 0;
+  double connections = 0;
+  double mean_packet_train = 0;
+  bool all_complete = true;
+};
+
+AveragedResult run_averaged(const ExperimentSpec& spec,
+                            const content::MicroscapeSite& site,
+                            unsigned runs = 5);
+
+/// The Microscape site is expensive to synthesize; benches and tests share
+/// one instance.
+const content::MicroscapeSite& shared_site();
+
+/// Client configuration presets matching the paper's four protocol rows.
+client::ClientConfig robot_config(client::ProtocolMode mode);
+
+/// Browser emulations for Tables 10/11.
+/// Navigator 4.0b5: HTTP/1.0 + Keep-Alive over 4 connections, date-based
+/// revalidation.
+client::ClientConfig netscape_client_config();
+/// MSIE 4.0b1: HTTP/1.1 persistent (no pipelining) over 4 connections,
+/// verbose headers. `broken_revalidation` reproduces the Table 10 behaviour
+/// against Jigsaw, where the beta refetched the page and HEAD-validated
+/// images instead of sending conditional GETs.
+client::ClientConfig msie_client_config(bool broken_revalidation);
+
+}  // namespace hsim::harness

@@ -1,0 +1,48 @@
+// The paper's three network environments (Table 1).
+#pragma once
+
+#include <string>
+
+#include "net/channel.hpp"
+#include "sim/time.hpp"
+
+namespace hsim::harness {
+
+struct NetworkProfile {
+  std::string name;
+  std::int64_t bandwidth_bps = 0;
+  sim::Time rtt = 0;
+  std::size_t queue_limit = 64;
+  double delay_jitter = 0.02;
+  /// Receive window the client host uses on this network (the paper's PPP
+  /// client was Windows NT 4.0, whose default window of 8760 bytes keeps the
+  /// modem queue from overflowing; the UNIX workstations used ~16 KB).
+  std::uint32_t client_recv_buffer = 16384;
+
+  net::ChannelConfig channel_config() const {
+    return net::ChannelConfig::symmetric(bandwidth_bps, rtt, queue_limit,
+                                         delay_jitter);
+  }
+};
+
+/// High bandwidth, low latency: 10 Mbit Ethernet, sub-millisecond RTT.
+inline NetworkProfile lan_profile() {
+  return {"LAN (10Mbit Ethernet)", 10'000'000, sim::microseconds(500), 64,
+          0.02};
+}
+
+/// High bandwidth, high latency: transcontinental Internet, ~90 ms RTT.
+/// The nominal path was T1-class but shared; the paper's transfer rates
+/// imply ~1 Mbit/s effective, which is what the profile models.
+inline NetworkProfile wan_profile() {
+  return {"WAN (MIT/LCS - LBL, ~90ms)", 1'000'000, sim::milliseconds(90), 64,
+          0.03};
+}
+
+/// Low bandwidth, high latency: 28.8 kbit/s dialup PPP, ~150 ms RTT.
+inline NetworkProfile ppp_profile() {
+  return {"PPP (28.8k modem)", 28'800, sim::milliseconds(150), 24, 0.02,
+          /*client_recv_buffer=*/8760};
+}
+
+}  // namespace hsim::harness

@@ -1,0 +1,63 @@
+#include "harness/table.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace hsim::harness {
+
+namespace {
+void append_line(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+  out += '\n';
+}
+}  // namespace
+
+std::string render_table(const std::string& title,
+                         const std::vector<TableRow>& rows,
+                         bool with_paper_reference) {
+  std::string out;
+  append_line(out, "=== %s ===", title.c_str());
+  append_line(out, "%-38s | %31s | %31s", "", "First Time Retrieval",
+              "Cache Validation");
+  append_line(out, "%-38s | %7s %9s %6s %5s | %7s %9s %6s %5s", "Mode", "Pa",
+              "Bytes", "Sec", "%ov", "Pa", "Bytes", "Sec", "%ov");
+  append_line(out,
+              "---------------------------------------+---------------------"
+              "-----------+--------------------------------");
+  for (const TableRow& row : rows) {
+    append_line(out,
+                "%-38s | %7.1f %9.0f %6.2f %5.1f | %7.1f %9.0f %6.2f %5.1f",
+                row.label.c_str(), row.first_visit.packets,
+                row.first_visit.bytes, row.first_visit.seconds,
+                row.first_visit.overhead_percent, row.revalidation.packets,
+                row.revalidation.bytes, row.revalidation.seconds,
+                row.revalidation.overhead_percent);
+    if (with_paper_reference &&
+        (row.paper_first_packets > 0 || row.paper_reval_packets > 0)) {
+      append_line(out, "%-38s | %7.1f %9s %6.2f %5s | %7.1f %9s %6.2f %5s",
+                  "  (paper)", row.paper_first_packets, "-",
+                  row.paper_first_seconds, "-", row.paper_reval_packets, "-",
+                  row.paper_reval_seconds, "-");
+    }
+  }
+  return out;
+}
+
+std::string render_summary_line(const std::string& label,
+                                const AveragedResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%-38s  Pa=%7.1f  Bytes=%9.0f  Sec=%6.2f  %%ov=%4.1f  "
+                "(c->s %.1f, s->c %.1f, conns %.1f, train %.1f)",
+                label.c_str(), r.packets, r.bytes, r.seconds,
+                r.overhead_percent, r.packets_c2s, r.packets_s2c,
+                r.connections, r.mean_packet_train);
+  return buf;
+}
+
+}  // namespace hsim::harness

@@ -1,0 +1,33 @@
+// Paper-style table rendering: one row per protocol configuration, with the
+// First Time Retrieval and Cache Validation column groups of Tables 4-9.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace hsim::harness {
+
+struct TableRow {
+  std::string label;
+  AveragedResult first_visit;
+  AveragedResult revalidation;
+  /// The paper's published values for the same cell, for side-by-side
+  /// comparison in the bench output (0 = not published, e.g. Table 8/9 omit
+  /// HTTP/1.0 rows).
+  double paper_first_packets = 0, paper_first_seconds = 0;
+  double paper_reval_packets = 0, paper_reval_seconds = 0;
+};
+
+/// Renders the paper's layout:
+///   label | Pa Bytes Sec %ov | Pa Bytes Sec %ov
+std::string render_table(const std::string& title,
+                         const std::vector<TableRow>& rows,
+                         bool with_paper_reference = true);
+
+/// Renders a single scenario block (Tables 10/11 use both, Table 3 one).
+std::string render_summary_line(const std::string& label,
+                                const AveragedResult& r);
+
+}  // namespace hsim::harness

@@ -1,0 +1,40 @@
+#include "http/chunked.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace hsim::http {
+
+std::vector<std::uint8_t> encode_chunk(std::span<const std::uint8_t> data) {
+  char header[32];
+  const int n = std::snprintf(header, sizeof header, "%zx\r\n", data.size());
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(n) + data.size() + 2);
+  out.insert(out.end(), header, header + n);
+  out.insert(out.end(), data.begin(), data.end());
+  out.push_back('\r');
+  out.push_back('\n');
+  return out;
+}
+
+std::vector<std::uint8_t> final_chunk() {
+  static const char terminator[] = "0\r\n\r\n";
+  return std::vector<std::uint8_t>(terminator, terminator + 5);
+}
+
+std::vector<std::uint8_t> encode_chunked_body(
+    std::span<const std::uint8_t> data, std::size_t chunk_size) {
+  std::vector<std::uint8_t> out;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t n = std::min(chunk_size, data.size() - pos);
+    const auto chunk = encode_chunk(data.subspan(pos, n));
+    out.insert(out.end(), chunk.begin(), chunk.end());
+    pos += n;
+  }
+  const auto fin = final_chunk();
+  out.insert(out.end(), fin.begin(), fin.end());
+  return out;
+}
+
+}  // namespace hsim::http

@@ -1,0 +1,21 @@
+// Chunked transfer-coding encoder (RFC 2068 §3.6). Decoding lives in the
+// ResponseParser, which must interleave it with message framing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hsim::http {
+
+/// Encodes one chunk ("size CRLF data CRLF").
+std::vector<std::uint8_t> encode_chunk(std::span<const std::uint8_t> data);
+
+/// The terminating zero chunk + final CRLF.
+std::vector<std::uint8_t> final_chunk();
+
+/// Convenience: a whole body as a single chunk plus terminator.
+std::vector<std::uint8_t> encode_chunked_body(
+    std::span<const std::uint8_t> data, std::size_t chunk_size = 4096);
+
+}  // namespace hsim::http

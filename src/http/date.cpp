@@ -1,0 +1,94 @@
+#include "http/date.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+namespace hsim::http {
+
+namespace {
+
+constexpr std::array<const char*, 7> kDayNames = {
+    "Thu", "Fri", "Sat", "Sun", "Mon", "Tue", "Wed"};  // day 0 = 1 Jan 1970
+constexpr std::array<const char*, 12> kMonthNames = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+struct CivilDate {
+  int year;
+  unsigned month;  // 1..12
+  unsigned day;    // 1..31
+};
+
+// Howard Hinnant's civil-from-days algorithm (public domain).
+CivilDate civil_from_days(std::int64_t z) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp < 10 ? mp + 3 : mp - 9;
+  return {static_cast<int>(y + (m <= 2)), m, d};
+}
+
+std::int64_t days_from_civil(int y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m > 2 ? m - 3 : m + 9) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+}  // namespace
+
+std::string format_http_date(UnixSeconds t) {
+  std::int64_t days = t / 86400;
+  std::int64_t secs = t % 86400;
+  if (secs < 0) {
+    secs += 86400;
+    --days;
+  }
+  const CivilDate date = civil_from_days(days);
+  const int weekday = static_cast<int>(((days % 7) + 7) % 7);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%s, %02u %s %d %02d:%02d:%02d GMT",
+                kDayNames[weekday], date.day, kMonthNames[date.month - 1],
+                date.year, static_cast<int>(secs / 3600),
+                static_cast<int>((secs / 60) % 60),
+                static_cast<int>(secs % 60));
+  return buf;
+}
+
+std::optional<UnixSeconds> parse_http_date(std::string_view s) {
+  // "Www, DD Mmm YYYY HH:MM:SS GMT"
+  char day_name[4] = {};
+  char month_name[4] = {};
+  char zone[4] = {};
+  unsigned day = 0, year = 0, hh = 0, mm = 0, ss = 0;
+  const std::string str(s);
+  if (std::sscanf(str.c_str(), "%3s, %2u %3s %4u %2u:%2u:%2u %3s", day_name,
+                  &day, month_name, &year, &hh, &mm, &ss, zone) != 8) {
+    return std::nullopt;
+  }
+  if (std::strcmp(zone, "GMT") != 0) return std::nullopt;
+  int month = -1;
+  for (std::size_t i = 0; i < kMonthNames.size(); ++i) {
+    if (std::strcmp(month_name, kMonthNames[i]) == 0) {
+      month = static_cast<int>(i) + 1;
+      break;
+    }
+  }
+  if (month < 0 || day < 1 || day > 31 || hh > 23 || mm > 59 || ss > 60) {
+    return std::nullopt;
+  }
+  const std::int64_t days =
+      days_from_civil(static_cast<int>(year), static_cast<unsigned>(month),
+                      day);
+  return days * 86400 + hh * 3600 + mm * 60 + ss;
+}
+
+}  // namespace hsim::http

@@ -1,0 +1,35 @@
+// RFC 1123 HTTP date formatting and parsing.
+//
+// The simulation's wall clock starts at an arbitrary epoch (we use the
+// paper's publication date, 24 June 1997 00:00:00 GMT) plus the simulated
+// nanoseconds; Last-Modified / If-Modified-Since comparisons only need a
+// consistent mapping.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace hsim::http {
+
+/// Seconds since the Unix epoch.
+using UnixSeconds = std::int64_t;
+
+/// 24 June 1997 00:00:00 GMT, the paper's publication date.
+inline constexpr UnixSeconds kSimulationEpoch = 867110400;
+
+/// Formats like "Tue, 24 Jun 1997 00:00:00 GMT".
+std::string format_http_date(UnixSeconds t);
+
+/// Parses the RFC 1123 format produced by format_http_date.
+std::optional<UnixSeconds> parse_http_date(std::string_view s);
+
+/// Maps simulated time to an absolute date.
+inline UnixSeconds sim_to_unix(sim::Time t) {
+  return kSimulationEpoch + t / 1'000'000'000;
+}
+
+}  // namespace hsim::http

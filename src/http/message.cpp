@@ -1,0 +1,166 @@
+#include "http/message.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hsim::http {
+
+std::string_view to_string(Version v) {
+  return v == Version::kHttp10 ? "HTTP/1.0" : "HTTP/1.1";
+}
+
+std::string_view to_string(Method m) {
+  switch (m) {
+    case Method::kGet: return "GET";
+    case Method::kHead: return "HEAD";
+    case Method::kPost: return "POST";
+  }
+  return "GET";
+}
+
+std::optional<Method> parse_method(std::string_view s) {
+  if (s == "GET") return Method::kGet;
+  if (s == "HEAD") return Method::kHead;
+  if (s == "POST") return Method::kPost;
+  return std::nullopt;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Headers::add(std::string name, std::string value) {
+  items_.emplace_back(std::move(name), std::move(value));
+}
+
+void Headers::set(std::string name, std::string value) {
+  for (auto& [n, v] : items_) {
+    if (iequals(n, name)) {
+      v = std::move(value);
+      return;
+    }
+  }
+  add(std::move(name), std::move(value));
+}
+
+void Headers::remove(std::string_view name) {
+  std::erase_if(items_,
+                [&](const auto& item) { return iequals(item.first, name); });
+}
+
+std::optional<std::string_view> Headers::get(std::string_view name) const {
+  for (const auto& [n, v] : items_) {
+    if (iequals(n, name)) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+bool Headers::has_token(std::string_view name, std::string_view token) const {
+  const auto value = get(name);
+  if (!value) return false;
+  std::string_view rest = *value;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view item =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    // Trim whitespace.
+    while (!item.empty() && (item.front() == ' ' || item.front() == '\t')) {
+      item.remove_prefix(1);
+    }
+    while (!item.empty() && (item.back() == ' ' || item.back() == '\t')) {
+      item.remove_suffix(1);
+    }
+    if (iequals(item, token)) return true;
+    if (comma == std::string_view::npos) break;
+    rest.remove_prefix(comma + 1);
+  }
+  return false;
+}
+
+std::size_t Headers::wire_size() const {
+  std::size_t n = 0;
+  for (const auto& [name, value] : items_) {
+    n += name.size() + 2 + value.size() + 2;  // "Name: value\r\n"
+  }
+  return n;
+}
+
+namespace {
+void append(std::vector<std::uint8_t>& out, std::string_view s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void append_headers(std::vector<std::uint8_t>& out, const Headers& headers) {
+  for (const auto& [name, value] : headers.items()) {
+    append(out, name);
+    append(out, ": ");
+    append(out, value);
+    append(out, "\r\n");
+  }
+  append(out, "\r\n");
+}
+}  // namespace
+
+std::vector<std::uint8_t> Request::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(wire_size());
+  append(out, to_string(method));
+  append(out, " ");
+  append(out, target);
+  append(out, " ");
+  append(out, to_string(version));
+  append(out, "\r\n");
+  append_headers(out, headers);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::size_t Request::wire_size() const {
+  return to_string(method).size() + 1 + target.size() + 1 + 8 + 2 +
+         headers.wire_size() + 2 + body.size();
+}
+
+std::vector<std::uint8_t> Response::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(wire_size());
+  append(out, to_string(version));
+  append(out, " ");
+  append(out, std::to_string(status));
+  append(out, " ");
+  append(out, reason);
+  append(out, "\r\n");
+  append_headers(out, headers);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::size_t Response::wire_size() const {
+  return 8 + 1 + 3 + 1 + reason.size() + 2 + headers.wire_size() + 2 +
+         body.size();
+}
+
+std::string_view default_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 206: return "Partial Content";
+    case 304: return "Not Modified";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 412: return "Precondition Failed";
+    case 416: return "Requested Range Not Satisfiable";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace hsim::http

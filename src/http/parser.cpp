@@ -1,0 +1,321 @@
+#include "http/parser.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace hsim::http {
+
+namespace {
+
+std::optional<Version> parse_version(std::string_view s) {
+  if (s == "HTTP/1.0") return Version::kHttp10;
+  if (s == "HTTP/1.1") return Version::kHttp11;
+  return std::nullopt;
+}
+
+/// Finds "\r\n\r\n"; returns offset just past it, or npos.
+std::size_t find_header_end(const std::string& buffer) {
+  const std::size_t pos = buffer.find("\r\n\r\n");
+  return pos == std::string::npos ? std::string::npos : pos + 4;
+}
+
+bool parse_decimal(std::string_view s, std::size_t& out) {
+  if (s.empty()) return false;
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return false;
+  out = value;
+  return true;
+}
+
+bool parse_hex(std::string_view s, std::size_t& out) {
+  if (s.empty()) return false;
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), value, 16);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return false;
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+bool parse_header_line(std::string_view line, std::string& name,
+                       std::string& value) {
+  const std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  name.assign(line.substr(0, colon));
+  std::string_view v = line.substr(colon + 1);
+  while (!v.empty() && (v.front() == ' ' || v.front() == '\t')) {
+    v.remove_prefix(1);
+  }
+  while (!v.empty() && (v.back() == ' ' || v.back() == '\t')) {
+    v.remove_suffix(1);
+  }
+  value.assign(v);
+  return true;
+}
+
+namespace {
+/// Parses header lines from `block` (which excludes the final blank line).
+bool parse_header_block(std::string_view block, Headers& headers) {
+  std::size_t start = 0;
+  while (start < block.size()) {
+    std::size_t end = block.find("\r\n", start);
+    if (end == std::string_view::npos) end = block.size();
+    const std::string_view line = block.substr(start, end - start);
+    if (!line.empty()) {
+      std::string name, value;
+      if (!parse_header_line(line, name, value)) return false;
+      headers.add(std::move(name), std::move(value));
+    }
+    start = end + 2;
+  }
+  return true;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RequestParser
+// ---------------------------------------------------------------------------
+
+void RequestParser::feed(std::span<const std::uint8_t> data) {
+  buffer_.append(reinterpret_cast<const char*>(data.data()), data.size());
+}
+
+std::optional<Request> RequestParser::next() {
+  if (error_ != ParseError::kNone) return std::nullopt;
+  Request out;
+  if (try_parse(out)) return out;
+  return std::nullopt;
+}
+
+bool RequestParser::try_parse(Request& out) {
+  const std::size_t header_end = find_header_end(buffer_);
+  if (header_end == std::string::npos) return false;
+
+  const std::string_view head(buffer_.data(), header_end - 4);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view start_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  // "METHOD SP target SP HTTP/x.y"
+  const std::size_t sp1 = start_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? std::string_view::npos
+                                    : start_line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) {
+    error_ = ParseError::kBadStartLine;
+    return false;
+  }
+  const auto method = parse_method(start_line.substr(0, sp1));
+  if (!method) {
+    error_ = ParseError::kBadStartLine;
+    return false;
+  }
+  const auto version = parse_version(start_line.substr(sp2 + 1));
+  if (!version) {
+    error_ = ParseError::kBadVersion;
+    return false;
+  }
+  Request req;
+  req.method = *method;
+  req.version = *version;
+  req.target = std::string(start_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  if (line_end != std::string_view::npos &&
+      !parse_header_block(head.substr(line_end + 2), req.headers)) {
+    error_ = ParseError::kBadHeader;
+    return false;
+  }
+
+  // Request bodies: Content-Length only (requests in this study are
+  // GET/HEAD; POST support exists for completeness).
+  std::size_t body_len = 0;
+  if (const auto cl = req.headers.get("Content-Length")) {
+    if (!parse_decimal(*cl, body_len)) {
+      error_ = ParseError::kBadContentLength;
+      return false;
+    }
+  }
+  if (buffer_.size() < header_end + body_len) return false;  // need body
+  req.body.assign(buffer_.begin() + header_end,
+                  buffer_.begin() + header_end + body_len);
+  buffer_.erase(0, header_end + body_len);
+  out = std::move(req);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ResponseParser
+// ---------------------------------------------------------------------------
+
+void ResponseParser::push_request_context(Method method) {
+  request_methods_.push_back(method);
+}
+
+void ResponseParser::feed(std::span<const std::uint8_t> data) {
+  buffer_.append(reinterpret_cast<const char*>(data.data()), data.size());
+}
+
+void ResponseParser::on_connection_closed() { connection_closed_ = true; }
+
+std::optional<Response> ResponseParser::next() {
+  if (error_ != ParseError::kNone) return std::nullopt;
+  Response out;
+  if (try_parse(out)) return out;
+  return std::nullopt;
+}
+
+bool ResponseParser::try_parse(Response& out) {
+  if (!in_body_) {
+    const std::size_t header_end = find_header_end(buffer_);
+    if (header_end == std::string::npos) return false;
+
+    const std::string_view head(buffer_.data(), header_end - 4);
+    const std::size_t line_end = head.find("\r\n");
+    const std::string_view start_line =
+        line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+    // "HTTP/x.y SP status SP reason"
+    const std::size_t sp1 = start_line.find(' ');
+    if (sp1 == std::string_view::npos) {
+      error_ = ParseError::kBadStartLine;
+      return false;
+    }
+    const auto version = parse_version(start_line.substr(0, sp1));
+    if (!version) {
+      error_ = ParseError::kBadVersion;
+      return false;
+    }
+    const std::size_t sp2 = start_line.find(' ', sp1 + 1);
+    const std::string_view status_str =
+        start_line.substr(sp1 + 1, sp2 == std::string_view::npos
+                                       ? std::string_view::npos
+                                       : sp2 - sp1 - 1);
+    std::size_t status = 0;
+    if (!parse_decimal(status_str, status) || status < 100 || status > 599) {
+      error_ = ParseError::kBadStartLine;
+      return false;
+    }
+    pending_ = Response{};
+    pending_.version = *version;
+    pending_.status = static_cast<int>(status);
+    pending_.reason = sp2 == std::string_view::npos
+                          ? std::string()
+                          : std::string(start_line.substr(sp2 + 1));
+    if (line_end != std::string_view::npos &&
+        !parse_header_block(head.substr(line_end + 2), pending_.headers)) {
+      error_ = ParseError::kBadHeader;
+      return false;
+    }
+    buffer_.erase(0, header_end);
+
+    // Determine framing.
+    const Method req_method = request_methods_.empty()
+                                  ? Method::kGet
+                                  : request_methods_.front();
+    if (!request_methods_.empty()) request_methods_.pop_front();
+
+    if (req_method == Method::kHead || pending_.status_forbids_body()) {
+      body_mode_ = BodyMode::kNone;
+    } else if (pending_.headers.has_token("Transfer-Encoding", "chunked")) {
+      body_mode_ = BodyMode::kChunked;
+      chunk_state_ = ChunkState::kSize;
+      chunk_remaining_ = 0;
+    } else if (const auto cl = pending_.headers.get("Content-Length")) {
+      if (!parse_decimal(*cl, body_remaining_)) {
+        error_ = ParseError::kBadContentLength;
+        return false;
+      }
+      body_mode_ = BodyMode::kContentLength;
+    } else {
+      // HTTP/1.0 style: the body runs until the server closes.
+      body_mode_ = BodyMode::kUntilClose;
+    }
+    in_body_ = true;
+  }
+
+  // Body accumulation.
+  switch (body_mode_) {
+    case BodyMode::kNone:
+      break;
+    case BodyMode::kContentLength: {
+      const std::size_t take = std::min(body_remaining_, buffer_.size());
+      pending_.body.insert(pending_.body.end(), buffer_.begin(),
+                           buffer_.begin() + take);
+      buffer_.erase(0, take);
+      body_remaining_ -= take;
+      if (body_remaining_ > 0) return false;
+      break;
+    }
+    case BodyMode::kUntilClose: {
+      pending_.body.insert(pending_.body.end(), buffer_.begin(),
+                           buffer_.end());
+      buffer_.clear();
+      if (!connection_closed_) return false;
+      break;
+    }
+    case BodyMode::kChunked: {
+      for (;;) {
+        if (chunk_state_ == ChunkState::kSize) {
+          const std::size_t eol = buffer_.find("\r\n");
+          if (eol == std::string::npos) return false;
+          std::string_view size_str(buffer_.data(), eol);
+          // Ignore chunk extensions.
+          const std::size_t semi = size_str.find(';');
+          if (semi != std::string_view::npos) {
+            size_str = size_str.substr(0, semi);
+          }
+          if (!parse_hex(size_str, chunk_remaining_)) {
+            error_ = ParseError::kBadChunk;
+            return false;
+          }
+          buffer_.erase(0, eol + 2);
+          chunk_state_ = chunk_remaining_ == 0 ? ChunkState::kTrailer
+                                               : ChunkState::kData;
+        }
+        if (chunk_state_ == ChunkState::kData) {
+          const std::size_t take =
+              std::min(chunk_remaining_, buffer_.size());
+          pending_.body.insert(pending_.body.end(), buffer_.begin(),
+                               buffer_.begin() + take);
+          buffer_.erase(0, take);
+          chunk_remaining_ -= take;
+          if (chunk_remaining_ > 0) return false;
+          chunk_state_ = ChunkState::kDataCrlf;
+        }
+        if (chunk_state_ == ChunkState::kDataCrlf) {
+          if (buffer_.size() < 2) return false;
+          if (buffer_[0] != '\r' || buffer_[1] != '\n') {
+            error_ = ParseError::kBadChunk;
+            return false;
+          }
+          buffer_.erase(0, 2);
+          chunk_state_ = ChunkState::kSize;
+          continue;
+        }
+        if (chunk_state_ == ChunkState::kTrailer) {
+          // Trailers end with a blank line; we accept an immediate CRLF or
+          // skip trailer headers up to the blank line.
+          const std::size_t end = buffer_.find("\r\n");
+          if (end == std::string::npos) return false;
+          if (end == 0) {
+            buffer_.erase(0, 2);
+            break;  // chunked body complete
+          }
+          buffer_.erase(0, end + 2);  // drop one trailer line, loop again
+          continue;
+        }
+      }
+      break;
+    }
+  }
+
+  in_body_ = false;
+  out = std::move(pending_);
+  pending_ = Response{};
+  return true;
+}
+
+}  // namespace hsim::http

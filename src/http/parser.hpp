@@ -1,0 +1,106 @@
+// Incremental HTTP message parsers.
+//
+// Both parsers consume bytes as they arrive from a TCP stream and surface
+// complete messages. Pipelining means several messages can be in the buffer
+// at once; callers loop on next().
+//
+// Response framing depends on request context (a response to HEAD has
+// headers describing a body that is not sent), so the ResponseParser keeps a
+// queue of expected request methods that the client pushes as it issues
+// requests — exactly what a pipelined client needs to do.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "http/message.hpp"
+
+namespace hsim::http {
+
+enum class ParseError {
+  kNone,
+  kBadStartLine,
+  kBadHeader,
+  kBadVersion,
+  kBadContentLength,
+  kBadChunk,
+};
+
+class RequestParser {
+ public:
+  /// Appends raw bytes from the stream.
+  void feed(std::span<const std::uint8_t> data);
+
+  /// Returns the next complete request, if any.
+  std::optional<Request> next();
+
+  bool failed() const { return error_ != ParseError::kNone; }
+  ParseError error() const { return error_; }
+
+  /// Bytes buffered but not yet parsed into a message.
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  bool try_parse(Request& out);
+
+  std::string buffer_;
+  ParseError error_ = ParseError::kNone;
+};
+
+class ResponseParser {
+ public:
+  /// Registers that a request with `method` was sent; responses are matched
+  /// to this queue in FIFO order (HTTP/1.1 pipelining guarantees ordering).
+  void push_request_context(Method method);
+
+  void feed(std::span<const std::uint8_t> data);
+
+  /// Signals connection close (end of a read-until-close HTTP/1.0 body).
+  /// May complete a pending message.
+  void on_connection_closed();
+
+  std::optional<Response> next();
+
+  bool failed() const { return error_ != ParseError::kNone; }
+  ParseError error() const { return error_; }
+  std::size_t buffered() const { return buffer_.size(); }
+
+  /// True if the parser is mid-message (headers seen, body incomplete).
+  bool mid_message() const { return in_body_; }
+
+  /// The partially-received message (headers complete, body still growing),
+  /// or nullptr. Lets a pipelining client scan HTML for embedded references
+  /// while the document is still arriving.
+  const Response* partial() const { return in_body_ ? &pending_ : nullptr; }
+
+ private:
+  enum class BodyMode { kNone, kContentLength, kChunked, kUntilClose };
+
+  bool try_parse(Response& out);
+
+  std::string buffer_;
+  std::deque<Method> request_methods_;
+  ParseError error_ = ParseError::kNone;
+
+  // In-progress message state (headers parsed, awaiting body bytes).
+  bool in_body_ = false;
+  Response pending_;
+  BodyMode body_mode_ = BodyMode::kNone;
+  std::size_t body_remaining_ = 0;
+  bool connection_closed_ = false;
+
+  // Chunked decoding state.
+  enum class ChunkState { kSize, kData, kDataCrlf, kTrailer };
+  ChunkState chunk_state_ = ChunkState::kSize;
+  std::size_t chunk_remaining_ = 0;
+};
+
+/// Splits "Name: value" header lines; shared by both parsers.
+/// Returns false on malformed input.
+bool parse_header_line(std::string_view line, std::string& name,
+                       std::string& value);
+
+}  // namespace hsim::http

@@ -1,0 +1,64 @@
+// A duplex channel: two links joining two endpoints, plus a client-side trace.
+#pragma once
+
+#include <memory>
+
+#include "net/link.hpp"
+#include "net/trace.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+
+namespace hsim::net {
+
+/// Per-direction configuration; most channels are symmetric but dialup PPP
+/// commonly has asymmetric behaviour worth modelling.
+struct ChannelConfig {
+  LinkConfig a_to_b;
+  LinkConfig b_to_a;
+
+  /// Builds a symmetric channel whose one-way delay is rtt/2 per direction.
+  static ChannelConfig symmetric(std::int64_t bandwidth_bps, sim::Time rtt,
+                                 std::size_t queue_limit = 128,
+                                 double delay_jitter = 0.0) {
+    LinkConfig one;
+    one.bandwidth_bps = bandwidth_bps;
+    one.propagation_delay = rtt / 2;
+    one.queue_limit_packets = queue_limit;
+    one.delay_jitter = delay_jitter;
+    return ChannelConfig{one, one};
+  }
+};
+
+/// Joins endpoint A (by convention the client) to endpoint B (the server).
+/// Packets transmitted on either side are recorded in a shared PacketTrace,
+/// stamped at the moment they enter the wire on the client side of the path —
+/// mirroring a tcpdump running on the client machine.
+class Channel {
+ public:
+  Channel(sim::EventQueue& queue, const ChannelConfig& config, sim::Rng rng)
+      : a_to_b_(queue, config.a_to_b, rng.fork()),
+        b_to_a_(queue, config.b_to_a, rng.fork()) {
+    a_to_b_.set_tap([this, &queue](const Packet& p) {
+      if (trace_ != nullptr) trace_->record(queue.now(), p);
+    });
+    b_to_a_.set_tap([this, &queue](const Packet& p) {
+      if (trace_ != nullptr) trace_->record(queue.now(), p);
+    });
+  }
+
+  void attach_a(PacketSink* a) { b_to_a_.set_sink(a); }
+  void attach_b(PacketSink* b) { a_to_b_.set_sink(b); }
+
+  /// The link an endpoint must transmit on.
+  Link& uplink_from_a() { return a_to_b_; }
+  Link& uplink_from_b() { return b_to_a_; }
+
+  void set_trace(PacketTrace* trace) { trace_ = trace; }
+
+ private:
+  Link a_to_b_;
+  Link b_to_a_;
+  PacketTrace* trace_ = nullptr;
+};
+
+}  // namespace hsim::net

@@ -1,0 +1,79 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace hsim::net {
+
+Link::Link(sim::EventQueue& queue, LinkConfig config, sim::Rng rng)
+    : queue_(queue), config_(config), rng_(rng) {}
+
+sim::Time Link::serialisation_time(std::size_t wire_bytes) const {
+  if (config_.bandwidth_bps <= 0) return 0;
+  const double bits = static_cast<double>(wire_bytes) * 8.0;
+  return sim::from_seconds(bits / static_cast<double>(config_.bandwidth_bps));
+}
+
+void Link::transmit(Packet packet) {
+  if (config_.random_drop_probability > 0.0 &&
+      rng_.chance(config_.random_drop_probability)) {
+    ++stats_.packets_dropped_random;
+    return;
+  }
+  if (tx_queue_.size() >= config_.queue_limit_packets) {
+    ++stats_.packets_dropped_queue;
+    return;
+  }
+  tx_queue_.push_back(std::move(packet));
+  if (!transmitting_) start_next_transmission();
+}
+
+void Link::start_next_transmission() {
+  if (tx_queue_.empty()) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  Packet packet = std::move(tx_queue_.front());
+  tx_queue_.pop_front();
+
+  if (tap_) tap_(packet);
+  ++stats_.packets_sent;
+  stats_.bytes_sent += packet.wire_size();
+
+  // The modem model may shrink (or for incompressible data slightly grow) the
+  // number of payload bytes that actually cross the physical medium.
+  std::size_t physical_payload = packet.payload.size();
+  if (sizer_) physical_payload = sizer_(packet);
+  const std::size_t physical_wire = kIpTcpHeaderBytes + physical_payload;
+
+  const sim::Time tx_done = serialisation_time(physical_wire);
+  sim::Time prop = config_.propagation_delay;
+  if (config_.delay_jitter > 0.0) {
+    prop = static_cast<sim::Time>(static_cast<double>(prop) *
+                                  rng_.jitter(config_.delay_jitter));
+  }
+
+  sim::Time delivery = queue_.now() + tx_done + prop;
+  // Links never reorder: a jittered packet may not overtake its predecessor.
+  delivery = std::max(delivery, last_delivery_time_);
+  last_delivery_time_ = delivery;
+
+  queue_.schedule_in(tx_done, [this] { start_next_transmission(); });
+  queue_.schedule_at(delivery, [this, p = std::move(packet)]() mutable {
+    if (sink_ != nullptr) sink_->deliver(std::move(p));
+  });
+}
+
+std::string flags_to_string(std::uint8_t flags) {
+  std::string s;
+  if (flags & flag::kSyn) s += 'S';
+  if (flags & flag::kFin) s += 'F';
+  if (flags & flag::kRst) s += 'R';
+  if (flags & flag::kPsh) s += 'P';
+  if (flags & flag::kAck) s += 'A';
+  if (s.empty()) s.push_back('.');
+  return s;
+}
+
+}  // namespace hsim::net

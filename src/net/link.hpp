@@ -1,0 +1,97 @@
+// Point-to-point link with bandwidth, propagation delay and a drop-tail queue.
+//
+// A Link is unidirectional. It models a serialising transmitter: packets are
+// clocked out at the configured bandwidth one at a time, then experience the
+// propagation delay before being delivered to the sink. If more packets are
+// enqueued than the transmit queue can hold, excess packets are dropped
+// (drop-tail), which is what lets TCP's loss recovery paths be exercised.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "net/packet.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace hsim::net {
+
+/// Receives packets at the far end of a link.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void deliver(Packet packet) = 0;
+};
+
+struct LinkConfig {
+  /// Bits per second; 0 means infinite (no serialisation delay).
+  std::int64_t bandwidth_bps = 0;
+  /// One-way propagation delay.
+  sim::Time propagation_delay = 0;
+  /// Maximum packets queued awaiting transmission (drop-tail beyond this).
+  std::size_t queue_limit_packets = 128;
+  /// Uniform multiplicative jitter applied to the propagation delay of each
+  /// packet, e.g. 0.02 → each packet sees delay * U[0.98, 1.02]. Delivery
+  /// order is preserved regardless of jitter.
+  double delay_jitter = 0.0;
+  /// Probability of randomly dropping a packet (fault injection for tests).
+  double random_drop_probability = 0.0;
+};
+
+struct LinkStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t bytes_sent = 0;  // wire bytes (payload + 40 B header each)
+  std::uint64_t packets_dropped_queue = 0;
+  std::uint64_t packets_dropped_random = 0;
+
+  std::uint64_t packets_dropped() const {
+    return packets_dropped_queue + packets_dropped_random;
+  }
+};
+
+class Link {
+ public:
+  /// An optional transformation of payload byte counts, used by the modem
+  /// model: given the payload size about to be serialised, returns the number
+  /// of bytes that actually cross the physical medium (e.g. after V.42bis
+  /// dictionary compression). Header bytes are never compressed.
+  using PayloadSizer = std::function<std::size_t(const Packet&)>;
+
+  Link(sim::EventQueue& queue, LinkConfig config, sim::Rng rng);
+
+  void set_sink(PacketSink* sink) { sink_ = sink; }
+
+  /// Optional hook observing every packet accepted for transmission.
+  using TapFn = std::function<void(const Packet&)>;
+  void set_tap(TapFn tap) { tap_ = std::move(tap); }
+
+  void set_payload_sizer(PayloadSizer sizer) { sizer_ = std::move(sizer); }
+
+  /// Enqueues a packet for transmission. May drop (queue overflow / random).
+  void transmit(Packet packet);
+
+  const LinkStats& stats() const { return stats_; }
+  const LinkConfig& config() const { return config_; }
+
+ private:
+  void start_next_transmission();
+  sim::Time serialisation_time(std::size_t wire_bytes) const;
+
+  sim::EventQueue& queue_;
+  LinkConfig config_;
+  sim::Rng rng_;
+  PacketSink* sink_ = nullptr;
+  TapFn tap_;
+  PayloadSizer sizer_;
+  std::deque<Packet> tx_queue_;
+  bool transmitting_ = false;
+  /// Earliest time the next packet may be *delivered*, ensuring in-order
+  /// delivery even with delay jitter.
+  sim::Time last_delivery_time_ = 0;
+  LinkStats stats_;
+};
+
+}  // namespace hsim::net

@@ -1,0 +1,58 @@
+// Wire-level packet model.
+//
+// The simulator carries real payload bytes end to end (HTTP messages flow
+// through TCP segments), but models IP/TCP headers abstractly: each packet
+// costs a fixed 40 bytes of header on the wire (20 IP + 20 TCP, no options),
+// which is exactly the overhead definition the paper uses for its "%ov"
+// column.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hsim::net {
+
+/// Host address. The simulator only needs distinct endpoint identities.
+using IpAddr = std::uint32_t;
+
+/// TCP port number.
+using Port = std::uint16_t;
+
+/// Combined IP (20 B) + TCP (20 B) header cost per packet on the wire.
+inline constexpr std::size_t kIpTcpHeaderBytes = 40;
+
+/// TCP flag bits.
+namespace flag {
+inline constexpr std::uint8_t kFin = 0x01;
+inline constexpr std::uint8_t kSyn = 0x02;
+inline constexpr std::uint8_t kRst = 0x04;
+inline constexpr std::uint8_t kPsh = 0x08;
+inline constexpr std::uint8_t kAck = 0x10;
+}  // namespace flag
+
+struct TcpHeader {
+  Port src_port = 0;
+  Port dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint32_t window = 0;  // receive window advertisement, in bytes
+
+  bool has(std::uint8_t f) const { return (flags & f) != 0; }
+};
+
+struct Packet {
+  IpAddr src = 0;
+  IpAddr dst = 0;
+  TcpHeader tcp;
+  std::vector<std::uint8_t> payload;
+
+  /// Total bytes this packet occupies on the wire.
+  std::size_t wire_size() const { return kIpTcpHeaderBytes + payload.size(); }
+};
+
+/// Renders flags like "S", "SA", "FA", "R" for traces and test diagnostics.
+std::string flags_to_string(std::uint8_t flags);
+
+}  // namespace hsim::net

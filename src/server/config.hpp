@@ -1,0 +1,79 @@
+// HTTP server behavioural profiles.
+//
+// Jigsaw 1.06 (interpreted Java) and Apache 1.2b10 (C) differ mainly in
+// per-request CPU cost and in output buffering maturity; Apache 1.2b2 adds
+// the "at most five requests per connection" behaviour whose interaction
+// with pipelining the paper diagnoses.
+#pragma once
+
+#include <string>
+
+#include "sim/time.hpp"
+#include "tcp/options.hpp"
+
+namespace hsim::server {
+
+enum class CloseStyle {
+  kGraceful,  // close each half independently (paper's recommendation)
+  kNaive,     // close both directions at once (draws RSTs under pipelining)
+};
+
+struct ServerConfig {
+  std::string server_name = "Jigsaw/1.06";
+
+  /// CPU time consumed per request before the response is generated.
+  sim::Time per_request_cpu = sim::milliseconds(4);
+  /// CPU cost of accepting and tearing down a TCP connection (fork/accept/
+  /// close path). This is a large part of why HTTP/1.0's one-connection-per-
+  /// object model loses on elapsed time even on a LAN.
+  sim::Time per_connection_cpu = sim::milliseconds(3);
+  /// Multiplicative jitter on the CPU time (models load / GC noise).
+  double cpu_jitter = 0.15;
+
+  /// Response output buffer: flushed when full, or when the connection has
+  /// no further pipelined requests pending ("before it goes idle").
+  std::size_t output_buffer = 8192;
+
+  /// Close the connection after serving this many requests (0 = unlimited).
+  /// Apache 1.2b2 shipped with 5, which truncates pipelined bursts.
+  unsigned max_requests_per_connection = 0;
+
+  /// How the connection is closed (see the paper's Connection Management
+  /// section).
+  CloseStyle close_style = CloseStyle::kGraceful;
+
+  /// Disable Nagle on accepted connections (recommended for buffered
+  /// HTTP/1.1 implementations).
+  bool nodelay = true;
+
+  /// Whether HTTP/1.1 persistent connections are offered. (HTTP/1.0
+  /// requests are still honoured either way.)
+  bool http11 = true;
+
+  /// Honour HTTP/1.0 "Connection: Keep-Alive".
+  bool keep_alive = true;
+
+  /// Serve precompressed variants when the client accepts deflate.
+  bool support_deflate = true;
+
+  /// Close connections idle longer than this (0 = never).
+  sim::Time idle_timeout = sim::seconds(30);
+
+  /// Extra response headers (header verbosity differs across servers; this
+  /// affects the byte counts in the tables).
+  bool verbose_headers = false;
+
+  tcp::TcpOptions tcp;
+};
+
+/// Jigsaw 1.06: interpreted Java, slower per request.
+ServerConfig jigsaw_config();
+
+/// Apache 1.2b10: fast C server, tuned output buffering.
+ServerConfig apache_config();
+
+/// Apache 1.2b2: the beta the paper first tested — closes after 5 requests
+/// and buffers output less effectively.
+ServerConfig apache_beta2_config();
+
+}  // namespace hsim::server

@@ -1,0 +1,382 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "http/date.hpp"
+
+namespace hsim::server {
+
+namespace {
+
+ServerConfig base_config() { return ServerConfig{}; }
+
+/// Parses "bytes=a-b" (single range). Returns false if absent/malformed.
+bool parse_byte_range(std::string_view value, std::size_t entity_size,
+                      std::size_t& first, std::size_t& last) {
+  if (!value.starts_with("bytes=")) return false;
+  value.remove_prefix(6);
+  const std::size_t dash = value.find('-');
+  if (dash == std::string_view::npos) return false;
+  const std::string_view a = value.substr(0, dash);
+  const std::string_view b = value.substr(dash + 1);
+  if (a.empty()) {
+    // suffix range: last N bytes
+    std::size_t n = 0;
+    if (std::from_chars(b.data(), b.data() + b.size(), n).ec != std::errc()) {
+      return false;
+    }
+    if (n == 0 || entity_size == 0) return false;
+    first = n >= entity_size ? 0 : entity_size - n;
+    last = entity_size - 1;
+    return true;
+  }
+  if (std::from_chars(a.data(), a.data() + a.size(), first).ec !=
+      std::errc()) {
+    return false;
+  }
+  if (b.empty()) {
+    last = entity_size == 0 ? 0 : entity_size - 1;
+  } else if (std::from_chars(b.data(), b.data() + b.size(), last).ec !=
+             std::errc()) {
+    return false;
+  }
+  if (first > last || first >= entity_size) return false;
+  last = std::min(last, entity_size - 1);
+  return true;
+}
+
+}  // namespace
+
+ServerConfig jigsaw_config() {
+  ServerConfig c = base_config();
+  c.server_name = "Jigsaw/1.06";
+  c.per_request_cpu = sim::milliseconds(6);
+  c.per_connection_cpu = sim::milliseconds(5);  // interpreted Java accept path
+  c.output_buffer = 8192;
+  c.verbose_headers = false;
+  return c;
+}
+
+ServerConfig apache_config() {
+  ServerConfig c = base_config();
+  c.server_name = "Apache/1.2b10";
+  c.per_request_cpu = sim::microseconds(1800);
+  c.per_connection_cpu = sim::microseconds(2500);
+  c.output_buffer = 8192;  // b10 adopted the tuned buffering
+  c.verbose_headers = false;
+  return c;
+}
+
+ServerConfig apache_beta2_config() {
+  ServerConfig c = apache_config();
+  c.server_name = "Apache/1.2b2";
+  c.max_requests_per_connection = 5;
+  c.close_style = CloseStyle::kNaive;
+  c.output_buffer = 512;  // immature buffering in the first beta
+  return c;
+}
+
+HttpServer::HttpServer(tcp::Host& host, StaticSite site, ServerConfig config,
+                       sim::Rng rng)
+    : host_(host),
+      site_(std::move(site)),
+      config_(std::move(config)),
+      rng_(rng) {}
+
+void HttpServer::start(net::Port port) {
+  port_ = port;
+  tcp::TcpOptions opts = config_.tcp;
+  opts.nodelay = config_.nodelay;
+  host_.listen(port, [this](tcp::ConnectionPtr c) { on_accept(std::move(c)); },
+               opts);
+}
+
+void HttpServer::stop() { host_.stop_listening(port_); }
+
+void HttpServer::on_accept(tcp::ConnectionPtr conn) {
+  ++stats_.connections_accepted;
+  // Connection setup consumes CPU on the (single) server processor.
+  cpu_free_at_ = std::max(cpu_free_at_, host_.event_queue().now()) +
+                 config_.per_connection_cpu;
+  auto state = std::make_shared<ConnState>();
+  state->conn = conn;
+  state->idle_timer = std::make_unique<sim::Timer>(host_.event_queue());
+  connections_[conn.get()] = state;
+
+  std::weak_ptr<ConnState> weak = state;
+  conn->set_on_data([this, weak] {
+    if (auto s = weak.lock()) on_data(s);
+  });
+  conn->set_on_send_space([this, weak] {
+    if (auto s = weak.lock()) pump_unsent(s);
+  });
+  conn->set_on_peer_fin([this, weak] {
+    // The client finished sending; serve whatever is queued, then close our
+    // half once the pipeline drains (handled in process_next).
+    if (auto s = weak.lock()) {
+      if (!s->processing && s->pending.empty()) begin_close(s);
+    }
+  });
+  auto cleanup = [this, weak] {
+    if (auto s = weak.lock()) {
+      s->idle_timer->cancel();
+      connections_.erase(s->conn.get());
+    }
+  };
+  conn->set_on_closed(cleanup);
+  conn->set_on_reset(cleanup);
+  arm_idle_timer(state);
+}
+
+void HttpServer::arm_idle_timer(const ConnStatePtr& state) {
+  if (config_.idle_timeout <= 0) return;
+  std::weak_ptr<ConnState> weak = state;
+  state->idle_timer->arm(config_.idle_timeout, [this, weak] {
+    if (auto s = weak.lock()) begin_close(s);
+  });
+}
+
+void HttpServer::on_data(const ConnStatePtr& state) {
+  arm_idle_timer(state);
+  const std::vector<std::uint8_t> bytes = state->conn->read_all();
+  state->parser.feed(bytes);
+  while (auto request = state->parser.next()) {
+    state->pending.push_back(std::move(*request));
+  }
+  // Parse errors surface while draining complete messages.
+  if (state->parser.failed() && !state->closing) {
+    http::Response bad;
+    bad.status = 400;
+    bad.reason = std::string(http::default_reason(400));
+    bad.headers.add("Content-Length", "0");
+    enqueue_response(state, bad);
+    state->closing = true;
+    flush_output(state, /*idle_flush=*/true);
+    return;
+  }
+  if (!state->processing) process_next(state);
+}
+
+void HttpServer::process_next(const ConnStatePtr& state) {
+  if (state->closing) return;
+  if (state->pending.empty()) {
+    // "the server maintains a response buffer that it flushes ... when there
+    // is no more requests coming in on that connection"
+    flush_output(state, /*idle_flush=*/true);
+    if (state->conn->peer_closed()) begin_close(state);
+    return;
+  }
+  state->processing = true;
+  const sim::Time cpu = static_cast<sim::Time>(
+      static_cast<double>(config_.per_request_cpu) *
+      rng_.jitter(config_.cpu_jitter));
+  // Serialize on the single CPU across all connections.
+  const sim::Time now = host_.event_queue().now();
+  const sim::Time start = std::max(now, cpu_free_at_);
+  cpu_free_at_ = start + cpu;
+  std::weak_ptr<ConnState> weak = state;
+  host_.event_queue().schedule_in(cpu_free_at_ - now, [this, weak] {
+    auto s = weak.lock();
+    if (!s || s->conn->state() == tcp::State::kClosed) return;
+    s->processing = false;
+    if (s->pending.empty()) return;
+    const http::Request request = std::move(s->pending.front());
+    s->pending.pop_front();
+    finish_request(s, request);
+  });
+}
+
+http::Response HttpServer::build_response(const http::Request& request) {
+  http::Response res;
+  res.version = request.version;
+
+  const Resource* resource = site_.find(request.target);
+  if (resource == nullptr) {
+    res.status = 404;
+    res.reason = std::string(http::default_reason(404));
+    res.headers.add("Date",
+                    http::format_http_date(
+                        http::sim_to_unix(host_.event_queue().now())));
+    res.headers.add("Server", config_.server_name);
+    res.headers.add("Content-Length", "0");
+    return res;
+  }
+
+  // Cache validation: entity tags take precedence over date checks.
+  bool not_modified = false;
+  if (const auto inm = request.headers.get("If-None-Match")) {
+    not_modified = (*inm == resource->etag);
+  } else if (const auto ims = request.headers.get("If-Modified-Since")) {
+    if (const auto since = http::parse_http_date(*ims)) {
+      not_modified = resource->last_modified <= *since;
+    }
+  }
+
+  res.headers.add("Date", http::format_http_date(
+                              http::sim_to_unix(host_.event_queue().now())));
+  res.headers.add("Server", config_.server_name);
+
+  if (not_modified) {
+    res.status = 304;
+    res.reason = std::string(http::default_reason(304));
+    res.headers.add("ETag", resource->etag);
+    return res;
+  }
+
+  // Content negotiation: precompressed deflate variant.
+  const std::vector<std::uint8_t>* body = &resource->data;
+  bool deflated = false;
+  if (config_.support_deflate && !resource->deflated.empty() &&
+      request.headers.has_token("Accept-Encoding", "deflate")) {
+    body = &resource->deflated;
+    deflated = true;
+  }
+
+  // Byte ranges (If-Range gating): ranges apply to the selected variant.
+  std::size_t first = 0, last = 0;
+  bool ranged = false;
+  if (const auto range = request.headers.get("Range")) {
+    bool range_valid = true;
+    if (const auto if_range = request.headers.get("If-Range")) {
+      range_valid = (*if_range == resource->etag);
+    }
+    if (range_valid &&
+        parse_byte_range(*range, body->size(), first, last)) {
+      ranged = true;
+    }
+  }
+
+  res.status = ranged ? 206 : 200;
+  res.reason = std::string(http::default_reason(res.status));
+  res.headers.add("Content-Type", resource->content_type);
+  res.headers.add("ETag", resource->etag);
+  res.headers.add("Last-Modified",
+                  http::format_http_date(resource->last_modified));
+  if (deflated) res.headers.add("Content-Encoding", "deflate");
+  if (config_.verbose_headers) {
+    res.headers.add("Accept-Ranges", "bytes");
+    res.headers.add("MIME-Version", "1.0");
+  }
+
+  if (ranged) {
+    char content_range[80];
+    std::snprintf(content_range, sizeof content_range, "bytes %zu-%zu/%zu",
+                  first, last, body->size());
+    res.headers.add("Content-Range", content_range);
+    res.headers.add("Content-Length", std::to_string(last - first + 1));
+    if (request.method != http::Method::kHead) {
+      res.body.assign(body->begin() + first, body->begin() + last + 1);
+    }
+  } else {
+    res.headers.add("Content-Length", std::to_string(body->size()));
+    if (request.method != http::Method::kHead) {
+      res.body = *body;
+    }
+  }
+  return res;
+}
+
+void HttpServer::finish_request(const ConnStatePtr& state,
+                                const http::Request& request) {
+  ++stats_.requests_served;
+  ++state->served;
+  http::Response res = build_response(request);
+  switch (res.status) {
+    case 200: ++stats_.responses_200; break;
+    case 206: ++stats_.responses_206; break;
+    case 304: ++stats_.responses_304; break;
+    case 404: ++stats_.responses_404; break;
+    default: break;
+  }
+  if (res.headers.has_token("Content-Encoding", "deflate")) {
+    ++stats_.deflated_responses;
+  }
+
+  // Decide connection persistence.
+  bool close_after = false;
+  if (request.headers.has_token("Connection", "close")) {
+    close_after = true;
+  } else if (request.version == http::Version::kHttp10) {
+    const bool wants_keepalive =
+        request.headers.has_token("Connection", "keep-alive");
+    if (wants_keepalive && config_.keep_alive) {
+      res.headers.add("Connection", "Keep-Alive");
+    } else {
+      close_after = true;
+    }
+  } else if (!config_.http11) {
+    close_after = true;
+  }
+  if (config_.max_requests_per_connection != 0 &&
+      state->served >= config_.max_requests_per_connection) {
+    close_after = true;
+    ++stats_.connections_closed_by_limit;
+  }
+  if (close_after && !res.headers.contains("Connection")) {
+    res.headers.add("Connection", "close");
+  }
+
+  enqueue_response(state, res);
+  if (close_after) {
+    state->closing = true;
+    flush_output(state, /*idle_flush=*/true);
+    return;
+  }
+  process_next(state);
+}
+
+void HttpServer::enqueue_response(const ConnStatePtr& state,
+                                  const http::Response& response) {
+  const std::vector<std::uint8_t> wire = response.serialize();
+  state->out_buffer.insert(state->out_buffer.end(), wire.begin(), wire.end());
+  if (state->out_buffer.size() >= config_.output_buffer) {
+    ++stats_.output_flushes_full;
+    flush_output(state, /*idle_flush=*/false);
+  }
+}
+
+void HttpServer::flush_output(const ConnStatePtr& state, bool idle_flush) {
+  if (!state->out_buffer.empty()) {
+    if (idle_flush) ++stats_.output_flushes_idle;
+    state->out_unsent.insert(state->out_unsent.end(),
+                             state->out_buffer.begin(),
+                             state->out_buffer.end());
+    state->out_buffer.clear();
+  }
+  pump_unsent(state);
+}
+
+void HttpServer::pump_unsent(const ConnStatePtr& state) {
+  while (!state->out_unsent.empty()) {
+    // Contiguous chunk for span-based send.
+    std::vector<std::uint8_t> chunk(
+        state->out_unsent.begin(),
+        state->out_unsent.begin() +
+            std::min<std::size_t>(state->out_unsent.size(), 32 * 1024));
+    const std::size_t sent = state->conn->send(
+        std::span<const std::uint8_t>(chunk.data(), chunk.size()));
+    state->out_unsent.erase(state->out_unsent.begin(),
+                            state->out_unsent.begin() + sent);
+    if (sent < chunk.size()) break;  // TCP send buffer full; resume on space
+  }
+  if (state->closing && state->out_unsent.empty() &&
+      state->out_buffer.empty()) {
+    begin_close(state);
+  }
+}
+
+void HttpServer::begin_close(const ConnStatePtr& state) {
+  state->closing = true;
+  if (!state->out_unsent.empty() || !state->out_buffer.empty()) {
+    flush_output(state, /*idle_flush=*/true);
+    return;  // pump_unsent re-enters begin_close once drained
+  }
+  if (config_.close_style == CloseStyle::kNaive) {
+    state->conn->close_naive();
+  } else {
+    state->conn->shutdown_send();
+  }
+}
+
+}  // namespace hsim::server

@@ -1,0 +1,89 @@
+// The HTTP server: accepts connections on a tcp::Host, parses possibly
+// pipelined requests, serves the static site with correct HTTP/1.0 and 1.1
+// semantics (persistent connections, conditional GET, HEAD, byte ranges,
+// content coding), and buffers responses with flush-on-idle.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "http/message.hpp"
+#include "http/parser.hpp"
+#include "server/config.hpp"
+#include "server/static_site.hpp"
+#include "sim/random.hpp"
+#include "tcp/host.hpp"
+
+namespace hsim::server {
+
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t requests_served = 0;
+  std::uint64_t responses_200 = 0;
+  std::uint64_t responses_206 = 0;
+  std::uint64_t responses_304 = 0;
+  std::uint64_t responses_404 = 0;
+  std::uint64_t deflated_responses = 0;
+  std::uint64_t output_flushes_full = 0;  // buffer reached capacity
+  std::uint64_t output_flushes_idle = 0;  // flushed because queue went idle
+  std::uint64_t connections_closed_by_limit = 0;
+};
+
+class HttpServer {
+ public:
+  HttpServer(tcp::Host& host, StaticSite site, ServerConfig config,
+             sim::Rng rng);
+
+  /// Begins accepting connections on `port`.
+  void start(net::Port port = 80);
+  void stop();
+
+  const ServerStats& stats() const { return stats_; }
+  const ServerConfig& config() const { return config_; }
+
+  /// Mutable access to the served site (e.g. revising resources between a
+  /// first visit and a revalidation, to exercise range validation).
+  StaticSite& site() { return site_; }
+
+ private:
+  struct ConnState {
+    tcp::ConnectionPtr conn;
+    http::RequestParser parser;
+    std::deque<http::Request> pending;
+    bool processing = false;  // a CPU-delay timer is outstanding
+    std::vector<std::uint8_t> out_buffer;  // application-level batching
+    std::deque<std::uint8_t> out_unsent;   // overflow past the TCP buffer
+    unsigned served = 0;
+    bool closing = false;
+    std::unique_ptr<sim::Timer> idle_timer;
+  };
+  using ConnStatePtr = std::shared_ptr<ConnState>;
+
+  void on_accept(tcp::ConnectionPtr conn);
+  void on_data(const ConnStatePtr& state);
+  void process_next(const ConnStatePtr& state);
+  void finish_request(const ConnStatePtr& state, const http::Request& request);
+  http::Response build_response(const http::Request& request);
+  void enqueue_response(const ConnStatePtr& state,
+                        const http::Response& response);
+  void flush_output(const ConnStatePtr& state, bool idle_flush);
+  void pump_unsent(const ConnStatePtr& state);
+  void begin_close(const ConnStatePtr& state);
+  void arm_idle_timer(const ConnStatePtr& state);
+
+  tcp::Host& host_;
+  StaticSite site_;
+  ServerConfig config_;
+  sim::Rng rng_;
+  net::Port port_ = 80;
+  ServerStats stats_;
+  /// Single-CPU model: request processing serializes across ALL connections
+  /// (a 1997 server did not process four parallel connections' requests
+  /// concurrently). Time before which the CPU is busy.
+  sim::Time cpu_free_at_ = 0;
+  std::map<const tcp::Connection*, ConnStatePtr> connections_;
+};
+
+}  // namespace hsim::server

@@ -1,0 +1,73 @@
+#include "server/static_site.hpp"
+
+#include <cstdio>
+
+#include "deflate/checksum.hpp"
+#include "deflate/deflate.hpp"
+
+namespace hsim::server {
+
+void StaticSite::add(Resource resource) {
+  std::string key = resource.path;
+  resources_[std::move(key)] = std::move(resource);
+}
+
+const Resource* StaticSite::find(const std::string& path) const {
+  const auto it = resources_.find(path);
+  return it == resources_.end() ? nullptr : &it->second;
+}
+
+bool StaticSite::update(const std::string& path,
+                        std::vector<std::uint8_t> data,
+                        http::UnixSeconds modified_at) {
+  const auto it = resources_.find(path);
+  if (it == resources_.end()) return false;
+  Resource& r = it->second;
+  r.data = std::move(data);
+  r.etag = make_etag(r.data);
+  r.last_modified = modified_at;
+  if (!r.deflated.empty()) {
+    r.deflated = deflate::zlib_compress(r.data);
+  }
+  return true;
+}
+
+std::size_t StaticSite::total_bytes() const {
+  std::size_t n = 0;
+  for (const auto& [path, r] : resources_) n += r.data.size();
+  return n;
+}
+
+std::string make_etag(std::span<const std::uint8_t> data) {
+  // Opaque strong validator; CRC-32 over the content is plenty for the
+  // simulation and matches the typical "short opaque string" wire cost.
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "\"%08x\"", deflate::crc32(data));
+  return buf;
+}
+
+StaticSite StaticSite::from_microscape(const content::MicroscapeSite& site,
+                                       bool precompress_html) {
+  StaticSite out;
+  Resource html;
+  html.path = "/index.html";
+  html.content_type = "text/html";
+  html.data.assign(site.html.begin(), site.html.end());
+  html.etag = make_etag(html.data);
+  if (precompress_html) {
+    html.deflated = deflate::zlib_compress(html.data);
+  }
+  out.add(std::move(html));
+
+  for (const content::SiteImage& img : site.images) {
+    Resource r;
+    r.path = img.path;
+    r.content_type = "image/gif";
+    r.data = img.gif_bytes;
+    r.etag = make_etag(r.data);
+    out.add(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace hsim::server

@@ -1,0 +1,63 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace hsim::sim {
+
+TimerId EventQueue::schedule_at(Time when, Callback cb) {
+  if (when < now_) when = now_;
+  const std::uint64_t id = next_id_++;
+  heap_.push(Event{when, next_seq_++, id, std::move(cb)});
+  return TimerId{id};
+}
+
+bool EventQueue::cancel(TimerId id) {
+  if (!id) return false;
+  // Lazy cancellation: the event stays in the heap but is skipped when popped.
+  // An id is only accepted if it is plausibly pending (ids are never reused).
+  if (id.value >= next_id_) return false;
+  return cancelled_.insert(id.value).second;
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    // priority_queue::top returns const&; move out via const_cast is the
+    // standard idiom but fragile — copy the small fields and move the
+    // callback by re-pushing is worse. Pop into a local instead.
+    Event ev = heap_.top();
+    heap_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventQueue::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t EventQueue::run_until(Time deadline) {
+  std::size_t n = 0;
+  while (!heap_.empty()) {
+    const Event& top = heap_.top();
+    if (cancelled_.count(top.id) != 0) {
+      cancelled_.erase(top.id);
+      heap_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    step();
+    ++n;
+  }
+  if (now_ < deadline && !heap_.empty()) now_ = deadline;
+  return n;
+}
+
+}  // namespace hsim::sim

@@ -1,0 +1,125 @@
+// Discrete-event scheduler.
+//
+// The EventQueue is the heart of the simulator: every component (links, TCP
+// timers, application timeouts) schedules callbacks at absolute simulated
+// times, and the queue executes them in (time, insertion-order) order.
+// Execution is fully deterministic: two events scheduled for the same instant
+// run in the order they were scheduled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hsim::sim {
+
+/// Identifies a scheduled event so it can be cancelled.
+struct TimerId {
+  std::uint64_t value = 0;
+
+  friend bool operator==(TimerId a, TimerId b) { return a.value == b.value; }
+  explicit operator bool() const { return value != 0; }
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time. Advances only as events are executed.
+  Time now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `when`. Times in the past are
+  /// clamped to `now()` (the event still runs, immediately after the current
+  /// event finishes).
+  TimerId schedule_at(Time when, Callback cb);
+
+  /// Schedules `cb` to run `delay` nanoseconds from now.
+  TimerId schedule_in(Time delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event. Returns true if the event had not yet run and
+  /// was successfully cancelled.
+  bool cancel(TimerId id);
+
+  /// Runs the single next event. Returns false if the queue is empty.
+  bool step();
+
+  /// Runs events until the queue is empty. Returns the number executed.
+  std::size_t run();
+
+  /// Runs events with time <= `deadline`; afterwards now() == deadline if any
+  /// later events remain pending, or the time of the last executed event.
+  std::size_t run_until(Time deadline);
+
+  /// Runs events for `duration` from the current time.
+  std::size_t run_for(Time duration) { return run_until(now_ + duration); }
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+  bool empty() const { return pending() == 0; }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;  // tie-break: earlier-scheduled runs first
+    std::uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+/// RAII helper owning a single restartable timer on an EventQueue.
+///
+/// TCP and HTTP components hold several of these (retransmit, delayed-ACK,
+/// flush). Destroying the Timer cancels any pending callback, so a component
+/// can never be called back after destruction.
+class Timer {
+ public:
+  explicit Timer(EventQueue& queue) : queue_(&queue) {}
+  ~Timer() { cancel(); }
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// (Re)arms the timer to fire `delay` from now, replacing any pending fire.
+  void arm(Time delay, EventQueue::Callback cb) {
+    cancel();
+    id_ = queue_->schedule_in(delay, [this, cb = std::move(cb)] {
+      id_ = TimerId{};
+      cb();
+    });
+  }
+
+  /// True if the timer is armed and has not fired.
+  bool armed() const { return static_cast<bool>(id_); }
+
+  void cancel() {
+    if (id_) {
+      queue_->cancel(id_);
+      id_ = TimerId{};
+    }
+  }
+
+ private:
+  EventQueue* queue_;
+  TimerId id_;
+};
+
+}  // namespace hsim::sim

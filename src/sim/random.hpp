@@ -1,0 +1,48 @@
+// Deterministic random source for the simulator.
+//
+// All stochastic behaviour (server CPU jitter, link latency jitter, initial
+// TCP sequence numbers, synthetic content) draws from an explicitly seeded
+// Rng so that every experiment run is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace hsim::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// A multiplicative jitter factor in [1-spread, 1+spread].
+  double jitter(double spread) { return uniform_real(1.0 - spread, 1.0 + spread); }
+
+  /// Bernoulli trial.
+  bool chance(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(engine_()); }
+  std::uint64_t next_u64() { return engine_(); }
+
+  /// Derives an independent child stream (for per-run / per-module streams).
+  Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace hsim::sim

@@ -1,0 +1,731 @@
+#include "tcp/connection.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "tcp/host.hpp"
+
+namespace hsim::tcp {
+
+namespace {
+constexpr std::uint32_t kInitialSsthresh = 1u << 30;
+}
+
+std::string_view to_string(State s) {
+  switch (s) {
+    case State::kClosed: return "CLOSED";
+    case State::kListen: return "LISTEN";
+    case State::kSynSent: return "SYN_SENT";
+    case State::kSynRcvd: return "SYN_RCVD";
+    case State::kEstablished: return "ESTABLISHED";
+    case State::kFinWait1: return "FIN_WAIT_1";
+    case State::kFinWait2: return "FIN_WAIT_2";
+    case State::kCloseWait: return "CLOSE_WAIT";
+    case State::kClosing: return "CLOSING";
+    case State::kLastAck: return "LAST_ACK";
+    case State::kTimeWait: return "TIME_WAIT";
+  }
+  return "?";
+}
+
+Connection::Connection(Host& host, Key key, TcpOptions options)
+    : host_(host),
+      key_(key),
+      options_(options),
+      rto_(options.initial_rto),
+      rto_timer_(host.event_queue()),
+      delack_timer_(host.event_queue()),
+      time_wait_timer_(host.event_queue()) {}
+
+Connection::~Connection() = default;
+
+// ---------------------------------------------------------------------------
+// Wire <-> stream offset mapping
+// ---------------------------------------------------------------------------
+
+Seq Connection::wire_seq(Offset data_offset) const {
+  return static_cast<Seq>(iss_ + 1 + data_offset);
+}
+
+// ---------------------------------------------------------------------------
+// Application interface
+// ---------------------------------------------------------------------------
+
+std::size_t Connection::send(std::span<const std::uint8_t> data) {
+  if (fin_requested_ || state_ == State::kClosed ||
+      state_ == State::kTimeWait || was_reset_) {
+    return 0;
+  }
+  const std::size_t room = send_space();
+  const std::size_t n = std::min(room, data.size());
+  send_buf_.insert(send_buf_.end(), data.begin(), data.begin() + n);
+  snd_buffered_ += n;
+  if (n < data.size()) send_space_was_exhausted_ = true;
+  if (state_ == State::kEstablished || state_ == State::kCloseWait) {
+    schedule_output();
+  }
+  return n;
+}
+
+std::size_t Connection::send(std::string_view text) {
+  return send(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+std::size_t Connection::send_space() const {
+  const std::size_t used = send_buf_.size();
+  return used >= options_.send_buffer ? 0 : options_.send_buffer - used;
+}
+
+std::vector<std::uint8_t> Connection::read_all() {
+  std::vector<std::uint8_t> out(recv_ready_.begin(), recv_ready_.end());
+  recv_ready_.clear();
+  // If we previously advertised a nearly-closed window, reading frees buffer
+  // space the peer cannot know about: send a window update so the sender does
+  // not stall (the receive-side analogue of the persist timer).
+  if (window_update_needed_ && state_ != State::kClosed &&
+      state_ != State::kSynSent && state_ != State::kSynRcvd &&
+      state_ != State::kTimeWait &&
+      advertised_window() >= options_.recv_buffer / 2) {
+    window_update_needed_ = false;
+    if (!out.empty()) send_pure_ack();
+  }
+  return out;
+}
+
+void Connection::shutdown_send() {
+  if (fin_requested_) return;
+  fin_requested_ = true;
+  if (state_ == State::kEstablished || state_ == State::kCloseWait ||
+      state_ == State::kSynRcvd) {
+    schedule_output();
+  }
+}
+
+void Connection::close_naive() {
+  // Close both directions "at once": queue the FIN like a graceful close, but
+  // also stop accepting incoming data. Any data segment that arrives after
+  // this point is answered with RST — destroying, on the peer, responses it
+  // had received but not yet read. This reproduces the failure mode in the
+  // paper's "Connection Management" section.
+  recv_shutdown_ = true;
+  shutdown_send();
+}
+
+void Connection::abort() {
+  if (state_ == State::kClosed) return;
+  send_rst(wire_seq(snd_next_));
+  become_closed(/*notify_reset=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Opening
+// ---------------------------------------------------------------------------
+
+void Connection::start_connect() {
+  iss_ = host_.rng().next_u32();
+  state_ = State::kSynSent;
+  syn_sent_ = true;
+  cwnd_ = options_.initial_cwnd_segments * options_.mss;
+  ssthresh_ = kInitialSsthresh;
+  net::Packet p;
+  p.tcp.seq = iss_;
+  p.tcp.flags = net::flag::kSyn;
+  p.tcp.window = advertised_window();
+  p.tcp.src_port = key_.local_port;
+  p.tcp.dst_port = key_.peer_port;
+  p.src = host_.addr();
+  p.dst = key_.peer_addr;
+  ++stats_.segments_sent;
+  host_.transmit(std::move(p));
+  arm_rto();
+}
+
+void Connection::start_accept(const net::Packet& syn) {
+  iss_ = host_.rng().next_u32();
+  irs_ = syn.tcp.seq;
+  peer_window_ = syn.tcp.window;
+  state_ = State::kSynRcvd;
+  syn_sent_ = true;
+  cwnd_ = options_.initial_cwnd_segments * options_.mss;
+  ssthresh_ = kInitialSsthresh;
+  net::Packet p;
+  p.tcp.seq = iss_;
+  p.tcp.ack = irs_ + 1;
+  p.tcp.flags = net::flag::kSyn | net::flag::kAck;
+  p.tcp.window = advertised_window();
+  p.tcp.src_port = key_.local_port;
+  p.tcp.dst_port = key_.peer_port;
+  p.src = host_.addr();
+  p.dst = key_.peer_addr;
+  ++stats_.segments_sent;
+  host_.transmit(std::move(p));
+  arm_rto();
+}
+
+// ---------------------------------------------------------------------------
+// Segment transmission
+// ---------------------------------------------------------------------------
+
+std::uint32_t Connection::advertised_window() const {
+  std::size_t pending = recv_ready_.size();
+  for (const auto& [off, bytes] : reassembly_) pending += bytes.size();
+  if (pending >= options_.recv_buffer) return 0;
+  return options_.recv_buffer - static_cast<std::uint32_t>(pending);
+}
+
+void Connection::send_segment(std::uint8_t flags, Seq seq,
+                              std::vector<std::uint8_t> payload,
+                              bool is_retransmit) {
+  net::Packet p;
+  p.src = host_.addr();
+  p.dst = key_.peer_addr;
+  p.tcp.src_port = key_.local_port;
+  p.tcp.dst_port = key_.peer_port;
+  p.tcp.seq = seq;
+  p.tcp.flags = flags;
+  if (flags & net::flag::kAck) {
+    p.tcp.ack = static_cast<Seq>(irs_ + 1 + rcv_next_ +
+                                 (peer_fin_delivered_ ? 1 : 0));
+  }
+  p.tcp.window = advertised_window();
+  if (p.tcp.window < options_.mss) window_update_needed_ = true;
+  p.payload = std::move(payload);
+
+  ++stats_.segments_sent;
+  stats_.bytes_sent += p.payload.size();
+  if (is_retransmit) ++stats_.retransmits;
+
+  // Any segment carrying an ACK satisfies a pending delayed ACK.
+  if (flags & net::flag::kAck) {
+    ack_pending_ = false;
+    unacked_segments_ = 0;
+    delack_timer_.cancel();
+  }
+  host_.transmit(std::move(p));
+}
+
+void Connection::send_pure_ack() {
+  send_segment(net::flag::kAck, static_cast<Seq>(wire_seq(snd_next_) +
+                                                 (fin_sent_ ? 1 : 0)),
+               {}, false);
+}
+
+void Connection::send_rst(Seq seq) {
+  net::Packet p;
+  p.src = host_.addr();
+  p.dst = key_.peer_addr;
+  p.tcp.src_port = key_.local_port;
+  p.tcp.dst_port = key_.peer_port;
+  p.tcp.seq = seq;
+  p.tcp.flags = net::flag::kRst;
+  ++stats_.segments_sent;
+  host_.transmit(std::move(p));
+}
+
+// ---------------------------------------------------------------------------
+// Output engine: window checks, Nagle, FIN piggybacking
+// ---------------------------------------------------------------------------
+
+void Connection::schedule_output() {
+  if (output_scheduled_) return;
+  output_scheduled_ = true;
+  host_.event_queue().schedule_in(0, [weak = weak_from_this()] {
+    if (ConnectionPtr self = weak.lock()) {
+      self->output_scheduled_ = false;
+      self->try_send();
+    }
+  });
+}
+
+bool Connection::nagle_blocks(std::size_t segment_len, bool carries_fin) const {
+  if (options_.nodelay) return false;
+  if (segment_len >= options_.mss) return false;
+  if (carries_fin) return false;  // BSD sends the final small segment
+  return bytes_in_flight() > 0;
+}
+
+void Connection::try_send() {
+  const bool sending_state =
+      state_ == State::kEstablished || state_ == State::kCloseWait;
+  // After a go-back-N timeout pullback we may need to re-send data even
+  // though our FIN is already out and the state has advanced.
+  const bool recovery_resend =
+      (state_ == State::kFinWait1 || state_ == State::kClosing ||
+       state_ == State::kLastAck) &&
+      snd_next_ < snd_buffered_;
+  if (!sending_state && !recovery_resend) return;
+  bool sent_any = false;
+  for (;;) {
+    const Offset avail = snd_buffered_ - snd_next_;
+    if (avail == 0) break;
+    const std::uint64_t window = std::min<std::uint64_t>(cwnd_, peer_window_);
+    const Offset flight = bytes_in_flight();
+    if (flight >= window) break;
+    const std::uint64_t usable = window - flight;
+    const std::size_t seg = static_cast<std::size_t>(
+        std::min<std::uint64_t>({options_.mss, avail, usable}));
+    if (seg == 0) break;
+    const bool last_of_avail = (seg == avail);
+    const bool carries_fin = last_of_avail && fin_requested_;
+    if (nagle_blocks(seg, carries_fin)) {
+      ++stats_.nagle_delays;
+      break;
+    }
+
+    // Copy [snd_next_, snd_next_+seg) out of the send buffer; the buffer's
+    // front corresponds to stream offset snd_acked_.
+    const std::size_t buf_off = static_cast<std::size_t>(snd_next_ - snd_acked_);
+    std::vector<std::uint8_t> payload(send_buf_.begin() + buf_off,
+                                      send_buf_.begin() + buf_off + seg);
+
+    std::uint8_t flags = net::flag::kAck;
+    if (last_of_avail) flags |= net::flag::kPsh;
+    if (carries_fin) {
+      flags |= net::flag::kFin;
+      if (!fin_sent_) {
+        fin_sent_ = true;
+        state_ = (state_ == State::kCloseWait) ? State::kLastAck
+                                               : State::kFinWait1;
+      }
+    }
+    if (!rtt_sample_) {
+      rtt_sample_ = {snd_next_ + seg, host_.event_queue().now()};
+    }
+    send_segment(flags, wire_seq(snd_next_), std::move(payload),
+                 /*is_retransmit=*/snd_next_ < snd_max_);
+    snd_next_ += seg;
+    snd_max_ = std::max(snd_max_, snd_next_);
+    sent_any = true;
+    if (carries_fin) break;
+  }
+  maybe_send_fin();
+  if (sent_any) {
+    arm_rto();
+  } else if (fin_sent_ && !fin_acked_ && !rto_timer_.armed()) {
+    arm_rto();
+  }
+}
+
+void Connection::maybe_send_fin() {
+  if (!fin_requested_ || fin_sent_) return;
+  if (snd_next_ != snd_buffered_) return;  // data still queued
+  // A bare FIN (no data available to carry it).
+  fin_sent_ = true;
+  send_segment(net::flag::kFin | net::flag::kAck, wire_seq(snd_next_), {},
+               false);
+  state_ =
+      (state_ == State::kCloseWait) ? State::kLastAck : State::kFinWait1;
+  arm_rto();
+}
+
+// ---------------------------------------------------------------------------
+// Timers / congestion control
+// ---------------------------------------------------------------------------
+
+void Connection::arm_rto() {
+  rto_timer_.arm(rto_, [this] { on_rto_fire(); });
+}
+
+void Connection::on_rto_fire() {
+  ++stats_.timeouts;
+  rto_ = std::min(rto_ * 2, options_.max_rto);
+  rtt_sample_.reset();  // Karn: never sample retransmitted data
+
+  if (state_ == State::kSynSent) {
+    net::Packet p;
+    p.src = host_.addr();
+    p.dst = key_.peer_addr;
+    p.tcp.src_port = key_.local_port;
+    p.tcp.dst_port = key_.peer_port;
+    p.tcp.seq = iss_;
+    p.tcp.flags = net::flag::kSyn;
+    p.tcp.window = advertised_window();
+    ++stats_.segments_sent;
+    ++stats_.retransmits;
+    host_.transmit(std::move(p));
+    arm_rto();
+    return;
+  }
+  if (state_ == State::kSynRcvd) {
+    net::Packet p;
+    p.src = host_.addr();
+    p.dst = key_.peer_addr;
+    p.tcp.src_port = key_.local_port;
+    p.tcp.dst_port = key_.peer_port;
+    p.tcp.seq = iss_;
+    p.tcp.ack = irs_ + 1;
+    p.tcp.flags = net::flag::kSyn | net::flag::kAck;
+    p.tcp.window = advertised_window();
+    ++stats_.segments_sent;
+    ++stats_.retransmits;
+    host_.transmit(std::move(p));
+    arm_rto();
+    return;
+  }
+
+  const Offset unacked_data = snd_next_ - snd_acked_;
+  if (unacked_data == 0 && !(fin_sent_ && !fin_acked_)) return;
+
+  // Congestion response to a timeout: multiplicative decrease, restart from
+  // one segment in slow start.
+  const std::uint32_t flight =
+      static_cast<std::uint32_t>(std::min<Offset>(unacked_data, cwnd_));
+  ssthresh_ = std::max(flight / 2, 2 * options_.mss);
+  cwnd_ = options_.mss;
+  dup_acks_ = 0;
+
+  if (unacked_data > 0) {
+    // Go-back-N: retransmit the earliest unacked segment now and pull
+    // snd_next_ back so ACK-driven sending re-covers the whole lost window
+    // (a timeout usually means everything in flight was lost).
+    const std::size_t seg = static_cast<std::size_t>(
+        std::min<Offset>(options_.mss, unacked_data));
+    std::vector<std::uint8_t> payload(send_buf_.begin(),
+                                      send_buf_.begin() + seg);
+    std::uint8_t flags = net::flag::kAck;
+    const bool reaches_end = (snd_acked_ + seg == snd_buffered_);
+    if (reaches_end) flags |= net::flag::kPsh;
+    if (fin_sent_ && reaches_end) flags |= net::flag::kFin;
+    send_segment(flags, wire_seq(snd_acked_), std::move(payload), true);
+    snd_next_ = snd_acked_ + seg;
+  } else {
+    // Bare FIN retransmission.
+    send_segment(net::flag::kFin | net::flag::kAck, wire_seq(snd_next_), {},
+                 true);
+  }
+  arm_rto();
+}
+
+void Connection::on_new_data_acked(Offset newly_acked_end,
+                                   std::size_t acked_bytes) {
+  // RTT sample (Karn's rule: sample only if it covers an untouched send).
+  if (rtt_sample_ && newly_acked_end >= rtt_sample_->first) {
+    const sim::Time sample = host_.event_queue().now() - rtt_sample_->second;
+    rtt_sample_.reset();
+    if (srtt_ == 0) {
+      srtt_ = sample;
+      rttvar_ = sample / 2;
+    } else {
+      const sim::Time err = sample > srtt_ ? sample - srtt_ : srtt_ - sample;
+      srtt_ += (sample - srtt_) / 8;
+      rttvar_ += (err - rttvar_) / 4;
+    }
+    rto_ = std::clamp(srtt_ + 4 * rttvar_, options_.min_rto, options_.max_rto);
+  }
+
+  // Congestion window growth.
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += static_cast<std::uint32_t>(
+        std::min<std::size_t>(acked_bytes, options_.mss));
+  } else {
+    cwnd_ += std::max<std::uint32_t>(
+        1, options_.mss * options_.mss / std::max<std::uint32_t>(cwnd_, 1));
+  }
+  dup_acks_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Input engine
+// ---------------------------------------------------------------------------
+
+void Connection::segment_arrived(const net::Packet& packet) {
+  ++stats_.segments_received;
+  if (state_ == State::kClosed) return;
+
+  // RST: tear everything down. Unread received data is destroyed — this is
+  // the data-loss behaviour the paper's connection-management section warns
+  // about.
+  if (packet.tcp.has(net::flag::kRst)) {
+    become_closed(/*notify_reset=*/true);
+    return;
+  }
+
+  // -- Handshake states ----------------------------------------------------
+  if (state_ == State::kSynSent) {
+    if (packet.tcp.has(net::flag::kSyn) && packet.tcp.has(net::flag::kAck) &&
+        packet.tcp.ack == iss_ + 1) {
+      irs_ = packet.tcp.seq;
+      syn_acked_ = true;
+      peer_window_ = packet.tcp.window;
+      state_ = State::kEstablished;
+      rto_timer_.cancel();
+      rto_ = options_.initial_rto;
+      if (srtt_ == 0) {
+        // Use the handshake as the first RTT estimate.
+        srtt_ = options_.min_rto / 2;
+      }
+      send_pure_ack();
+      if (on_connected_) on_connected_();
+      try_send();
+    }
+    return;
+  }
+  if (state_ == State::kSynRcvd) {
+    if (packet.tcp.has(net::flag::kAck) && packet.tcp.ack == iss_ + 1) {
+      syn_acked_ = true;
+      peer_window_ = packet.tcp.window;
+      state_ = State::kEstablished;
+      rto_timer_.cancel();
+      rto_ = options_.initial_rto;
+      if (on_connected_) on_connected_();
+      // Fall through: the handshake ACK may carry data (client pipelining
+      // requests into the third handshake segment is legal).
+    } else if (packet.tcp.has(net::flag::kSyn)) {
+      // Duplicate SYN: retransmit SYN-ACK via the RTO path eventually.
+      return;
+    } else {
+      return;
+    }
+  }
+  if (state_ == State::kTimeWait) {
+    // Peer retransmitted its FIN: re-ACK it.
+    if (packet.tcp.has(net::flag::kFin)) send_pure_ack();
+    return;
+  }
+
+  if (packet.tcp.has(net::flag::kAck)) handle_ack(packet);
+  if (state_ == State::kClosed) return;  // handle_ack may complete a close
+
+  const bool had_payload = !packet.payload.empty();
+  if (had_payload || packet.tcp.has(net::flag::kFin)) {
+    accept_payload(packet);
+  }
+}
+
+void Connection::handle_ack(const net::Packet& packet) {
+  peer_window_ = packet.tcp.window;
+  const Seq ack = packet.tcp.ack;
+  const Seq cur = wire_seq(snd_acked_);
+  const std::int32_t diff = static_cast<std::int32_t>(ack - cur);
+
+  if (diff < 0) return;  // old ACK
+
+  if (diff == 0) {
+    // Potential duplicate ACK (RFC 5681: no payload, no window change, data
+    // outstanding).
+    if (packet.payload.empty() && !packet.tcp.has(net::flag::kSyn) &&
+        !packet.tcp.has(net::flag::kFin) && bytes_in_flight() > 0 &&
+        ack == last_ack_received_) {
+      ++dup_acks_;
+      if (dup_acks_ == 3) {
+        ++stats_.fast_retransmits;
+        const std::uint32_t flight = static_cast<std::uint32_t>(
+            std::min<Offset>(bytes_in_flight(), cwnd_));
+        ssthresh_ = std::max(flight / 2, 2 * options_.mss);
+        cwnd_ = ssthresh_;
+        rtt_sample_.reset();
+        const Offset unacked = snd_next_ - snd_acked_;
+        const std::size_t seg =
+            static_cast<std::size_t>(std::min<Offset>(options_.mss, unacked));
+        if (seg > 0) {
+          std::vector<std::uint8_t> payload(send_buf_.begin(),
+                                            send_buf_.begin() + seg);
+          std::uint8_t flags = net::flag::kAck;
+          const bool reaches_end = (snd_acked_ + seg == snd_buffered_);
+          if (fin_sent_ && reaches_end) flags |= net::flag::kFin;
+          send_segment(flags, wire_seq(snd_acked_), std::move(payload), true);
+          arm_rto();
+        }
+      }
+    }
+    last_ack_received_ = ack;
+    try_send();  // window update may have opened the send window
+    return;
+  }
+
+  last_ack_received_ = ack;
+
+  // New data (and possibly our FIN) acknowledged. Compare against the
+  // high-water mark, not snd_next_: after a go-back-N pullback an ACK may
+  // cover segments from the original flight.
+  const Offset ackable = snd_max_ - snd_acked_;
+  std::size_t acked_bytes = 0;
+  if (static_cast<Offset>(diff) > ackable) {
+    // The ACK covers all transmitted data plus our FIN.
+    acked_bytes = static_cast<std::size_t>(ackable);
+    if (fin_sent_) fin_acked_ = true;
+  } else {
+    acked_bytes = static_cast<std::size_t>(diff);
+  }
+
+  send_buf_.erase(send_buf_.begin(), send_buf_.begin() + acked_bytes);
+  snd_acked_ += acked_bytes;
+  if (snd_next_ < snd_acked_) snd_next_ = snd_acked_;
+  on_new_data_acked(snd_acked_, acked_bytes);
+
+  // Restart or cancel the retransmission timer.
+  if (bytes_in_flight() > 0 || (fin_sent_ && !fin_acked_)) {
+    arm_rto();
+  } else {
+    rto_timer_.cancel();
+  }
+
+  // Close-sequence state transitions driven by our FIN being acknowledged.
+  if (fin_acked_) {
+    if (state_ == State::kFinWait1) {
+      state_ = peer_fin_delivered_ ? State::kTimeWait : State::kFinWait2;
+      if (state_ == State::kTimeWait) enter_time_wait();
+    } else if (state_ == State::kClosing) {
+      enter_time_wait();
+    } else if (state_ == State::kLastAck) {
+      become_closed(/*notify_reset=*/false);
+      return;
+    }
+  }
+
+  if (send_space_was_exhausted_ && send_space() > 0) {
+    send_space_was_exhausted_ = false;
+    if (on_send_space_) on_send_space_();
+  }
+  try_send();
+}
+
+void Connection::accept_payload(const net::Packet& packet) {
+  // Naive-close mode: the receiving direction is gone; arriving data hits a
+  // closed door and draws an RST.
+  if (recv_shutdown_ && !packet.payload.empty()) {
+    send_rst(static_cast<Seq>(wire_seq(snd_next_) + (fin_sent_ ? 1 : 0)));
+    become_closed(/*notify_reset=*/false);
+    return;
+  }
+
+  const Seq expected = static_cast<Seq>(irs_ + 1 + rcv_next_);
+  const std::int64_t rel = static_cast<std::int32_t>(packet.tcp.seq - expected);
+  const std::int64_t seg_start = static_cast<std::int64_t>(rcv_next_) + rel;
+  const std::size_t len = packet.payload.size();
+
+  bool out_of_order = false;
+  if (len > 0) {
+    if (seg_start + static_cast<std::int64_t>(len) <=
+        static_cast<std::int64_t>(rcv_next_)) {
+      // Entirely old data: pure duplicate; ACK immediately.
+      out_of_order = true;
+    } else {
+      std::size_t skip = 0;
+      Offset store_at = static_cast<Offset>(seg_start);
+      if (seg_start < static_cast<std::int64_t>(rcv_next_)) {
+        skip = static_cast<std::size_t>(
+            static_cast<std::int64_t>(rcv_next_) - seg_start);
+        store_at = rcv_next_;
+      }
+      std::vector<std::uint8_t> bytes(packet.payload.begin() + skip,
+                                      packet.payload.end());
+      if (store_at == rcv_next_) {
+        recv_ready_.insert(recv_ready_.end(), bytes.begin(), bytes.end());
+        rcv_next_ += bytes.size();
+        stats_.bytes_received += bytes.size();
+        deliver_in_order();
+      } else {
+        out_of_order = true;
+        auto [it, inserted] = reassembly_.try_emplace(store_at,
+                                                      std::move(bytes));
+        if (!inserted && it->second.size() < packet.payload.size() - skip) {
+          it->second.assign(packet.payload.begin() + skip,
+                            packet.payload.end());
+        }
+      }
+    }
+  }
+
+  // FIN handling: the FIN occupies the sequence slot after the segment data.
+  if (packet.tcp.has(net::flag::kFin)) {
+    const Offset fin_off = static_cast<Offset>(seg_start) + len;
+    if (!peer_fin_offset_) peer_fin_offset_ = fin_off;
+  }
+
+  bool fin_just_delivered = false;
+  if (peer_fin_offset_ && !peer_fin_delivered_ &&
+      rcv_next_ == *peer_fin_offset_) {
+    peer_fin_delivered_ = true;
+    fin_just_delivered = true;
+    if (state_ == State::kEstablished) {
+      state_ = State::kCloseWait;
+    } else if (state_ == State::kFinWait1) {
+      state_ = fin_acked_ ? State::kTimeWait : State::kClosing;
+      if (state_ == State::kTimeWait) enter_time_wait();
+    } else if (state_ == State::kFinWait2) {
+      enter_time_wait();
+    }
+  }
+
+  // Let the application react *before* we decide how to ACK, so that
+  // application responses (HTTP replies, further pipelined requests) can
+  // carry the ACK with them instead of costing a separate packet.
+  ack_pending_ = true;
+  if (len > 0) ++unacked_segments_;
+  if (!recv_ready_.empty() && on_data_) on_data_();
+  if (fin_just_delivered && on_peer_fin_) on_peer_fin_();
+  if (state_ == State::kClosed) return;  // app may have aborted
+
+  if (ack_pending_) {
+    schedule_ack(/*force_now=*/out_of_order || fin_just_delivered);
+  }
+}
+
+void Connection::deliver_in_order() {
+  // Pull contiguous segments out of the reassembly queue.
+  for (auto it = reassembly_.begin(); it != reassembly_.end();) {
+    if (it->first > rcv_next_) break;
+    std::vector<std::uint8_t>& bytes = it->second;
+    if (it->first + bytes.size() <= rcv_next_) {
+      it = reassembly_.erase(it);
+      continue;
+    }
+    const std::size_t skip = static_cast<std::size_t>(rcv_next_ - it->first);
+    recv_ready_.insert(recv_ready_.end(), bytes.begin() + skip, bytes.end());
+    stats_.bytes_received += bytes.size() - skip;
+    rcv_next_ += bytes.size() - skip;
+    it = reassembly_.erase(it);
+  }
+}
+
+void Connection::schedule_ack(bool force_now) {
+  if (force_now || !options_.delayed_ack || unacked_segments_ >= 2) {
+    send_pure_ack();
+    return;
+  }
+  if (!delack_timer_.armed()) {
+    delack_timer_.arm(options_.delayed_ack_timeout, [this] {
+      if (ack_pending_) {
+        ++stats_.delayed_acks_fired;
+        send_pure_ack();
+      }
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Teardown
+// ---------------------------------------------------------------------------
+
+void Connection::enter_time_wait() {
+  state_ = State::kTimeWait;
+  rto_timer_.cancel();
+  time_wait_timer_.arm(options_.time_wait_duration,
+                       [this] { become_closed(false); });
+}
+
+void Connection::become_closed(bool notify_reset) {
+  if (state_ == State::kClosed) return;
+  state_ = State::kClosed;
+  rto_timer_.cancel();
+  delack_timer_.cancel();
+  time_wait_timer_.cancel();
+  if (notify_reset) {
+    was_reset_ = true;
+    // BSD semantics: an incoming RST destroys data the application has not
+    // yet read from the socket.
+    recv_ready_.clear();
+    reassembly_.clear();
+  }
+  send_buf_.clear();
+  // Keep `this` alive through the callback: removing the connection from the
+  // host's table may drop the last owning reference.
+  Callback cb = notify_reset ? on_reset_ : on_closed_;
+  ConnectionPtr self = host_.remove_connection(key_);
+  if (cb) cb();
+}
+
+}  // namespace hsim::tcp

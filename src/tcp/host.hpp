@@ -1,0 +1,83 @@
+// A TCP endpoint host: owns connections, demultiplexes arriving segments by
+// 4-tuple, manages listeners and ephemeral ports, and answers segments for
+// unknown connections with RST (which is how the paper's pipelining
+// connection-management pitfall manifests).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/channel.hpp"
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "tcp/connection.hpp"
+
+namespace hsim::tcp {
+
+class Host : public net::PacketSink {
+ public:
+  using AcceptCallback = std::function<void(ConnectionPtr)>;
+
+  Host(sim::EventQueue& queue, net::IpAddr addr, std::string name,
+       sim::Rng rng);
+
+  /// Wires this host's transmissions onto `uplink`.
+  void attach_uplink(net::Link* uplink) { uplink_ = uplink; }
+
+  /// Active open toward (peer, port). The returned connection is in SYN_SENT;
+  /// on_connected fires when the handshake completes.
+  ConnectionPtr connect(net::IpAddr peer, net::Port port, TcpOptions options);
+
+  /// Passive open: accept connections on `port`. `on_accept` fires with the
+  /// new connection as soon as the three-way handshake completes.
+  void listen(net::Port port, AcceptCallback on_accept, TcpOptions options);
+  void stop_listening(net::Port port);
+
+  // PacketSink: a segment arrived from the wire.
+  void deliver(net::Packet packet) override;
+
+  // ---- Connection plumbing (used by tcp::Connection) ----
+  void transmit(net::Packet packet);
+  /// Removes the connection from the demux table, returning the owning
+  /// reference so the caller can keep the object alive through a final
+  /// callback.
+  ConnectionPtr remove_connection(const Connection::Key& key);
+  sim::EventQueue& event_queue() { return queue_; }
+  sim::Rng& rng() { return rng_; }
+
+  net::IpAddr addr() const { return addr_; }
+  const std::string& name() const { return name_; }
+  std::size_t open_connections() const { return connections_.size(); }
+  /// Total connections ever created on this host (≈ "sockets used").
+  std::uint64_t total_connections_created() const { return total_created_; }
+  /// Highest simultaneously-open connection count observed.
+  std::size_t max_simultaneous_connections() const { return max_open_; }
+  void reset_connection_counters();
+
+ private:
+  struct Listener {
+    AcceptCallback on_accept;
+    TcpOptions options;
+  };
+
+  void send_rst_for(const net::Packet& packet);
+  net::Port allocate_ephemeral_port();
+
+  sim::EventQueue& queue_;
+  net::IpAddr addr_;
+  std::string name_;
+  sim::Rng rng_;
+  net::Link* uplink_ = nullptr;
+  std::map<Connection::Key, ConnectionPtr> connections_;
+  std::map<net::Port, Listener> listeners_;
+  net::Port next_ephemeral_ = 10000;
+  std::uint64_t total_created_ = 0;
+  std::size_t max_open_ = 0;
+};
+
+}  // namespace hsim::tcp

@@ -1,0 +1,48 @@
+// Per-connection TCP tunables.
+//
+// Defaults approximate a mid-1990s BSD-derived stack, which is the behaviour
+// the paper's measurements depend on (200 ms delayed ACK, Nagle enabled,
+// 1460-byte Ethernet MSS, slow start from a small initial window).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace hsim::tcp {
+
+struct TcpOptions {
+  /// Maximum segment size (payload bytes per segment).
+  std::uint32_t mss = 1460;
+
+  /// Disables the Nagle algorithm (TCP_NODELAY). The paper recommends HTTP/1.1
+  /// implementations that buffer output set this.
+  bool nodelay = false;
+
+  /// Delayed-ACK: hold a pure ACK hoping to piggyback it, up to
+  /// `delayed_ack_timeout`, but always ACK every second full segment.
+  bool delayed_ack = true;
+  sim::Time delayed_ack_timeout = sim::milliseconds(200);
+
+  /// Initial congestion window in segments. The paper notes "some TCP stacks
+  /// implement slow start using one TCP segment whereas others use two".
+  std::uint32_t initial_cwnd_segments = 2;
+
+  /// Receive buffer = advertised window limit. Mid-1990s stacks typically
+  /// defaulted to 8-16 KB socket buffers; 16 KB keeps a 28.8k modem's queue
+  /// from overflowing while still covering the WAN bandwidth-delay product.
+  std::uint32_t recv_buffer = 16384;
+
+  /// Cap on unsent+unacked application data buffered in the sender.
+  std::uint32_t send_buffer = 128 * 1024;
+
+  /// Retransmission timer bounds (Jacobson/Karn estimator in between).
+  sim::Time min_rto = sim::milliseconds(500);
+  sim::Time max_rto = sim::seconds(60);
+  sim::Time initial_rto = sim::seconds(3);
+
+  /// How long a fully-closed initiating endpoint lingers in TIME_WAIT.
+  sim::Time time_wait_duration = sim::seconds(30);
+};
+
+}  // namespace hsim::tcp

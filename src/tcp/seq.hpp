@@ -1,0 +1,24 @@
+// 32-bit TCP sequence-number arithmetic (RFC 793 modular comparisons).
+#pragma once
+
+#include <cstdint>
+
+namespace hsim::tcp {
+
+using Seq = std::uint32_t;
+
+/// a < b in sequence space.
+inline bool seq_lt(Seq a, Seq b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+inline bool seq_le(Seq a, Seq b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+inline bool seq_gt(Seq a, Seq b) {
+  return static_cast<std::int32_t>(a - b) > 0;
+}
+inline bool seq_ge(Seq a, Seq b) {
+  return static_cast<std::int32_t>(a - b) >= 0;
+}
+
+}  // namespace hsim::tcp

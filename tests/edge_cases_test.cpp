@@ -1,0 +1,176 @@
+// Remaining edge-case coverage: event-queue time windows, robot behaviour on
+// missing resources, and server behaviour under pathological clients.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "server/static_site.hpp"
+#include "tcp_test_util.hpp"
+
+namespace hsim {
+namespace {
+
+TEST(EventQueueEdgeTest, RunForAdvancesRelativeWindow) {
+  sim::EventQueue q;
+  int fired = 0;
+  q.schedule_at(sim::milliseconds(10), [&] { ++fired; });
+  q.schedule_at(sim::milliseconds(30), [&] { ++fired; });
+  q.run_for(sim::milliseconds(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), sim::milliseconds(20));
+  q.run_for(sim::milliseconds(20));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueEdgeTest, CancelInsideCallbackOfSameTime) {
+  sim::EventQueue q;
+  bool second_ran = false;
+  sim::TimerId second;
+  q.schedule_at(sim::milliseconds(5), [&] { q.cancel(second); });
+  second = q.schedule_at(sim::milliseconds(5), [&] { second_ran = true; });
+  q.run();
+  EXPECT_FALSE(second_ran);
+}
+
+// A robot whose HTML references a resource the server does not have: the
+// visit must still complete, with the miss recorded as an error.
+TEST(RobotEdgeTest, MissingImageCountsAsErrorAndCompletes) {
+  sim::EventQueue queue;
+  sim::Rng rng(3);
+  net::Channel channel(queue,
+                       net::ChannelConfig::symmetric(0, sim::milliseconds(5)),
+                       rng.fork());
+  tcp::Host client_host(queue, 1, "c", rng.fork());
+  tcp::Host server_host(queue, 2, "s", rng.fork());
+  channel.attach_a(&client_host);
+  channel.attach_b(&server_host);
+  client_host.attach_uplink(&channel.uplink_from_a());
+  server_host.attach_uplink(&channel.uplink_from_b());
+
+  // A site whose page references one image that is not served.
+  server::StaticSite site;
+  server::Resource page;
+  page.path = "/index.html";
+  page.content_type = "text/html";
+  const std::string html =
+      "<html><body><img src=\"/ok.gif\"><img src=\"/missing.gif\">"
+      "</body></html>";
+  page.data.assign(html.begin(), html.end());
+  page.etag = server::make_etag(page.data);
+  site.add(page);
+  server::Resource ok;
+  ok.path = "/ok.gif";
+  ok.content_type = "image/gif";
+  ok.data.assign(100, 0x11);
+  ok.etag = server::make_etag(ok.data);
+  site.add(ok);
+
+  server::HttpServer server(server_host, std::move(site),
+                            server::apache_config(), rng.fork());
+  server.start(80);
+  client::Robot robot(
+      client_host, 2, 80,
+      harness::robot_config(client::ProtocolMode::kHttp11Pipelined));
+  bool done = false;
+  robot.start_first_visit("/index.html", [&] { done = true; });
+  queue.run_until(sim::seconds(60));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(robot.stats().responses_ok, 2u);     // page + ok.gif
+  EXPECT_EQ(robot.stats().responses_error, 1u);  // missing.gif -> 404
+  // The 404 is not cached.
+  EXPECT_EQ(robot.cache().find("/missing.gif"), nullptr);
+  EXPECT_NE(robot.cache().find("/ok.gif"), nullptr);
+}
+
+TEST(RobotEdgeTest, HtmlWithNoImagesFinishesAfterOneResponse) {
+  sim::EventQueue queue;
+  sim::Rng rng(5);
+  net::Channel channel(queue,
+                       net::ChannelConfig::symmetric(0, sim::milliseconds(5)),
+                       rng.fork());
+  tcp::Host client_host(queue, 1, "c", rng.fork());
+  tcp::Host server_host(queue, 2, "s", rng.fork());
+  channel.attach_a(&client_host);
+  channel.attach_b(&server_host);
+  client_host.attach_uplink(&channel.uplink_from_a());
+  server_host.attach_uplink(&channel.uplink_from_b());
+
+  server::StaticSite site;
+  server::Resource page;
+  page.path = "/plain.html";
+  page.content_type = "text/html";
+  const std::string html = "<html><body>no images at all</body></html>";
+  page.data.assign(html.begin(), html.end());
+  page.etag = server::make_etag(page.data);
+  site.add(page);
+  server::HttpServer server(server_host, std::move(site),
+                            server::apache_config(), rng.fork());
+  server.start(80);
+  client::Robot robot(
+      client_host, 2, 80,
+      harness::robot_config(client::ProtocolMode::kHttp11Pipelined));
+  bool done = false;
+  robot.start_first_visit("/plain.html", [&] { done = true; });
+  queue.run_until(sim::seconds(30));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(robot.stats().requests_sent, 1u);
+  EXPECT_EQ(robot.stats().responses_ok, 1u);
+}
+
+TEST(ServerEdgeTest, ClientThatConnectsAndSendsNothingIsReaped) {
+  testutil::TestNet net;
+  server::ServerConfig config = server::apache_config();
+  config.idle_timeout = sim::seconds(3);
+  server::HttpServer server(net.server, server::StaticSite{}, config,
+                            sim::Rng(9));
+  server.start(80);
+  auto conn = net.client.connect(testutil::kServerAddr, 80,
+                                 tcp::TcpOptions{});
+  bool peer_fin = false;
+  conn->set_on_peer_fin([&] { peer_fin = true; });
+  net.queue.run_until(sim::seconds(30));
+  EXPECT_TRUE(peer_fin);
+  EXPECT_EQ(server.stats().requests_served, 0u);
+}
+
+TEST(ServerEdgeTest, EmptySiteServes404ForEverything) {
+  testutil::TestNet net;
+  server::HttpServer server(net.server, server::StaticSite{},
+                            server::apache_config(), sim::Rng(9));
+  server.start(80);
+  tcp::TcpOptions opts;
+  opts.nodelay = true;
+  auto conn = net.client.connect(testutil::kServerAddr, 80, opts);
+  http::ResponseParser parser;
+  parser.push_request_context(http::Method::kGet);
+  std::optional<http::Response> response;
+  conn->set_on_data([&] {
+    const auto b = conn->read_all();
+    parser.feed({b.data(), b.size()});
+    if (auto r = parser.next()) response = std::move(*r);
+  });
+  conn->set_on_connected(
+      [&] { conn->send("GET /anything HTTP/1.1\r\nHost: x\r\n\r\n"); });
+  net.queue.run_until(sim::seconds(10));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 404);
+}
+
+TEST(StaticSiteEdgeTest, TotalBytesAndSize) {
+  server::StaticSite site;
+  EXPECT_EQ(site.size(), 0u);
+  EXPECT_EQ(site.total_bytes(), 0u);
+  server::Resource r;
+  r.path = "/a";
+  r.data.assign(10, 1);
+  site.add(r);
+  r.path = "/b";
+  r.data.assign(20, 2);
+  site.add(std::move(r));
+  EXPECT_EQ(site.size(), 2u);
+  EXPECT_EQ(site.total_bytes(), 30u);
+  EXPECT_NE(site.find("/a"), nullptr);
+  EXPECT_EQ(site.find("/c"), nullptr);
+}
+
+}  // namespace
+}  // namespace hsim

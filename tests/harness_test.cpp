@@ -1,0 +1,156 @@
+// Harness-level tests: network profiles, configuration presets, averaging,
+// and table rendering.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/network.hpp"
+#include "harness/table.hpp"
+
+namespace hsim::harness {
+namespace {
+
+TEST(NetworkProfileTest, PaperTable1Values) {
+  const NetworkProfile lan = lan_profile();
+  EXPECT_EQ(lan.bandwidth_bps, 10'000'000);
+  EXPECT_LT(lan.rtt, sim::milliseconds(1));  // "< 1ms"
+
+  const NetworkProfile wan = wan_profile();
+  EXPECT_EQ(wan.rtt, sim::milliseconds(90));  // "~90 ms"
+
+  const NetworkProfile ppp = ppp_profile();
+  EXPECT_EQ(ppp.bandwidth_bps, 28'800);
+  EXPECT_EQ(ppp.rtt, sim::milliseconds(150));  // "~150 ms"
+  // NT 4.0's default receive window keeps the modem queue in check.
+  EXPECT_EQ(ppp.client_recv_buffer, 8760u);
+}
+
+TEST(NetworkProfileTest, ChannelConfigSplitsRtt) {
+  const auto cfg = wan_profile().channel_config();
+  EXPECT_EQ(cfg.a_to_b.propagation_delay, sim::milliseconds(45));
+  EXPECT_EQ(cfg.b_to_a.propagation_delay, sim::milliseconds(45));
+  EXPECT_EQ(cfg.a_to_b.bandwidth_bps, wan_profile().bandwidth_bps);
+}
+
+TEST(RobotConfigTest, PaperModeDefaults) {
+  const auto h10 = robot_config(client::ProtocolMode::kHttp10Parallel);
+  EXPECT_EQ(h10.max_connections, 4u);
+  EXPECT_EQ(h10.revalidation, client::RevalidationStyle::kGetPlusHead);
+  EXPECT_FALSE(h10.http11());
+  EXPECT_FALSE(h10.pipelined());
+
+  const auto h11 = robot_config(client::ProtocolMode::kHttp11Persistent);
+  EXPECT_EQ(h11.max_connections, 1u);
+  EXPECT_FALSE(h11.pipelined());
+  EXPECT_TRUE(h11.http11());
+
+  const auto pipe = robot_config(client::ProtocolMode::kHttp11Pipelined);
+  EXPECT_TRUE(pipe.pipelined());
+  EXPECT_EQ(pipe.pipeline_buffer, 1024u);  // the paper's tuned value
+  EXPECT_EQ(pipe.flush_timeout, sim::milliseconds(50));
+  EXPECT_TRUE(pipe.explicit_first_flush);
+  EXPECT_FALSE(pipe.wants_deflate());
+
+  const auto comp =
+      robot_config(client::ProtocolMode::kHttp11PipelinedCompressed);
+  EXPECT_TRUE(comp.wants_deflate());
+  EXPECT_TRUE(comp.pipelined());
+}
+
+TEST(RobotConfigTest, BrowserPresets) {
+  const auto nav = netscape_client_config();
+  EXPECT_EQ(nav.mode, client::ProtocolMode::kHttp10Parallel);
+  EXPECT_EQ(nav.max_connections, 4u);
+  EXPECT_FALSE(nav.use_etags);
+  EXPECT_TRUE(nav.profile.send_keep_alive);
+
+  const auto ie_broken = msie_client_config(true);
+  EXPECT_EQ(ie_broken.mode, client::ProtocolMode::kHttp11Persistent);
+  EXPECT_EQ(ie_broken.revalidation, client::RevalidationStyle::kGetPlusHead);
+  const auto ie_ok = msie_client_config(false);
+  EXPECT_EQ(ie_ok.revalidation, client::RevalidationStyle::kConditionalGet);
+}
+
+TEST(ServerConfigTest, ProfilesDiffer) {
+  const auto jigsaw = server::jigsaw_config();
+  const auto apache = server::apache_config();
+  EXPECT_GT(jigsaw.per_request_cpu, apache.per_request_cpu);
+  EXPECT_EQ(jigsaw.max_requests_per_connection, 0u);
+  const auto beta = server::apache_beta2_config();
+  EXPECT_EQ(beta.max_requests_per_connection, 5u);
+  EXPECT_EQ(beta.close_style, server::CloseStyle::kNaive);
+}
+
+TEST(AveragingTest, MeansAreBetweenExtremes) {
+  ExperimentSpec spec;
+  spec.client = robot_config(client::ProtocolMode::kHttp11Pipelined);
+  spec.scenario = Scenario::kRevalidation;
+  const auto& site = shared_site();
+  double lo = 1e18, hi = 0;
+  for (unsigned i = 0; i < 3; ++i) {
+    ExperimentSpec s = spec;
+    s.seed = spec.seed + i * 7919;
+    const RunResult r = run_once(s, site);
+    lo = std::min(lo, r.seconds());
+    hi = std::max(hi, r.seconds());
+  }
+  const AveragedResult avg = run_averaged(spec, site, 3);
+  EXPECT_GE(avg.seconds, lo - 1e-9);
+  EXPECT_LE(avg.seconds, hi + 1e-9);
+  EXPECT_TRUE(avg.all_complete);
+}
+
+TEST(TableRenderTest, ContainsLabelsAndPaperRows) {
+  TableRow row;
+  row.label = "HTTP/1.1 Pipelined";
+  row.first_visit.packets = 123.4;
+  row.first_visit.bytes = 191551;
+  row.first_visit.seconds = 0.68;
+  row.first_visit.overhead_percent = 3.7;
+  row.revalidation.packets = 32.8;
+  row.paper_first_packets = 181.8;
+  row.paper_first_seconds = 0.68;
+  row.paper_reval_packets = 32.8;
+  row.paper_reval_seconds = 0.54;
+  const std::string text = render_table("Table X", {row});
+  EXPECT_NE(text.find("Table X"), std::string::npos);
+  EXPECT_NE(text.find("HTTP/1.1 Pipelined"), std::string::npos);
+  EXPECT_NE(text.find("(paper)"), std::string::npos);
+  EXPECT_NE(text.find("123.4"), std::string::npos);
+  EXPECT_NE(text.find("181.8"), std::string::npos);
+
+  const std::string bare = render_table("T", {row}, false);
+  EXPECT_EQ(bare.find("(paper)"), std::string::npos);
+}
+
+TEST(TableRenderTest, SummaryLineFormatsAllFields) {
+  AveragedResult r;
+  r.packets = 83;
+  r.bytes = 17694;
+  r.seconds = 3.02;
+  r.overhead_percent = 6.9;
+  r.packets_c2s = 25;
+  r.packets_s2c = 58;
+  r.connections = 1;
+  r.mean_packet_train = 83;
+  const std::string line = render_summary_line("pipeline", r);
+  EXPECT_NE(line.find("pipeline"), std::string::npos);
+  EXPECT_NE(line.find("17694"), std::string::npos);
+  EXPECT_NE(line.find("3.02"), std::string::npos);
+}
+
+TEST(SharedSiteTest, IsBuiltOnceAndStable) {
+  const content::MicroscapeSite& a = shared_site();
+  const content::MicroscapeSite& b = shared_site();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.images.size(), 42u);
+}
+
+TEST(ScenarioTest, Names) {
+  EXPECT_EQ(to_string(Scenario::kFirstVisit), "First Time Retrieval");
+  EXPECT_EQ(to_string(Scenario::kRevalidation), "Cache Validation");
+  EXPECT_EQ(client::to_string(client::ProtocolMode::kHttp11Pipelined),
+            "HTTP/1.1 Pipelined");
+}
+
+}  // namespace
+}  // namespace hsim::harness

@@ -1,0 +1,157 @@
+#include "http/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include "http/chunked.hpp"
+#include "http/date.hpp"
+
+namespace hsim::http {
+namespace {
+
+std::string as_string(const std::vector<std::uint8_t>& v) {
+  return std::string(v.begin(), v.end());
+}
+
+TEST(HeadersTest, CaseInsensitiveLookup) {
+  Headers h;
+  h.add("Content-Length", "42");
+  EXPECT_EQ(h.get("content-length"), "42");
+  EXPECT_EQ(h.get("CONTENT-LENGTH"), "42");
+  EXPECT_FALSE(h.get("Content-Type").has_value());
+}
+
+TEST(HeadersTest, SetReplacesFirstOccurrence) {
+  Headers h;
+  h.add("Accept", "text/html");
+  h.set("accept", "*/*");
+  EXPECT_EQ(h.get("Accept"), "*/*");
+  EXPECT_EQ(h.size(), 1u);
+  h.set("Host", "example.com");
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(HeadersTest, RemoveDeletesAllOccurrences) {
+  Headers h;
+  h.add("Via", "proxy1");
+  h.add("Via", "proxy2");
+  h.remove("via");
+  EXPECT_FALSE(h.contains("Via"));
+}
+
+TEST(HeadersTest, HasTokenSplitsOnCommas) {
+  Headers h;
+  h.add("Connection", "Keep-Alive, Upgrade");
+  EXPECT_TRUE(h.has_token("Connection", "keep-alive"));
+  EXPECT_TRUE(h.has_token("Connection", "upgrade"));
+  EXPECT_FALSE(h.has_token("Connection", "close"));
+  EXPECT_FALSE(h.has_token("Missing", "x"));
+}
+
+TEST(HeadersTest, WireSizeCountsNameColonSpaceValueCrlf) {
+  Headers h;
+  h.add("Host", "a");  // "Host: a\r\n" = 9 bytes
+  EXPECT_EQ(h.wire_size(), 9u);
+}
+
+TEST(RequestTest, SerializeMatchesWireSize) {
+  Request r;
+  r.method = Method::kGet;
+  r.target = "/images/logo.gif";
+  r.version = Version::kHttp11;
+  r.headers.add("Host", "www.microscape.com");
+  r.headers.add("Accept", "*/*");
+  const auto bytes = r.serialize();
+  EXPECT_EQ(bytes.size(), r.wire_size());
+  const std::string s = as_string(bytes);
+  EXPECT_TRUE(s.starts_with("GET /images/logo.gif HTTP/1.1\r\n"));
+  EXPECT_NE(s.find("Host: www.microscape.com\r\n"), std::string::npos);
+  EXPECT_TRUE(s.ends_with("\r\n\r\n"));
+}
+
+TEST(ResponseTest, SerializeIncludesStatusLineAndBody) {
+  Response r;
+  r.version = Version::kHttp11;
+  r.status = 200;
+  r.reason = "OK";
+  r.headers.add("Content-Length", "5");
+  r.body = {'h', 'e', 'l', 'l', 'o'};
+  const std::string s = as_string(r.serialize());
+  EXPECT_TRUE(s.starts_with("HTTP/1.1 200 OK\r\n"));
+  EXPECT_TRUE(s.ends_with("\r\n\r\nhello"));
+  EXPECT_EQ(r.serialize().size(), r.wire_size());
+}
+
+TEST(ResponseTest, StatusForbidsBody) {
+  Response r;
+  r.status = 304;
+  EXPECT_TRUE(r.status_forbids_body());
+  r.status = 204;
+  EXPECT_TRUE(r.status_forbids_body());
+  r.status = 101;
+  EXPECT_TRUE(r.status_forbids_body());
+  r.status = 200;
+  EXPECT_FALSE(r.status_forbids_body());
+  r.status = 404;
+  EXPECT_FALSE(r.status_forbids_body());
+}
+
+TEST(ResponseTest, DefaultReasons) {
+  EXPECT_EQ(default_reason(200), "OK");
+  EXPECT_EQ(default_reason(304), "Not Modified");
+  EXPECT_EQ(default_reason(404), "Not Found");
+  EXPECT_EQ(default_reason(206), "Partial Content");
+  EXPECT_EQ(default_reason(777), "Unknown");
+}
+
+TEST(MethodTest, RoundtripParse) {
+  for (Method m : {Method::kGet, Method::kHead, Method::kPost}) {
+    EXPECT_EQ(parse_method(to_string(m)), m);
+  }
+  EXPECT_FALSE(parse_method("BREW").has_value());
+}
+
+TEST(ChunkedTest, EncodeChunkFormat) {
+  std::vector<std::uint8_t> data = {'a', 'b', 'c'};
+  EXPECT_EQ(as_string(encode_chunk(data)), "3\r\nabc\r\n");
+  EXPECT_EQ(as_string(final_chunk()), "0\r\n\r\n");
+}
+
+TEST(ChunkedTest, EncodeChunkedBodySplits) {
+  std::vector<std::uint8_t> data(10, 'x');
+  const std::string s = as_string(encode_chunked_body(data, 4));
+  EXPECT_EQ(s, "4\r\nxxxx\r\n4\r\nxxxx\r\n2\r\nxx\r\n0\r\n\r\n");
+}
+
+TEST(DateTest, EpochFormatsToPaperDate) {
+  EXPECT_EQ(format_http_date(kSimulationEpoch),
+            "Tue, 24 Jun 1997 00:00:00 GMT");
+}
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(format_http_date(0), "Thu, 01 Jan 1970 00:00:00 GMT");
+  EXPECT_EQ(format_http_date(784111777), "Sun, 06 Nov 1994 08:49:37 GMT");
+}
+
+TEST(DateTest, ParseRoundtrip) {
+  for (UnixSeconds t : {UnixSeconds{0}, UnixSeconds{784111777},
+                        kSimulationEpoch, kSimulationEpoch + 86399}) {
+    const std::string s = format_http_date(t);
+    const auto parsed = parse_http_date(s);
+    ASSERT_TRUE(parsed.has_value()) << s;
+    EXPECT_EQ(*parsed, t) << s;
+  }
+}
+
+TEST(DateTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_http_date("not a date").has_value());
+  EXPECT_FALSE(parse_http_date("Tue, 24 Jun 1997 00:00:00 PST").has_value());
+  EXPECT_FALSE(parse_http_date("").has_value());
+}
+
+TEST(DateTest, SimTimeMapping) {
+  EXPECT_EQ(sim_to_unix(0), kSimulationEpoch);
+  EXPECT_EQ(sim_to_unix(sim::seconds(90)), kSimulationEpoch + 90);
+}
+
+}  // namespace
+}  // namespace hsim::http

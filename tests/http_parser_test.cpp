@@ -1,0 +1,255 @@
+#include "http/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hsim::http {
+namespace {
+
+std::span<const std::uint8_t> as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+std::string as_string(const std::vector<std::uint8_t>& v) {
+  return std::string(v.begin(), v.end());
+}
+
+TEST(RequestParserTest, ParsesSimpleGet) {
+  RequestParser p;
+  p.feed(as_bytes("GET /index.html HTTP/1.1\r\nHost: www\r\n\r\n"));
+  const auto req = p.next();
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->method, Method::kGet);
+  EXPECT_EQ(req->target, "/index.html");
+  EXPECT_EQ(req->version, Version::kHttp11);
+  EXPECT_EQ(req->headers.get("Host"), "www");
+  EXPECT_FALSE(p.next().has_value());
+}
+
+TEST(RequestParserTest, IncrementalFeedAcrossBoundaries) {
+  RequestParser p;
+  const std::string msg = "HEAD /img.gif HTTP/1.0\r\nAccept: */*\r\n\r\n";
+  for (char c : msg) {
+    std::string one(1, c);
+    p.feed(as_bytes(one));
+  }
+  const auto req = p.next();
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->method, Method::kHead);
+  EXPECT_EQ(req->version, Version::kHttp10);
+}
+
+TEST(RequestParserTest, PipelinedRequestsParseInOrder) {
+  RequestParser p;
+  p.feed(as_bytes(
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\nGET /c HTTP/1.1\r\n\r\n"));
+  EXPECT_EQ(p.next()->target, "/a");
+  EXPECT_EQ(p.next()->target, "/b");
+  EXPECT_EQ(p.next()->target, "/c");
+  EXPECT_FALSE(p.next().has_value());
+  EXPECT_EQ(p.buffered(), 0u);
+}
+
+TEST(RequestParserTest, BodyWithContentLength) {
+  RequestParser p;
+  p.feed(as_bytes("POST /submit HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd"));
+  const auto req = p.next();
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(as_string(req->body), "abcd");
+}
+
+TEST(RequestParserTest, WaitsForFullBody) {
+  RequestParser p;
+  p.feed(as_bytes("POST /s HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"));
+  EXPECT_FALSE(p.next().has_value());
+  p.feed(as_bytes("defghij"));
+  const auto req = p.next();
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->body.size(), 10u);
+}
+
+TEST(RequestParserTest, RejectsBadMethod) {
+  RequestParser p;
+  p.feed(as_bytes("BREW /pot HTTP/1.1\r\n\r\n"));
+  EXPECT_FALSE(p.next().has_value());
+  EXPECT_TRUE(p.failed());
+  EXPECT_EQ(p.error(), ParseError::kBadStartLine);
+}
+
+TEST(RequestParserTest, RejectsBadVersion) {
+  RequestParser p;
+  p.feed(as_bytes("GET / HTTP/2.0\r\n\r\n"));
+  EXPECT_FALSE(p.next().has_value());
+  EXPECT_EQ(p.error(), ParseError::kBadVersion);
+}
+
+TEST(RequestParserTest, RejectsMalformedHeader) {
+  RequestParser p;
+  p.feed(as_bytes("GET / HTTP/1.1\r\nNoColonHere\r\n\r\n"));
+  EXPECT_FALSE(p.next().has_value());
+  EXPECT_EQ(p.error(), ParseError::kBadHeader);
+}
+
+TEST(ResponseParserTest, ParsesContentLengthBody) {
+  ResponseParser p;
+  p.push_request_context(Method::kGet);
+  p.feed(as_bytes("HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello"));
+  const auto res = p.next();
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->status, 200);
+  EXPECT_EQ(res->reason, "OK");
+  EXPECT_EQ(as_string(res->body), "hello");
+}
+
+TEST(ResponseParserTest, HeadResponseHasNoBodyDespiteContentLength) {
+  ResponseParser p;
+  p.push_request_context(Method::kHead);
+  p.push_request_context(Method::kGet);
+  // The HEAD response advertises a length but sends no body; the next
+  // response follows immediately.
+  p.feed(as_bytes(
+      "HTTP/1.1 200 OK\r\nContent-Length: 999\r\n\r\n"
+      "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok"));
+  const auto head_res = p.next();
+  ASSERT_TRUE(head_res.has_value());
+  EXPECT_TRUE(head_res->body.empty());
+  EXPECT_EQ(head_res->headers.get("Content-Length"), "999");
+  const auto get_res = p.next();
+  ASSERT_TRUE(get_res.has_value());
+  EXPECT_EQ(as_string(get_res->body), "ok");
+}
+
+TEST(ResponseParserTest, NotModifiedHasNoBody) {
+  ResponseParser p;
+  p.push_request_context(Method::kGet);
+  p.push_request_context(Method::kGet);
+  p.feed(as_bytes(
+      "HTTP/1.1 304 Not Modified\r\nETag: \"v1\"\r\n\r\n"
+      "HTTP/1.1 304 Not Modified\r\nETag: \"v2\"\r\n\r\n"));
+  const auto a = p.next();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->status, 304);
+  EXPECT_EQ(a->headers.get("ETag"), "\"v1\"");
+  const auto b = p.next();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->headers.get("ETag"), "\"v2\"");
+}
+
+TEST(ResponseParserTest, PipelinedResponsesInterleavedFeeds) {
+  ResponseParser p;
+  for (int i = 0; i < 3; ++i) p.push_request_context(Method::kGet);
+  const std::string wire =
+      "HTTP/1.1 200 OK\r\nContent-Length: 1\r\n\r\nA"
+      "HTTP/1.1 200 OK\r\nContent-Length: 1\r\n\r\nB"
+      "HTTP/1.1 200 OK\r\nContent-Length: 1\r\n\r\nC";
+  // Feed in awkward 7-byte slices.
+  std::vector<std::string> bodies;
+  for (std::size_t i = 0; i < wire.size(); i += 7) {
+    p.feed(as_bytes(wire.substr(i, 7)));
+    while (auto res = p.next()) bodies.push_back(as_string(res->body));
+  }
+  ASSERT_EQ(bodies.size(), 3u);
+  EXPECT_EQ(bodies[0], "A");
+  EXPECT_EQ(bodies[1], "B");
+  EXPECT_EQ(bodies[2], "C");
+}
+
+TEST(ResponseParserTest, Http10BodyRunsUntilClose) {
+  ResponseParser p;
+  p.push_request_context(Method::kGet);
+  p.feed(as_bytes("HTTP/1.0 200 OK\r\n\r\npartial body"));
+  EXPECT_FALSE(p.next().has_value());  // no length: body still open
+  p.feed(as_bytes(" more"));
+  EXPECT_FALSE(p.next().has_value());
+  p.on_connection_closed();
+  const auto res = p.next();
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(as_string(res->body), "partial body more");
+}
+
+TEST(ResponseParserTest, ChunkedBodyDecodes) {
+  ResponseParser p;
+  p.push_request_context(Method::kGet);
+  p.feed(as_bytes(
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n"));
+  const auto res = p.next();
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(as_string(res->body), "hello world");
+}
+
+TEST(ResponseParserTest, ChunkedWithExtensionAndTrailer) {
+  ResponseParser p;
+  p.push_request_context(Method::kGet);
+  p.feed(as_bytes(
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4;name=val\r\nabcd\r\n0\r\nX-Trailer: t\r\n\r\n"));
+  const auto res = p.next();
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(as_string(res->body), "abcd");
+}
+
+TEST(ResponseParserTest, ChunkedSplitAcrossFeeds) {
+  ResponseParser p;
+  p.push_request_context(Method::kGet);
+  const std::string wire =
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "a\r\n0123456789\r\n3\r\nxyz\r\n0\r\n\r\n";
+  for (char c : wire) {
+    std::string one(1, c);
+    p.feed(as_bytes(one));
+  }
+  const auto res = p.next();
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(as_string(res->body), "0123456789xyz");
+}
+
+TEST(ResponseParserTest, RejectsBadChunkSize) {
+  ResponseParser p;
+  p.push_request_context(Method::kGet);
+  p.feed(as_bytes(
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n"));
+  EXPECT_FALSE(p.next().has_value());
+  EXPECT_EQ(p.error(), ParseError::kBadChunk);
+}
+
+TEST(ResponseParserTest, RejectsBadContentLength) {
+  ResponseParser p;
+  p.push_request_context(Method::kGet);
+  p.feed(as_bytes("HTTP/1.1 200 OK\r\nContent-Length: 12x\r\n\r\n"));
+  EXPECT_FALSE(p.next().has_value());
+  EXPECT_EQ(p.error(), ParseError::kBadContentLength);
+}
+
+TEST(ResponseParserTest, RejectsBadStatus) {
+  ResponseParser p;
+  p.push_request_context(Method::kGet);
+  p.feed(as_bytes("HTTP/1.1 99 Nope\r\n\r\n"));
+  EXPECT_FALSE(p.next().has_value());
+  EXPECT_EQ(p.error(), ParseError::kBadStartLine);
+}
+
+TEST(ResponseParserTest, MidMessageFlagTracksBodyProgress) {
+  ResponseParser p;
+  p.push_request_context(Method::kGet);
+  EXPECT_FALSE(p.mid_message());
+  p.feed(as_bytes("HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nab"));
+  EXPECT_FALSE(p.next().has_value());
+  EXPECT_TRUE(p.mid_message());
+  p.feed(as_bytes("cd"));
+  EXPECT_TRUE(p.next().has_value());
+  EXPECT_FALSE(p.mid_message());
+}
+
+TEST(ParseHeaderLineTest, TrimsOptionalWhitespace) {
+  std::string name, value;
+  ASSERT_TRUE(parse_header_line("Server:   Jigsaw/1.06  ", name, value));
+  EXPECT_EQ(name, "Server");
+  EXPECT_EQ(value, "Jigsaw/1.06");
+  EXPECT_FALSE(parse_header_line("no-colon-line", name, value));
+  EXPECT_FALSE(parse_header_line(":empty-name", name, value));
+}
+
+}  // namespace
+}  // namespace hsim::http

@@ -1,0 +1,159 @@
+// Property-style HTTP tests: messages survive serialize -> split-arbitrarily
+// -> parse roundtrips; pipelined streams parse identically regardless of how
+// the bytes are sliced.
+#include <gtest/gtest.h>
+
+#include "http/chunked.hpp"
+#include "http/parser.hpp"
+#include "sim/random.hpp"
+
+namespace hsim::http {
+namespace {
+
+Request random_request(sim::Rng& rng) {
+  Request req;
+  const Method methods[] = {Method::kGet, Method::kHead, Method::kPost};
+  req.method = methods[rng.uniform(0, 2)];
+  req.target = "/path/seg" + std::to_string(rng.uniform(0, 999)) + ".html";
+  req.version = rng.chance(0.5) ? Version::kHttp10 : Version::kHttp11;
+  req.headers.add("Host", "host" + std::to_string(rng.uniform(0, 99)));
+  const int extra = static_cast<int>(rng.uniform(0, 6));
+  for (int i = 0; i < extra; ++i) {
+    req.headers.add("X-Header-" + std::to_string(i),
+                    "value " + std::to_string(rng.uniform(0, 10000)));
+  }
+  if (req.method == Method::kPost) {
+    const auto n = static_cast<std::size_t>(rng.uniform(0, 500));
+    req.body.resize(n);
+    for (auto& b : req.body) b = static_cast<std::uint8_t>(rng.next_u32());
+    req.headers.add("Content-Length", std::to_string(n));
+  }
+  return req;
+}
+
+Response random_response(sim::Rng& rng, Method method) {
+  Response res;
+  res.version = rng.chance(0.5) ? Version::kHttp10 : Version::kHttp11;
+  const int statuses[] = {200, 206, 304, 404, 500};
+  res.status = statuses[rng.uniform(0, 4)];
+  res.reason = std::string(default_reason(res.status));
+  res.headers.add("Server", "prop-test");
+  if (!res.status_forbids_body() && method != Method::kHead) {
+    const auto n = static_cast<std::size_t>(rng.uniform(0, 4000));
+    res.body.resize(n);
+    for (auto& b : res.body) b = static_cast<std::uint8_t>(rng.next_u32());
+  }
+  // HEAD responses may still advertise a length; parsers must not consume.
+  res.headers.add("Content-Length", std::to_string(res.body.size()));
+  return res;
+}
+
+void feed_in_random_slices(sim::Rng& rng,
+                           const std::vector<std::uint8_t>& wire,
+                           const std::function<void(
+                               std::span<const std::uint8_t>)>& feed) {
+  std::size_t pos = 0;
+  while (pos < wire.size()) {
+    const std::size_t n = std::min<std::size_t>(
+        wire.size() - pos, static_cast<std::size_t>(rng.uniform(1, 97)));
+    feed({wire.data() + pos, n});
+    pos += n;
+  }
+}
+
+class HttpSliceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HttpSliceProperty, PipelinedRequestsSurviveAnySlicing) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 37 + 3);
+  std::vector<Request> sent;
+  std::vector<std::uint8_t> wire;
+  const int count = static_cast<int>(rng.uniform(1, 8));
+  for (int i = 0; i < count; ++i) {
+    Request r = random_request(rng);
+    const auto bytes = r.serialize();
+    wire.insert(wire.end(), bytes.begin(), bytes.end());
+    sent.push_back(std::move(r));
+  }
+
+  RequestParser parser;
+  std::vector<Request> got;
+  feed_in_random_slices(rng, wire, [&](std::span<const std::uint8_t> s) {
+    parser.feed(s);
+    while (auto r = parser.next()) got.push_back(std::move(*r));
+  });
+  ASSERT_FALSE(parser.failed());
+  ASSERT_EQ(got.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(got[i].method, sent[i].method);
+    EXPECT_EQ(got[i].target, sent[i].target);
+    EXPECT_EQ(got[i].version, sent[i].version);
+    EXPECT_EQ(got[i].body, sent[i].body);
+    EXPECT_EQ(got[i].headers.size(), sent[i].headers.size());
+  }
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST_P(HttpSliceProperty, PipelinedResponsesSurviveAnySlicing) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 53 + 11);
+  std::vector<Response> sent;
+  std::vector<Method> methods;
+  std::vector<std::uint8_t> wire;
+  const int count = static_cast<int>(rng.uniform(1, 8));
+  for (int i = 0; i < count; ++i) {
+    const Method m = rng.chance(0.25) ? Method::kHead : Method::kGet;
+    Response r = random_response(rng, m);
+    std::vector<std::uint8_t> bytes = r.serialize();
+    if (m == Method::kHead) {
+      // HEAD: the head advertises a length but no body crosses the wire.
+      bytes.resize(bytes.size() - r.body.size());
+      r.body.clear();
+    }
+    wire.insert(wire.end(), bytes.begin(), bytes.end());
+    sent.push_back(std::move(r));
+    methods.push_back(m);
+  }
+
+  ResponseParser parser;
+  for (const Method m : methods) parser.push_request_context(m);
+  std::vector<Response> got;
+  feed_in_random_slices(rng, wire, [&](std::span<const std::uint8_t> s) {
+    parser.feed(s);
+    while (auto r = parser.next()) got.push_back(std::move(*r));
+  });
+  ASSERT_FALSE(parser.failed());
+  ASSERT_EQ(got.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(got[i].status, sent[i].status);
+    EXPECT_EQ(got[i].body, sent[i].body) << i;
+  }
+}
+
+TEST_P(HttpSliceProperty, ChunkedBodiesSurviveAnySlicing) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 71 + 5);
+  std::vector<std::uint8_t> body(
+      static_cast<std::size_t>(rng.uniform(0, 10'000)));
+  for (auto& b : body) b = static_cast<std::uint8_t>(rng.next_u32());
+  const std::size_t chunk_size =
+      static_cast<std::size_t>(rng.uniform(1, 2000));
+
+  std::string head = "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n";
+  std::vector<std::uint8_t> wire(head.begin(), head.end());
+  const auto encoded = encode_chunked_body(body, chunk_size);
+  wire.insert(wire.end(), encoded.begin(), encoded.end());
+
+  ResponseParser parser;
+  parser.push_request_context(Method::kGet);
+  std::optional<Response> got;
+  feed_in_random_slices(rng, wire, [&](std::span<const std::uint8_t> s) {
+    parser.feed(s);
+    if (auto r = parser.next()) got = std::move(*r);
+  });
+  ASSERT_FALSE(parser.failed());
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->body, body);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HttpSliceProperty, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace hsim::http

@@ -1,0 +1,224 @@
+#include "deflate/huffman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "deflate/tables.hpp"
+#include "sim/random.hpp"
+
+namespace hsim::deflate {
+namespace {
+
+double kraft_sum(std::span<const std::uint8_t> lengths) {
+  double sum = 0;
+  for (std::uint8_t l : lengths) {
+    if (l > 0) sum += 1.0 / static_cast<double>(1u << l);
+  }
+  return sum;
+}
+
+TEST(HuffmanTest, TwoSymbolsGetOneBitEach) {
+  std::vector<std::uint32_t> freqs = {5, 3};
+  const auto lengths = build_code_lengths(freqs, 15);
+  EXPECT_EQ(lengths[0], 1);
+  EXPECT_EQ(lengths[1], 1);
+}
+
+TEST(HuffmanTest, SingleSymbolGetsLengthOne) {
+  std::vector<std::uint32_t> freqs = {0, 0, 7, 0};
+  const auto lengths = build_code_lengths(freqs, 15);
+  EXPECT_EQ(lengths[2], 1);
+  EXPECT_EQ(lengths[0], 0);
+}
+
+TEST(HuffmanTest, ZeroFrequenciesGetNoCode) {
+  std::vector<std::uint32_t> freqs(10, 0);
+  const auto lengths = build_code_lengths(freqs, 15);
+  for (auto l : lengths) EXPECT_EQ(l, 0);
+}
+
+TEST(HuffmanTest, SkewedDistributionGivesShortCodeToFrequentSymbol) {
+  std::vector<std::uint32_t> freqs = {1000, 1, 1, 1, 1, 1};
+  const auto lengths = build_code_lengths(freqs, 15);
+  for (std::size_t i = 1; i < freqs.size(); ++i) {
+    EXPECT_LE(lengths[0], lengths[i]);
+  }
+  EXPECT_LE(kraft_sum(lengths), 1.0 + 1e-12);
+}
+
+TEST(HuffmanTest, LengthLimitIsRespected) {
+  // Fibonacci-like frequencies force very deep unconstrained Huffman trees.
+  std::vector<std::uint32_t> freqs;
+  std::uint32_t a = 1, b = 1;
+  for (int i = 0; i < 30; ++i) {
+    freqs.push_back(a);
+    const std::uint32_t next = a + b;
+    a = b;
+    b = next;
+  }
+  for (unsigned limit : {7u, 10u, 15u}) {
+    const auto lengths = build_code_lengths(freqs, limit);
+    for (auto l : lengths) EXPECT_LE(l, limit);
+    EXPECT_LE(kraft_sum(lengths), 1.0 + 1e-12);
+    // Completeness: package-merge produces a full code.
+    EXPECT_NEAR(kraft_sum(lengths), 1.0, 1e-12);
+  }
+}
+
+TEST(HuffmanTest, CanonicalCodesMatchRfcExample) {
+  // RFC 1951 §3.2.2 example: lengths (3,3,3,3,3,2,4,4) produce codes
+  // 010,011,100,101,110,00,1110,1111.
+  std::vector<std::uint8_t> lengths = {3, 3, 3, 3, 3, 2, 4, 4};
+  const auto codes = assign_canonical_codes(lengths);
+  EXPECT_EQ(codes[0], 0b010u);
+  EXPECT_EQ(codes[1], 0b011u);
+  EXPECT_EQ(codes[2], 0b100u);
+  EXPECT_EQ(codes[3], 0b101u);
+  EXPECT_EQ(codes[4], 0b110u);
+  EXPECT_EQ(codes[5], 0b00u);
+  EXPECT_EQ(codes[6], 0b1110u);
+  EXPECT_EQ(codes[7], 0b1111u);
+}
+
+TEST(HuffmanTest, EncodeDecodeRoundtrip) {
+  std::vector<std::uint8_t> lengths = {3, 3, 3, 3, 3, 2, 4, 4};
+  HuffmanEncoder enc(lengths);
+  HuffmanDecoder dec;
+  ASSERT_TRUE(dec.build(lengths));
+
+  BitWriter writer;
+  std::vector<unsigned> symbols = {5, 0, 7, 3, 6, 1, 2, 4, 5, 5, 5};
+  for (unsigned s : symbols) enc.write_symbol(writer, s);
+  const auto bytes = writer.take();
+  BitReader reader(bytes);
+  for (unsigned s : symbols) {
+    EXPECT_EQ(dec.decode(reader), static_cast<int>(s));
+  }
+}
+
+TEST(HuffmanTest, DecoderRejectsOversubscribedCode) {
+  // Three 1-bit codes cannot exist.
+  std::vector<std::uint8_t> bad = {1, 1, 1};
+  HuffmanDecoder dec;
+  EXPECT_FALSE(dec.build(bad));
+}
+
+TEST(HuffmanTest, DecoderReportsExhaustedInput) {
+  std::vector<std::uint8_t> lengths = {2, 2, 2, 2};
+  HuffmanDecoder dec;
+  ASSERT_TRUE(dec.build(lengths));
+  std::vector<std::uint8_t> empty;
+  BitReader reader(empty);
+  EXPECT_EQ(dec.decode(reader), -1);
+}
+
+TEST(HuffmanTest, FixedTablesAreWellFormed) {
+  const auto lit = fixed_litlen_lengths();
+  const auto dist = fixed_dist_lengths();
+  HuffmanDecoder dl, dd;
+  EXPECT_TRUE(dl.build(lit));
+  EXPECT_TRUE(dd.build(dist));
+  EXPECT_NEAR(kraft_sum(lit), 1.0, 1e-12);
+  EXPECT_NEAR(kraft_sum(dist), 1.0, 1e-12);
+}
+
+TEST(HuffmanTest, LengthAndDistanceCodeMappingsInvertTables) {
+  for (unsigned len = kMinMatch; len <= kMaxMatch; ++len) {
+    const unsigned code = length_to_code(len);
+    ASSERT_LT(code, kLengthCodes.size());
+    EXPECT_GE(len, kLengthCodes[code].base);
+    EXPECT_LT(len - kLengthCodes[code].base,
+              (len == kMaxMatch) ? 1u : (1u << kLengthCodes[code].extra_bits));
+  }
+  for (unsigned d = 1; d <= kWindowSize; ++d) {
+    const unsigned code = distance_to_code(d);
+    ASSERT_LT(code, kDistCodes.size());
+    EXPECT_GE(d, kDistCodes[code].base);
+    EXPECT_LT(d - kDistCodes[code].base, 1u << kDistCodes[code].extra_bits);
+  }
+}
+
+class HuffmanProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HuffmanProperty, RandomFrequenciesRoundtrip) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const std::size_t n = static_cast<std::size_t>(rng.uniform(2, 288));
+  std::vector<std::uint32_t> freqs(n);
+  for (auto& f : freqs) {
+    f = rng.chance(0.3) ? 0 : static_cast<std::uint32_t>(rng.uniform(1, 10000));
+  }
+  // Ensure at least two nonzero symbols.
+  freqs[0] = 1;
+  freqs[n - 1] = 1;
+  const auto lengths = build_code_lengths(freqs, 15);
+  EXPECT_LE(kraft_sum(lengths), 1.0 + 1e-12);
+  HuffmanEncoder enc(lengths);
+  HuffmanDecoder dec;
+  ASSERT_TRUE(dec.build(lengths));
+
+  BitWriter writer;
+  std::vector<unsigned> emitted;
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    if (freqs[i] == 0) continue;
+    for (int k = 0; k < 3; ++k) {
+      emitted.push_back(static_cast<unsigned>(i));
+      enc.write_symbol(writer, static_cast<unsigned>(i));
+    }
+  }
+  const auto bytes = writer.take();
+  BitReader reader(bytes);
+  for (unsigned s : emitted) {
+    ASSERT_EQ(dec.decode(reader), static_cast<int>(s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HuffmanProperty, ::testing::Range(0, 20));
+
+TEST(BitIoTest, WriterReaderRoundtrip) {
+  BitWriter w;
+  w.write_bits(0b101, 3);
+  w.write_bits(0xFFFF, 16);
+  w.write_bits(0, 5);
+  w.write_bits(0b1101, 4);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read_bits(3), 0b101u);
+  EXPECT_EQ(r.read_bits(16), 0xFFFFu);
+  EXPECT_EQ(r.read_bits(5), 0u);
+  EXPECT_EQ(r.read_bits(4), 0b1101u);
+}
+
+TEST(BitIoTest, SeekAndTellRestorePosition) {
+  BitWriter w;
+  w.write_bits(0b110110, 6);
+  w.write_bits(0b1010, 4);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  r.read_bits(3);
+  const auto pos = r.tell();
+  const auto a = r.read_bits(5);
+  r.seek(pos);
+  EXPECT_EQ(r.read_bits(5), a);
+}
+
+TEST(BitIoTest, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b1, 1), 0b1u);
+  EXPECT_EQ(reverse_bits(0b110, 3), 0b011u);
+  EXPECT_EQ(reverse_bits(0b10000000, 8), 0b00000001u);
+  EXPECT_EQ(reverse_bits(0, 15), 0u);
+}
+
+TEST(BitIoTest, AlignToByte) {
+  BitWriter w;
+  w.write_bits(0b1, 1);
+  w.align_to_byte();
+  w.write_bits(0xAB, 8);
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[1], 0xAB);
+}
+
+}  // namespace
+}  // namespace hsim::deflate

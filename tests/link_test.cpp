@@ -1,0 +1,197 @@
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/channel.hpp"
+#include "sim/event_queue.hpp"
+
+namespace hsim::net {
+namespace {
+
+class CollectingSink : public PacketSink {
+ public:
+  explicit CollectingSink(sim::EventQueue& q) : queue_(q) {}
+  void deliver(Packet packet) override {
+    arrivals.emplace_back(queue_.now(), std::move(packet));
+  }
+  std::vector<std::pair<sim::Time, Packet>> arrivals;
+
+ private:
+  sim::EventQueue& queue_;
+};
+
+Packet make_packet(std::size_t payload_bytes) {
+  Packet p;
+  p.payload.resize(payload_bytes, 0xAB);
+  return p;
+}
+
+TEST(LinkTest, InfiniteBandwidthDeliversAfterPropagationDelay) {
+  sim::EventQueue q;
+  CollectingSink sink(q);
+  LinkConfig cfg;
+  cfg.propagation_delay = sim::milliseconds(45);
+  Link link(q, cfg, sim::Rng(1));
+  link.set_sink(&sink);
+  link.transmit(make_packet(1000));
+  q.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  EXPECT_EQ(sink.arrivals[0].first, sim::milliseconds(45));
+}
+
+TEST(LinkTest, SerialisationDelayMatchesBandwidth) {
+  sim::EventQueue q;
+  CollectingSink sink(q);
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8000;  // 1000 bytes/sec
+  cfg.propagation_delay = 0;
+  Link link(q, cfg, sim::Rng(1));
+  link.set_sink(&sink);
+  link.transmit(make_packet(960));  // 1000 wire bytes with 40 B header
+  q.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  EXPECT_EQ(sink.arrivals[0].first, sim::seconds(1));
+}
+
+TEST(LinkTest, BackToBackPacketsSerialiseSequentially) {
+  sim::EventQueue q;
+  CollectingSink sink(q);
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8000;
+  Link link(q, cfg, sim::Rng(1));
+  link.set_sink(&sink);
+  link.transmit(make_packet(960));
+  link.transmit(make_packet(960));
+  q.run();
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  EXPECT_EQ(sink.arrivals[0].first, sim::seconds(1));
+  EXPECT_EQ(sink.arrivals[1].first, sim::seconds(2));
+}
+
+TEST(LinkTest, QueueOverflowDropsTail) {
+  sim::EventQueue q;
+  CollectingSink sink(q);
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8000;
+  cfg.queue_limit_packets = 2;
+  Link link(q, cfg, sim::Rng(1));
+  link.set_sink(&sink);
+  // First packet starts transmitting immediately (not queued); two fit in the
+  // queue; the rest drop.
+  for (int i = 0; i < 6; ++i) link.transmit(make_packet(960));
+  q.run();
+  EXPECT_EQ(sink.arrivals.size(), 3u);
+  EXPECT_EQ(link.stats().packets_dropped_queue, 3u);
+}
+
+TEST(LinkTest, RandomDropInjection) {
+  sim::EventQueue q;
+  CollectingSink sink(q);
+  LinkConfig cfg;
+  cfg.random_drop_probability = 1.0;
+  Link link(q, cfg, sim::Rng(1));
+  link.set_sink(&sink);
+  link.transmit(make_packet(100));
+  q.run();
+  EXPECT_TRUE(sink.arrivals.empty());
+  EXPECT_EQ(link.stats().packets_dropped_random, 1u);
+}
+
+TEST(LinkTest, StatsCountWireBytes) {
+  sim::EventQueue q;
+  CollectingSink sink(q);
+  Link link(q, LinkConfig{}, sim::Rng(1));
+  link.set_sink(&sink);
+  link.transmit(make_packet(100));
+  link.transmit(make_packet(200));
+  q.run();
+  EXPECT_EQ(link.stats().packets_sent, 2u);
+  EXPECT_EQ(link.stats().bytes_sent, 100u + 200u + 2 * kIpTcpHeaderBytes);
+}
+
+TEST(LinkTest, JitterPreservesOrdering) {
+  sim::EventQueue q;
+  CollectingSink sink(q);
+  LinkConfig cfg;
+  cfg.propagation_delay = sim::milliseconds(50);
+  cfg.delay_jitter = 0.5;
+  Link link(q, cfg, sim::Rng(99));
+  link.set_sink(&sink);
+  for (int i = 0; i < 50; ++i) {
+    Packet p = make_packet(10);
+    p.tcp.seq = static_cast<std::uint32_t>(i);
+    link.transmit(std::move(p));
+  }
+  q.run();
+  ASSERT_EQ(sink.arrivals.size(), 50u);
+  for (std::size_t i = 1; i < sink.arrivals.size(); ++i) {
+    EXPECT_LE(sink.arrivals[i - 1].first, sink.arrivals[i].first);
+    EXPECT_EQ(sink.arrivals[i].second.tcp.seq, i);
+  }
+}
+
+TEST(LinkTest, PayloadSizerShrinksSerialisationTime) {
+  sim::EventQueue q;
+  CollectingSink sink(q);
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8000;
+  Link link(q, cfg, sim::Rng(1));
+  link.set_sink(&sink);
+  // Modem-style compression: the 960-byte payload crosses the wire as 460.
+  link.set_payload_sizer([](const Packet&) { return std::size_t{460}; });
+  link.transmit(make_packet(960));
+  q.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  EXPECT_EQ(sink.arrivals[0].first, sim::milliseconds(500));
+  // The delivered packet still carries its full payload.
+  EXPECT_EQ(sink.arrivals[0].second.payload.size(), 960u);
+}
+
+TEST(ChannelTest, SymmetricConfigSplitsRtt) {
+  const ChannelConfig cfg =
+      ChannelConfig::symmetric(1'000'000, sim::milliseconds(90));
+  EXPECT_EQ(cfg.a_to_b.propagation_delay, sim::milliseconds(45));
+  EXPECT_EQ(cfg.b_to_a.propagation_delay, sim::milliseconds(45));
+}
+
+TEST(ChannelTest, TraceSeesBothDirections) {
+  sim::EventQueue q;
+  Channel ch(q, ChannelConfig::symmetric(0, sim::milliseconds(10)),
+             sim::Rng(5));
+  CollectingSink a(q), b(q);
+  ch.attach_a(&a);
+  ch.attach_b(&b);
+  PacketTrace trace(/*client_addr=*/1);
+  ch.set_trace(&trace);
+
+  Packet from_a = make_packet(10);
+  from_a.src = 1;
+  from_a.dst = 2;
+  ch.uplink_from_a().transmit(std::move(from_a));
+  Packet from_b = make_packet(20);
+  from_b.src = 2;
+  from_b.dst = 1;
+  ch.uplink_from_b().transmit(std::move(from_b));
+  q.run();
+
+  EXPECT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(a.arrivals.size(), 1u);
+  ASSERT_EQ(trace.records().size(), 2u);
+  const TraceSummary s = trace.summarize();
+  EXPECT_EQ(s.packets, 2u);
+  EXPECT_EQ(s.packets_client_to_server, 1u);
+  EXPECT_EQ(s.packets_server_to_client, 1u);
+}
+
+TEST(FlagsToStringTest, RendersCombinations) {
+  EXPECT_EQ(flags_to_string(flag::kSyn), "S");
+  EXPECT_EQ(flags_to_string(flag::kSyn | flag::kAck), "SA");
+  EXPECT_EQ(flags_to_string(flag::kFin | flag::kAck), "FA");
+  EXPECT_EQ(flags_to_string(flag::kRst), "R");
+  EXPECT_EQ(flags_to_string(0), ".");
+}
+
+}  // namespace
+}  // namespace hsim::net

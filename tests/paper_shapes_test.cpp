@@ -1,0 +1,131 @@
+// Regression guards for the paper's headline shapes: if a future change to
+// the TCP stack, server, or client drifts the reproduction away from the
+// published results, these bands catch it. Bands are deliberately loose —
+// they encode "who wins by roughly what factor", not exact packet counts.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace hsim {
+namespace {
+
+using client::ProtocolMode;
+using harness::AveragedResult;
+using harness::ExperimentSpec;
+using harness::Scenario;
+
+AveragedResult measure(ProtocolMode mode, Scenario scenario,
+                       harness::NetworkProfile network,
+                       server::ServerConfig server) {
+  ExperimentSpec spec;
+  spec.network = std::move(network);
+  spec.server = std::move(server);
+  spec.client = harness::robot_config(mode);
+  spec.scenario = scenario;
+  return harness::run_averaged(spec, harness::shared_site(), 2);
+}
+
+// --- Table 4/6 bands (Jigsaw) ---
+
+TEST(PaperShapesTest, JigsawLanFirstVisitBands) {
+  const auto h10 = measure(ProtocolMode::kHttp10Parallel,
+                           Scenario::kFirstVisit, harness::lan_profile(),
+                           server::jigsaw_config());
+  // Paper: 510.2 packets, 216 KB.
+  EXPECT_NEAR(h10.packets, 510.0, 110.0);
+  EXPECT_NEAR(h10.bytes, 216289.0, 25000.0);
+
+  const auto pipe = measure(ProtocolMode::kHttp11Pipelined,
+                            Scenario::kFirstVisit, harness::lan_profile(),
+                            server::jigsaw_config());
+  // Paper: 181.8 packets, 191.5 KB.
+  EXPECT_NEAR(pipe.packets, 182.0, 60.0);
+  EXPECT_NEAR(pipe.bytes, 191551.0, 15000.0);
+}
+
+TEST(PaperShapesTest, JigsawLanRevalidationBands) {
+  const auto pipe = measure(ProtocolMode::kHttp11Pipelined,
+                            Scenario::kRevalidation, harness::lan_profile(),
+                            server::jigsaw_config());
+  // Paper: 32.8 packets, 17.7 KB.
+  EXPECT_NEAR(pipe.packets, 32.8, 15.0);
+  EXPECT_NEAR(pipe.bytes, 17694.0, 5000.0);
+  const auto h10 = measure(ProtocolMode::kHttp10Parallel,
+                           Scenario::kRevalidation, harness::lan_profile(),
+                           server::jigsaw_config());
+  // Factor >= 10 in packets (paper: 374.8 / 32.8 = 11.4).
+  EXPECT_GE(h10.packets / pipe.packets, 10.0);
+}
+
+TEST(PaperShapesTest, PppPipelinedElapsedNearPaper) {
+  const auto pipe = measure(ProtocolMode::kHttp11Pipelined,
+                            Scenario::kFirstVisit, harness::ppp_profile(),
+                            server::jigsaw_config());
+  // Paper: 53.3 s — bandwidth-dominated, so this band is tight.
+  EXPECT_NEAR(pipe.seconds, 53.3, 5.0);
+  const auto persistent = measure(ProtocolMode::kHttp11Persistent,
+                                  Scenario::kFirstVisit,
+                                  harness::ppp_profile(),
+                                  server::jigsaw_config());
+  // Paper: 63.8 s.
+  EXPECT_NEAR(persistent.seconds, 63.8, 6.0);
+  EXPECT_LT(pipe.seconds, persistent.seconds);
+}
+
+TEST(PaperShapesTest, CompressionSavesAboutSixteenPercentOfPackets) {
+  const auto plain = measure(ProtocolMode::kHttp11Pipelined,
+                             Scenario::kFirstVisit, harness::wan_profile(),
+                             server::jigsaw_config());
+  const auto comp = measure(ProtocolMode::kHttp11PipelinedCompressed,
+                            Scenario::kFirstVisit, harness::wan_profile(),
+                            server::jigsaw_config());
+  const double packet_saving = 1.0 - comp.packets / plain.packets;
+  // Paper: ~16 % of packets ("about 16% of the packets and 12% of the
+  // elapsed time").
+  EXPECT_GT(packet_saving, 0.08);
+  EXPECT_LT(packet_saving, 0.25);
+  const double byte_saving = plain.bytes - comp.bytes;
+  // Paper: ~31 KB of payload (the deflated HTML).
+  EXPECT_NEAR(byte_saving, 31000.0, 8000.0);
+}
+
+TEST(PaperShapesTest, OverheadColumnsMatchPaper) {
+  const auto h10 = measure(ProtocolMode::kHttp10Parallel,
+                           Scenario::kRevalidation, harness::wan_profile(),
+                           server::jigsaw_config());
+  EXPECT_NEAR(h10.overhead_percent, 20.0, 3.0);  // paper: 20.0
+  const auto pipe = measure(ProtocolMode::kHttp11Pipelined,
+                            Scenario::kRevalidation, harness::wan_profile(),
+                            server::jigsaw_config());
+  EXPECT_NEAR(pipe.overhead_percent, 7.1, 2.5);  // paper: 7.1
+}
+
+TEST(PaperShapesTest, ApacheOutperformsJigsawOnLanElapsed) {
+  const auto jigsaw = measure(ProtocolMode::kHttp11Pipelined,
+                              Scenario::kFirstVisit, harness::lan_profile(),
+                              server::jigsaw_config());
+  const auto apache = measure(ProtocolMode::kHttp11Pipelined,
+                              Scenario::kFirstVisit, harness::lan_profile(),
+                              server::apache_config());
+  // Paper: 0.68 vs 0.49 — Jigsaw roughly 1.4x slower.
+  const double ratio = jigsaw.seconds / apache.seconds;
+  EXPECT_GT(ratio, 1.1);
+  EXPECT_LT(ratio, 2.5);
+}
+
+TEST(PaperShapesTest, PersistentLosesToHttp10OnWanElapsed) {
+  const auto h10 = measure(ProtocolMode::kHttp10Parallel,
+                           Scenario::kFirstVisit, harness::wan_profile(),
+                           server::jigsaw_config());
+  const auto persistent = measure(ProtocolMode::kHttp11Persistent,
+                                  Scenario::kFirstVisit,
+                                  harness::wan_profile(),
+                                  server::jigsaw_config());
+  // Paper: 6.64 vs 4.17 — persistent ~1.6x slower without pipelining.
+  const double ratio = persistent.seconds / h10.seconds;
+  EXPECT_GT(ratio, 1.2);
+  EXPECT_LT(ratio, 2.5);
+}
+
+}  // namespace
+}  // namespace hsim

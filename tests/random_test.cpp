@@ -1,0 +1,73 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsim::sim {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) any_diff |= (a.next_u64() != b.next_u64());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = r.uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformRealStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform_real(0.25, 0.75);
+    EXPECT_GE(v, 0.25);
+    EXPECT_LT(v, 0.75);
+  }
+}
+
+TEST(RngTest, JitterCentredOnOne) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double j = r.jitter(0.1);
+    EXPECT_GE(j, 0.9);
+    EXPECT_LE(j, 1.1);
+    sum += j;
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(99);
+  Rng child = a.fork();
+  // The fork must not replay the parent's stream.
+  Rng parent_copy(99);
+  parent_copy.next_u64();  // consume what fork consumed
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    any_diff |= (child.next_u64() != parent_copy.next_u64());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace hsim::sim

@@ -1,0 +1,258 @@
+// Focused TCP behaviour tests beyond the basic transfer/congestion suites:
+// delayed-ACK piggybacking, initial window options, MSS variants, window
+// advertisement, determinism, and abort semantics.
+#include <gtest/gtest.h>
+
+#include "tcp_test_util.hpp"
+
+namespace hsim {
+namespace {
+
+using namespace testutil;
+using tcp::ConnectionPtr;
+using tcp::State;
+using tcp::TcpOptions;
+
+TEST(TcpBehaviorTest, AckPiggybacksOnPromptResponse) {
+  // Server app replies immediately: no pure-ACK packet should appear from
+  // the server at all (the ACK rides the response segment).
+  TestNet net(net::ChannelConfig::symmetric(0, sim::milliseconds(10)));
+  net.server.listen(
+      80,
+      [](ConnectionPtr c) {
+        c->set_on_data([raw = c.get()] {
+          (void)raw->read_all();
+          raw->send("RESPONSE");
+        });
+      },
+      TcpOptions{});
+  TcpOptions copts;
+  copts.nodelay = true;
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, copts);
+  Collector rx;
+  rx.attach(conn);
+  conn->set_on_connected([&] { conn->send("REQ"); });
+  net.queue.run_until(sim::seconds(5));
+  EXPECT_EQ(rx.as_string(), "RESPONSE");
+  std::size_t server_pure_acks = 0;
+  for (const auto& r : net.trace.records()) {
+    if (r.src == kServerAddr && r.payload_bytes == 0 &&
+        (r.flags & net::flag::kSyn) == 0 && (r.flags & net::flag::kFin) == 0) {
+      ++server_pure_acks;
+    }
+  }
+  EXPECT_EQ(server_pure_acks, 0u);
+}
+
+TEST(TcpBehaviorTest, DelayedAckFiresWhenNoResponseComes) {
+  TestNet net(net::ChannelConfig::symmetric(0, sim::milliseconds(10)));
+  ConnectionPtr server_conn;
+  net.server.listen(80, [&](ConnectionPtr c) { server_conn = c; },
+                    TcpOptions{});
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  conn->set_on_connected([&] { conn->send("no reply expected"); });
+  net.queue.run_until(sim::seconds(5));
+  ASSERT_NE(server_conn, nullptr);
+  EXPECT_GE(server_conn->stats().delayed_acks_fired, 1u);
+}
+
+TEST(TcpBehaviorTest, Mss536ProducesMoreSegmentsThan1460) {
+  auto run = [](std::uint32_t mss) {
+    TestNet net;
+    std::size_t received = 0;
+    net.server.listen(
+        80,
+        [&](ConnectionPtr c) {
+          c->set_on_data(
+              [&received, raw = c.get()] { received += raw->read_all().size(); });
+        },
+        TcpOptions{});
+    TcpOptions opts;
+    opts.mss = mss;
+    ConnectionPtr conn = net.client.connect(kServerAddr, 80, opts);
+    const auto payload = pattern_bytes(50'000);
+    std::size_t off = 0;
+    auto pump = [&] {
+      off += conn->send(std::span<const std::uint8_t>(payload.data() + off,
+                                                      payload.size() - off));
+    };
+    conn->set_on_connected(pump);
+    conn->set_on_send_space(pump);
+    net.queue.run();
+    EXPECT_EQ(received, payload.size());
+    std::size_t data_packets = 0;
+    for (const auto& r : net.trace.records()) {
+      if (r.src == kClientAddr && r.payload_bytes > 0) ++data_packets;
+    }
+    return data_packets;
+  };
+  const std::size_t seg536 = run(536);
+  const std::size_t seg1460 = run(1460);
+  EXPECT_GT(seg536, 2 * seg1460);
+}
+
+TEST(TcpBehaviorTest, IdenticalSeedsProduceIdenticalTraces) {
+  auto run = [](std::uint64_t seed) {
+    TestNet net(net::ChannelConfig::symmetric(1'000'000,
+                                              sim::milliseconds(40)),
+                seed);
+    std::vector<std::uint8_t> got;
+    net.server.listen(
+        80,
+        [&](ConnectionPtr c) {
+          c->set_on_data([&got, raw = c.get()] {
+            auto b = raw->read_all();
+            got.insert(got.end(), b.begin(), b.end());
+          });
+        },
+        TcpOptions{});
+    ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+    const auto payload = pattern_bytes(40'000);
+    std::size_t off = 0;
+    auto pump = [&] {
+      off += conn->send(std::span<const std::uint8_t>(payload.data() + off,
+                                                      payload.size() - off));
+    };
+    conn->set_on_connected(pump);
+    conn->set_on_send_space(pump);
+    net.queue.run();
+    std::vector<std::tuple<sim::Time, std::uint32_t, std::uint32_t>> trace;
+    for (const auto& r : net.trace.records()) {
+      trace.emplace_back(r.time, r.seq, r.payload_bytes);
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));  // jitter differs across seeds
+}
+
+TEST(TcpBehaviorTest, ReceiveWindowNeverExceeded) {
+  // A tiny receive buffer with an app that drains slowly: the sender must
+  // respect the advertised window (never more unacked data than rwnd).
+  TestNet net;
+  TcpOptions sopts;
+  sopts.recv_buffer = 4096;
+  std::size_t received = 0;
+  ConnectionPtr server_conn;
+  net.server.listen(
+      80,
+      [&](ConnectionPtr c) {
+        server_conn = c;
+        // Drain only 1 KB every 50 ms.
+        auto drain = std::make_shared<std::function<void()>>();
+        *drain = [&net, &received, raw = c.get(), drain] {
+          received += raw->read_all().size();
+          net.queue.schedule_in(sim::milliseconds(50), *drain);
+        };
+        net.queue.schedule_in(sim::milliseconds(50), *drain);
+      },
+      sopts);
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  const auto payload = pattern_bytes(60'000);
+  std::size_t off = 0;
+  auto pump = [&] {
+    off += conn->send(std::span<const std::uint8_t>(payload.data() + off,
+                                                    payload.size() - off));
+  };
+  conn->set_on_connected(pump);
+  conn->set_on_send_space(pump);
+  net.queue.run_until(sim::seconds(60));
+  EXPECT_EQ(received, payload.size());
+  EXPECT_EQ(conn->stats().timeouts, 0u);  // flow control, not loss recovery
+}
+
+TEST(TcpBehaviorTest, AbortMidTransferStopsEverything) {
+  TestNet net(net::ChannelConfig::symmetric(1'000'000, sim::milliseconds(20)));
+  ConnectionPtr server_conn;
+  net.server.listen(80, [&](ConnectionPtr c) { server_conn = c; },
+                    TcpOptions{});
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  const auto payload = pattern_bytes(100'000);
+  std::size_t off = 0;
+  auto pump = [&] {
+    off += conn->send(std::span<const std::uint8_t>(payload.data() + off,
+                                                    payload.size() - off));
+  };
+  conn->set_on_connected(pump);
+  conn->set_on_send_space(pump);
+  bool server_reset = false;
+  net.queue.schedule_at(sim::milliseconds(200), [&] {
+    if (server_conn) server_conn->set_on_reset([&] { server_reset = true; });
+    conn->abort();
+  });
+  net.queue.run_until(sim::seconds(10));
+  EXPECT_TRUE(server_reset);
+  EXPECT_EQ(conn->state(), State::kClosed);
+  EXPECT_EQ(net.client.open_connections(), 0u);
+  EXPECT_EQ(net.server.open_connections(), 0u);
+}
+
+TEST(TcpBehaviorTest, InitialCwndOptionControlsFirstBurst) {
+  for (const std::uint32_t segs : {1u, 2u, 4u}) {
+    TestNet net(net::ChannelConfig::symmetric(100'000'000,
+                                              sim::milliseconds(100)));
+    net.server.listen(
+        80,
+        [](ConnectionPtr c) {
+          c->set_on_data([raw = c.get()] { (void)raw->read_all(); });
+        },
+        TcpOptions{});
+    TcpOptions opts;
+    opts.initial_cwnd_segments = segs;
+    ConnectionPtr conn = net.client.connect(kServerAddr, 80, opts);
+    const auto payload = pattern_bytes(20'000);
+    conn->set_on_connected([&] {
+      conn->send(
+          std::span<const std::uint8_t>(payload.data(), payload.size()));
+    });
+    // Run just past the first burst (handshake 100ms + epsilon).
+    net.queue.run_until(sim::milliseconds(140));
+    std::size_t first_burst = 0;
+    for (const auto& r : net.trace.records()) {
+      if (r.src == kClientAddr && r.payload_bytes > 0) ++first_burst;
+    }
+    EXPECT_EQ(first_burst, segs) << segs;
+  }
+}
+
+TEST(TcpBehaviorTest, PshSetOnFinalSegmentOfBurst) {
+  TestNet net;
+  net.server.listen(80, [](ConnectionPtr) {}, TcpOptions{});
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  const auto payload = pattern_bytes(4000);
+  conn->set_on_connected([&] {
+    conn->send(std::span<const std::uint8_t>(payload.data(), payload.size()));
+  });
+  net.queue.run_until(sim::seconds(5));
+  // Find the last data segment from the client; it must carry PSH.
+  const net::TraceRecord* last_data = nullptr;
+  for (const auto& r : net.trace.records()) {
+    if (r.src == kClientAddr && r.payload_bytes > 0) last_data = &r;
+  }
+  ASSERT_NE(last_data, nullptr);
+  EXPECT_TRUE((last_data->flags & net::flag::kPsh) != 0);
+}
+
+TEST(TcpBehaviorTest, ConnectionStatsAccounting) {
+  TestNet net;
+  std::size_t received = 0;
+  net.server.listen(
+      80,
+      [&](ConnectionPtr c) {
+        c->set_on_data(
+            [&received, raw = c.get()] { received += raw->read_all().size(); });
+      },
+      TcpOptions{});
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  const auto payload = pattern_bytes(10'000);
+  conn->set_on_connected([&] {
+    conn->send(std::span<const std::uint8_t>(payload.data(), payload.size()));
+  });
+  net.queue.run();
+  EXPECT_EQ(conn->stats().bytes_sent, payload.size());
+  EXPECT_GE(conn->stats().segments_sent, payload.size() / 1460);
+  EXPECT_EQ(conn->stats().retransmits, 0u);
+}
+
+}  // namespace
+}  // namespace hsim

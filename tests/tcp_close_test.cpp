@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "tcp_test_util.hpp"
+
+namespace hsim {
+namespace {
+
+using namespace testutil;
+using tcp::ConnectionPtr;
+using tcp::State;
+using tcp::TcpOptions;
+
+TEST(TcpCloseTest, GracefulCloseBothSides) {
+  TestNet net;
+  ConnectionPtr server_conn;
+  net.server.listen(
+      80,
+      [&](ConnectionPtr c) {
+        server_conn = c;
+        c->set_on_peer_fin([raw = c.get()] { raw->shutdown_send(); });
+      },
+      TcpOptions{});
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  bool client_closed = false;
+  conn->set_on_connected([&] { conn->shutdown_send(); });
+  conn->set_on_closed([&] { client_closed = true; });
+  net.queue.run_until(sim::seconds(120));
+  // The client initiated the close so it passes through TIME_WAIT and then
+  // fully closes; the server reaches CLOSED via LAST_ACK.
+  EXPECT_TRUE(client_closed);
+  EXPECT_EQ(conn->state(), State::kClosed);
+  ASSERT_NE(server_conn, nullptr);
+  EXPECT_EQ(server_conn->state(), State::kClosed);
+  EXPECT_EQ(net.server.open_connections(), 0u);
+  EXPECT_EQ(net.client.open_connections(), 0u);
+}
+
+TEST(TcpCloseTest, HalfCloseStillDeliversServerData) {
+  // Client shuts down its sending direction; the server must still be able
+  // to stream a response back (the HTTP/1.1-correct independent half-close).
+  TestNet net;
+  const auto response = pattern_bytes(30'000);
+  net.server.listen(
+      80,
+      [&](ConnectionPtr c) {
+        c->set_on_peer_fin([&response, raw = c.get()] {
+          std::size_t off = 0;
+          off += raw->send(std::span<const std::uint8_t>(response.data(),
+                                                         response.size()));
+          // 30 KB fits the default send buffer; send in one call.
+          ASSERT_EQ(off, response.size());
+          raw->shutdown_send();
+        });
+      },
+      TcpOptions{});
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  Collector rx;
+  rx.attach(conn);
+  conn->set_on_connected([&] {
+    conn->send("request");
+    conn->shutdown_send();
+  });
+  net.queue.run_until(sim::seconds(120));
+  EXPECT_EQ(rx.data, response);
+  EXPECT_TRUE(rx.peer_fin);
+}
+
+TEST(TcpCloseTest, FinPiggybacksOnFinalDataSegment) {
+  TestNet net;
+  ConnectionPtr server_conn;
+  net.server.listen(80, [&](ConnectionPtr c) { server_conn = c; },
+                    TcpOptions{});
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  conn->set_on_connected([&] {
+    conn->send("final words");
+    conn->shutdown_send();
+  });
+  net.queue.run_until(sim::seconds(1));
+  // The data segment should carry FIN; no separate bare-FIN packet.
+  bool saw_data_fin = false;
+  bool saw_bare_fin = false;
+  for (const auto& r : net.trace.records()) {
+    if (r.src != kClientAddr) continue;
+    if ((r.flags & net::flag::kFin) != 0) {
+      if (r.payload_bytes > 0) saw_data_fin = true;
+      else saw_bare_fin = true;
+    }
+  }
+  EXPECT_TRUE(saw_data_fin);
+  EXPECT_FALSE(saw_bare_fin);
+}
+
+TEST(TcpCloseTest, NaiveCloseResetsLatePipelinedData) {
+  // The paper's pitfall: the server closes both directions after serving some
+  // requests; data already in flight from the client draws an RST, and the
+  // client loses responses it had received but not yet read.
+  TestNet net(net::ChannelConfig::symmetric(0, sim::milliseconds(50)));
+  ConnectionPtr server_conn;
+  net.server.listen(
+      80,
+      [&](ConnectionPtr c) {
+        server_conn = c;
+        c->set_on_data([raw = c.get()] {
+          (void)raw->read_all();
+          // Serve "one response" then naively close both directions.
+          raw->send("RESPONSE-1");
+          raw->close_naive();
+        });
+      },
+      TcpOptions{});
+  TcpOptions copts;
+  copts.nodelay = true;
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, copts);
+  bool client_reset = false;
+  std::vector<std::uint8_t> client_read;
+  conn->set_on_reset([&] { client_reset = true; });
+  conn->set_on_connected([&] { conn->send("REQ-1"); });
+  // The client pipelines a second request 60 ms later — after the server has
+  // closed, while the first response is still unread in the client buffer.
+  net.queue.schedule_at(sim::milliseconds(160), [&] {
+    if (conn->state() != State::kClosed) conn->send("REQ-2");
+  });
+  net.queue.run_until(sim::seconds(10));
+  EXPECT_TRUE(client_reset);
+  EXPECT_TRUE(conn->was_reset());
+  // The buffered response was destroyed by the reset before the app read it.
+  EXPECT_EQ(conn->available(), 0u);
+}
+
+TEST(TcpCloseTest, GracefulServerCloseDoesNotLoseResponses) {
+  // Contrast with the naive close: a server that half-closes (FIN on its send
+  // side, keeps receiving) lets the client read everything.
+  TestNet net(net::ChannelConfig::symmetric(0, sim::milliseconds(50)));
+  net.server.listen(
+      80,
+      [&](ConnectionPtr c) {
+        c->set_on_data([raw = c.get()] {
+          (void)raw->read_all();
+          raw->send("RESPONSE-1");
+          raw->shutdown_send();  // graceful: receive side stays open
+        });
+      },
+      TcpOptions{});
+  TcpOptions copts;
+  copts.nodelay = true;
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, copts);
+  std::string got;
+  bool reset = false;
+  conn->set_on_reset([&] { reset = true; });
+  conn->set_on_data([&] {
+    auto b = conn->read_all();
+    got.append(b.begin(), b.end());
+  });
+  conn->set_on_connected([&] { conn->send("REQ-1"); });
+  net.queue.schedule_at(sim::milliseconds(160), [&] {
+    if (conn->state() != State::kClosed) conn->send("REQ-2");
+  });
+  net.queue.run_until(sim::seconds(10));
+  EXPECT_EQ(got, "RESPONSE-1");
+  EXPECT_FALSE(reset);
+}
+
+TEST(TcpCloseTest, AbortSendsRst) {
+  TestNet net;
+  ConnectionPtr server_conn;
+  bool server_reset = false;
+  net.server.listen(
+      80,
+      [&](ConnectionPtr c) {
+        server_conn = c;
+        c->set_on_reset([&] { server_reset = true; });
+      },
+      TcpOptions{});
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  conn->set_on_connected([&] { conn->abort(); });
+  net.queue.run();
+  EXPECT_TRUE(server_reset);
+  EXPECT_EQ(conn->state(), State::kClosed);
+  EXPECT_EQ(net.client.open_connections(), 0u);
+  EXPECT_EQ(net.server.open_connections(), 0u);
+}
+
+TEST(TcpCloseTest, SimultaneousCloseReachesClosedOnBothEnds) {
+  TestNet net(net::ChannelConfig::symmetric(0, sim::milliseconds(40)));
+  ConnectionPtr server_conn;
+  net.server.listen(80, [&](ConnectionPtr c) { server_conn = c; },
+                    TcpOptions{});
+  TcpOptions opts;
+  opts.time_wait_duration = sim::seconds(1);
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, opts);
+  net.queue.run();  // establish
+  ASSERT_NE(server_conn, nullptr);
+  // Both ends close at the same instant: FINs cross in flight.
+  conn->shutdown_send();
+  server_conn->shutdown_send();
+  net.queue.run_until(sim::seconds(120));
+  EXPECT_EQ(conn->state(), State::kClosed);
+  EXPECT_EQ(server_conn->state(), State::kClosed);
+}
+
+TEST(TcpCloseTest, DataAfterFinIsRejectedBySendApi) {
+  TestNet net;
+  net.server.listen(80, [](ConnectionPtr) {}, TcpOptions{});
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  conn->set_on_connected([&] {
+    conn->shutdown_send();
+    EXPECT_EQ(conn->send("too late"), 0u);
+  });
+  net.queue.run_until(sim::seconds(60));
+}
+
+TEST(TcpCloseTest, TimeWaitExpiresAndReleasesConnection) {
+  TestNet net;
+  TcpOptions opts;
+  opts.time_wait_duration = sim::seconds(5);
+  ConnectionPtr server_conn;
+  net.server.listen(
+      80,
+      [&](ConnectionPtr c) {
+        server_conn = c;
+        c->set_on_peer_fin([raw = c.get()] { raw->shutdown_send(); });
+      },
+      TcpOptions{});
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, opts);
+  conn->set_on_connected([&] { conn->shutdown_send(); });
+  net.queue.run_until(sim::seconds(2));
+  EXPECT_EQ(conn->state(), State::kTimeWait);
+  EXPECT_EQ(net.client.open_connections(), 1u);
+  net.queue.run_until(sim::seconds(20));
+  EXPECT_EQ(conn->state(), State::kClosed);
+  EXPECT_EQ(net.client.open_connections(), 0u);
+}
+
+}  // namespace
+}  // namespace hsim

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "tcp_test_util.hpp"
+
+namespace hsim {
+namespace {
+
+using namespace testutil;
+using tcp::ConnectionPtr;
+using tcp::TcpOptions;
+
+// Helper: drive a one-directional bulk transfer and return the client conn.
+struct BulkNet : TestNet {
+  explicit BulkNet(net::ChannelConfig cfg, TcpOptions copts = TcpOptions{},
+                   TcpOptions sopts = TcpOptions{}, std::uint64_t seed = 1234)
+      : TestNet(cfg, seed) {
+    server.listen(
+        80,
+        [this](ConnectionPtr c) {
+          c->set_on_data([this, raw = c.get()] {
+            auto b = raw->read_all();
+            received.insert(received.end(), b.begin(), b.end());
+          });
+        },
+        sopts);
+    conn = client.connect(kServerAddr, 80, copts);
+  }
+
+  void pump_payload(const std::vector<std::uint8_t>& payload) {
+    auto pump = [this, &payload] {
+      offset += conn->send(std::span<const std::uint8_t>(
+          payload.data() + offset, payload.size() - offset));
+    };
+    conn->set_on_connected(pump);
+    conn->set_on_send_space(pump);
+  }
+
+  ConnectionPtr conn;
+  std::vector<std::uint8_t> received;
+  std::size_t offset = 0;
+};
+
+TEST(TcpCongestionTest, SlowStartDoublesWindowEachRtt) {
+  // On a high-latency link, count data segments per RTT bucket: slow start
+  // should send ~2, then ~4, then ~8 segments in successive RTTs.
+  net::ChannelConfig cfg =
+      net::ChannelConfig::symmetric(100'000'000, sim::milliseconds(100));
+  TcpOptions opts;
+  opts.initial_cwnd_segments = 2;
+  // Disable the receiver's delayed ACK so growth is the textbook doubling
+  // (with delayed ACKs, growth is ~1.5x per RTT — asserted separately below).
+  TcpOptions sopts;
+  sopts.delayed_ack = false;
+  BulkNet net(cfg, opts, sopts);
+  const auto payload = pattern_bytes(100'000);
+  net.pump_payload(payload);
+  net.queue.run();
+  ASSERT_EQ(net.received, payload);
+
+  // Bucket client data packets by 100 ms windows after the handshake ACK.
+  std::vector<int> per_rtt;
+  sim::Time start = -1;
+  for (const auto& r : net.trace.records()) {
+    if (r.src != kClientAddr || r.payload_bytes == 0) continue;
+    if (start < 0) start = r.time;
+    const std::size_t bucket =
+        static_cast<std::size_t>((r.time - start) / sim::milliseconds(100));
+    if (per_rtt.size() <= bucket) per_rtt.resize(bucket + 1, 0);
+    ++per_rtt[bucket];
+  }
+  ASSERT_GE(per_rtt.size(), 3u);
+  EXPECT_EQ(per_rtt[0], 2);           // initial window
+  EXPECT_GE(per_rtt[1], 3);           // roughly doubled
+  EXPECT_LE(per_rtt[1], 4);
+  EXPECT_GE(per_rtt[2], 6);           // keeps doubling
+}
+
+TEST(TcpCongestionTest, InitialWindowOfOneSegment) {
+  net::ChannelConfig cfg =
+      net::ChannelConfig::symmetric(100'000'000, sim::milliseconds(100));
+  TcpOptions opts;
+  opts.initial_cwnd_segments = 1;
+  BulkNet net(cfg, opts);
+  const auto payload = pattern_bytes(20'000);
+  net.pump_payload(payload);
+  net.queue.run();
+  ASSERT_EQ(net.received, payload);
+  sim::Time first_data = -1;
+  int first_rtt_segments = 0;
+  for (const auto& r : net.trace.records()) {
+    if (r.src != kClientAddr || r.payload_bytes == 0) continue;
+    if (first_data < 0) first_data = r.time;
+    if (r.time < first_data + sim::milliseconds(100)) ++first_rtt_segments;
+  }
+  EXPECT_EQ(first_rtt_segments, 1);
+}
+
+TEST(TcpCongestionTest, FastRetransmitRecoversSingleLossWithoutRto) {
+  // Drop exactly one data packet mid-stream; three dup-ACKs should trigger a
+  // fast retransmit long before the RTO would fire.
+  sim::EventQueue q;
+  net::ChannelConfig cfg =
+      net::ChannelConfig::symmetric(10'000'000, sim::milliseconds(20));
+  net::Channel ch(q, cfg, sim::Rng(1));
+  tcp::Host client(q, kClientAddr, "c", sim::Rng(2));
+  tcp::Host server(q, kServerAddr, "s", sim::Rng(3));
+  ch.attach_a(&client);
+  ch.attach_b(&server);
+  server.attach_uplink(&ch.uplink_from_b());
+
+  struct DropNth : net::PacketSink {
+    net::Link* forward = nullptr;
+    int data_seen = 0;
+    int drop_at = 10;  // drop the 10th data segment
+    void deliver(net::Packet p) override {
+      if (!p.payload.empty() && ++data_seen == drop_at) return;
+      forward->transmit(std::move(p));
+    }
+  } dropper;
+  dropper.forward = &ch.uplink_from_a();
+  net::Link client_out(q, net::LinkConfig{}, sim::Rng(4));
+  client_out.set_sink(&dropper);
+  client.attach_uplink(&client_out);
+
+  std::vector<std::uint8_t> received;
+  server.listen(
+      80,
+      [&](ConnectionPtr c) {
+        c->set_on_data([&received, raw = c.get()] {
+          auto b = raw->read_all();
+          received.insert(received.end(), b.begin(), b.end());
+        });
+      },
+      TcpOptions{});
+  const auto payload = pattern_bytes(100'000);
+  ConnectionPtr conn = client.connect(kServerAddr, 80, TcpOptions{});
+  std::size_t offset = 0;
+  auto pump = [&] {
+    offset += conn->send(std::span<const std::uint8_t>(
+        payload.data() + offset, payload.size() - offset));
+  };
+  conn->set_on_connected(pump);
+  conn->set_on_send_space(pump);
+  q.run();
+  EXPECT_EQ(received, payload);
+  EXPECT_GE(conn->stats().fast_retransmits, 1u);
+  EXPECT_EQ(conn->stats().timeouts, 0u);
+}
+
+TEST(TcpCongestionTest, RtoFiresWhenAllAcksLost) {
+  // Cut the return path entirely: the sender must retransmit via timeout.
+  sim::EventQueue q;
+  net::Channel ch(q, net::ChannelConfig::symmetric(0, sim::milliseconds(10)),
+                  sim::Rng(1));
+  tcp::Host client(q, kClientAddr, "c", sim::Rng(2));
+  tcp::Host server(q, kServerAddr, "s", sim::Rng(3));
+  ch.attach_a(&client);
+  ch.attach_b(&server);
+  client.attach_uplink(&ch.uplink_from_a());
+  server.attach_uplink(&ch.uplink_from_b());
+  server.listen(80, [](ConnectionPtr) {}, TcpOptions{});
+  ConnectionPtr conn = client.connect(kServerAddr, 80, TcpOptions{});
+  bool connected = false;
+  conn->set_on_connected([&] {
+    connected = true;
+    // Now sever the server->client direction: ACKs stop flowing.
+    ch.attach_a(nullptr);
+    conn->send("data that will never be acked");
+  });
+  q.run_until(sim::seconds(30));
+  EXPECT_TRUE(connected);
+  EXPECT_GE(conn->stats().timeouts, 2u);
+  EXPECT_GE(conn->stats().retransmits, 2u);
+}
+
+TEST(TcpCongestionTest, CwndCollapsesOnTimeoutThenRegrows) {
+  sim::EventQueue q;
+  net::Channel ch(q, net::ChannelConfig::symmetric(
+                         10'000'000, sim::milliseconds(10)),
+                  sim::Rng(1));
+  tcp::Host client(q, kClientAddr, "c", sim::Rng(2));
+  tcp::Host server(q, kServerAddr, "s", sim::Rng(3));
+  ch.attach_a(&client);
+  ch.attach_b(&server);
+  server.attach_uplink(&ch.uplink_from_b());
+
+  struct Gate : net::PacketSink {
+    net::Link* forward = nullptr;
+    bool open = true;
+    void deliver(net::Packet p) override {
+      if (open) forward->transmit(std::move(p));
+    }
+  } gate;
+  gate.forward = &ch.uplink_from_a();
+  net::Link client_out(q, net::LinkConfig{}, sim::Rng(4));
+  client_out.set_sink(&gate);
+  client.attach_uplink(&client_out);
+
+  std::vector<std::uint8_t> received;
+  server.listen(
+      80,
+      [&](ConnectionPtr c) {
+        c->set_on_data([&received, raw = c.get()] {
+          auto b = raw->read_all();
+          received.insert(received.end(), b.begin(), b.end());
+        });
+      },
+      TcpOptions{});
+  const auto payload = pattern_bytes(500'000);
+  ConnectionPtr conn = client.connect(kServerAddr, 80, TcpOptions{});
+  std::size_t offset = 0;
+  auto pump = [&] {
+    offset += conn->send(std::span<const std::uint8_t>(
+        payload.data() + offset, payload.size() - offset));
+  };
+  conn->set_on_connected(pump);
+  conn->set_on_send_space(pump);
+
+  // Let the window grow, then black-hole the path for a while.
+  q.run_until(sim::milliseconds(300));
+  const std::uint32_t cwnd_before = conn->cwnd();
+  gate.open = false;
+  q.run_until(sim::seconds(5));
+  const std::uint32_t cwnd_during = conn->cwnd();
+  gate.open = true;
+  q.run_until(sim::seconds(120));
+
+  EXPECT_GT(cwnd_before, 2 * 1460u);
+  EXPECT_EQ(cwnd_during, 1460u);  // collapsed to one segment
+  EXPECT_EQ(received, payload);   // and still delivered everything
+}
+
+TEST(TcpCongestionTest, QueueOverflowCongestionIsSurvivable) {
+  // A fat sender into a slow, shallow-buffered link: drops occur, TCP adapts,
+  // data still arrives intact.
+  net::ChannelConfig cfg =
+      net::ChannelConfig::symmetric(1'000'000, sim::milliseconds(30), 8);
+  BulkNet net(cfg);
+  const auto payload = pattern_bytes(300'000);
+  net.pump_payload(payload);
+  net.queue.run_until(sim::seconds(60));
+  EXPECT_EQ(net.received, payload);
+}
+
+}  // namespace
+}  // namespace hsim

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "tcp_test_util.hpp"
+
+namespace hsim {
+namespace {
+
+using namespace testutil;
+using tcp::ConnectionPtr;
+using tcp::State;
+using tcp::TcpOptions;
+
+TEST(TcpHandshakeTest, ThreeWayHandshakeEstablishesBothEnds) {
+  TestNet net;
+  ConnectionPtr accepted;
+  net.server.listen(80, [&](ConnectionPtr c) { accepted = c; }, TcpOptions{});
+
+  bool client_connected = false;
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  conn->set_on_connected([&] { client_connected = true; });
+  EXPECT_EQ(conn->state(), State::kSynSent);
+
+  net.queue.run();
+  EXPECT_TRUE(client_connected);
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_EQ(conn->state(), State::kEstablished);
+  EXPECT_EQ(accepted->state(), State::kEstablished);
+
+  // Exactly three packets: SYN, SYN-ACK, ACK.
+  ASSERT_EQ(net.trace.records().size(), 3u);
+  EXPECT_EQ(net.trace.records()[0].flags, net::flag::kSyn);
+  EXPECT_EQ(net.trace.records()[1].flags, net::flag::kSyn | net::flag::kAck);
+  EXPECT_EQ(net.trace.records()[2].flags, net::flag::kAck);
+}
+
+TEST(TcpHandshakeTest, HandshakeTakesOneRtt) {
+  TestNet net(net::ChannelConfig::symmetric(0, sim::milliseconds(90)));
+  bool connected = false;
+  net.server.listen(80, [](ConnectionPtr) {}, TcpOptions{});
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  sim::Time connected_at = 0;
+  conn->set_on_connected([&] {
+    connected = true;
+    connected_at = net.queue.now();
+  });
+  net.queue.run();
+  EXPECT_TRUE(connected);
+  EXPECT_EQ(connected_at, sim::milliseconds(90));
+}
+
+TEST(TcpHandshakeTest, ConnectToClosedPortDrawsReset) {
+  TestNet net;
+  ConnectionPtr conn = net.client.connect(kServerAddr, 81, TcpOptions{});
+  bool reset = false;
+  conn->set_on_reset([&] { reset = true; });
+  net.queue.run();
+  EXPECT_TRUE(reset);
+  EXPECT_EQ(conn->state(), State::kClosed);
+  EXPECT_TRUE(conn->was_reset());
+}
+
+TEST(TcpHandshakeTest, SynRetransmitsWhenLost) {
+  // Dedicated lossy setup: the client->server path drops its first packet
+  // (the initial SYN); the connection must still establish via RTO.
+  sim::EventQueue q;
+  net::ChannelConfig lossy = net::ChannelConfig::symmetric(
+      0, sim::milliseconds(10));
+  net::Channel ch(q, lossy, sim::Rng(1));
+  tcp::Host client(q, kClientAddr, "c", sim::Rng(2));
+  tcp::Host server(q, kServerAddr, "s", sim::Rng(3));
+  ch.attach_a(&client);
+  ch.attach_b(&server);
+  server.attach_uplink(&ch.uplink_from_b());
+
+  // Interpose a dropping device on the client uplink.
+  struct DropFirst : net::PacketSink {
+    net::Link* forward = nullptr;
+    int dropped = 0;
+    void deliver(net::Packet p) override {
+      if (dropped == 0) {
+        ++dropped;
+        return;
+      }
+      forward->transmit(std::move(p));
+    }
+  } dropper;
+  dropper.forward = &ch.uplink_from_a();
+  // Client transmits into a zero-delay link feeding the dropper.
+  net::Link client_out(q, net::LinkConfig{}, sim::Rng(4));
+  client_out.set_sink(&dropper);
+  client.attach_uplink(&client_out);
+
+  server.listen(80, [](ConnectionPtr) {}, TcpOptions{});
+  ConnectionPtr c2 = client.connect(kServerAddr, 80, TcpOptions{});
+  bool ok = false;
+  c2->set_on_connected([&] { ok = true; });
+  q.run_until(sim::seconds(10));
+  EXPECT_TRUE(ok);
+  EXPECT_GE(c2->stats().retransmits, 1u);
+}
+
+TEST(TcpHandshakeTest, EphemeralPortsAreDistinct) {
+  TestNet net;
+  net.server.listen(80, [](ConnectionPtr) {}, TcpOptions{});
+  ConnectionPtr a = net.client.connect(kServerAddr, 80, TcpOptions{});
+  ConnectionPtr b = net.client.connect(kServerAddr, 80, TcpOptions{});
+  EXPECT_NE(a->key().local_port, b->key().local_port);
+  net.queue.run();
+  EXPECT_EQ(net.client.total_connections_created(), 2u);
+}
+
+TEST(TcpHandshakeTest, AcceptedConnectionKeyMirrorsClient) {
+  TestNet net;
+  ConnectionPtr accepted;
+  net.server.listen(80, [&](ConnectionPtr c) { accepted = c; }, TcpOptions{});
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  net.queue.run();
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_EQ(accepted->key().peer_port, conn->key().local_port);
+  EXPECT_EQ(accepted->key().local_port, 80);
+  EXPECT_EQ(accepted->key().peer_addr, kClientAddr);
+}
+
+TEST(TcpHandshakeTest, StopListeningRefusesNewConnections) {
+  TestNet net;
+  net.server.listen(80, [](ConnectionPtr) {}, TcpOptions{});
+  net.server.stop_listening(80);
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  bool reset = false;
+  conn->set_on_reset([&] { reset = true; });
+  net.queue.run();
+  EXPECT_TRUE(reset);
+}
+
+}  // namespace
+}  // namespace hsim

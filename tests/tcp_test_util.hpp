@@ -1,0 +1,76 @@
+// Shared fixture: two TCP hosts joined by a configurable duplex channel.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/trace.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "tcp/host.hpp"
+
+namespace hsim::testutil {
+
+inline constexpr net::IpAddr kClientAddr = 1;
+inline constexpr net::IpAddr kServerAddr = 2;
+
+struct TestNet {
+  explicit TestNet(net::ChannelConfig cfg = net::ChannelConfig::symmetric(
+                       0, sim::milliseconds(10)),
+                   std::uint64_t seed = 1234)
+      : channel(queue, cfg, sim::Rng(seed)),
+        client(queue, kClientAddr, "client", sim::Rng(seed + 1)),
+        server(queue, kServerAddr, "server", sim::Rng(seed + 2)),
+        trace(kClientAddr) {
+    channel.attach_a(&client);
+    channel.attach_b(&server);
+    client.attach_uplink(&channel.uplink_from_a());
+    server.attach_uplink(&channel.uplink_from_b());
+    channel.set_trace(&trace);
+  }
+
+  sim::EventQueue queue;
+  net::Channel channel;
+  tcp::Host client;
+  tcp::Host server;
+  net::PacketTrace trace;
+};
+
+/// An echo-style sink that accumulates everything a connection receives.
+struct Collector {
+  std::vector<std::uint8_t> data;
+  bool peer_fin = false;
+  bool closed = false;
+  bool reset = false;
+
+  void attach(const tcp::ConnectionPtr& conn) {
+    conn->set_on_data([this, c = conn.get()] {
+      auto bytes = c->read_all();
+      data.insert(data.end(), bytes.begin(), bytes.end());
+    });
+    conn->set_on_peer_fin([this] { peer_fin = true; });
+    conn->set_on_closed([this] { closed = true; });
+    conn->set_on_reset([this] { reset = true; });
+  }
+
+  std::string as_string() const {
+    return std::string(data.begin(), data.end());
+  }
+};
+
+inline std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+/// Deterministic pseudo-random payload for transfer tests.
+inline std::vector<std::uint8_t> pattern_bytes(std::size_t n,
+                                               std::uint64_t seed = 7) {
+  std::vector<std::uint8_t> v(n);
+  sim::Rng rng(seed);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next_u32());
+  return v;
+}
+
+}  // namespace hsim::testutil

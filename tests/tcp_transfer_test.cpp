@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tcp_test_util.hpp"
+
+namespace hsim {
+namespace {
+
+using namespace testutil;
+using tcp::ConnectionPtr;
+using tcp::State;
+using tcp::TcpOptions;
+
+struct EchoServerNet : TestNet {
+  // Server that collects everything and optionally echoes it back.
+  explicit EchoServerNet(net::ChannelConfig cfg = net::ChannelConfig::symmetric(
+                             0, sim::milliseconds(10)),
+                         bool echo = false)
+      : TestNet(cfg) {
+    server.listen(
+        80,
+        [this, echo](ConnectionPtr c) {
+          server_conn = c;
+          c->set_on_data([this, echo, raw = c.get()] {
+            auto bytes = raw->read_all();
+            received.insert(received.end(), bytes.begin(), bytes.end());
+            if (echo) {
+              raw->send(std::span<const std::uint8_t>(bytes.data(),
+                                                      bytes.size()));
+            }
+          });
+          c->set_on_peer_fin([this] { server_saw_fin = true; });
+        },
+        TcpOptions{});
+  }
+  ConnectionPtr server_conn;
+  std::vector<std::uint8_t> received;
+  bool server_saw_fin = false;
+};
+
+TEST(TcpTransferTest, SmallSendArrivesIntact) {
+  EchoServerNet net;
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  conn->set_on_connected([&] { conn->send("hello world"); });
+  net.queue.run();
+  EXPECT_EQ(std::string(net.received.begin(), net.received.end()),
+            "hello world");
+}
+
+TEST(TcpTransferTest, LargeTransferIsReliableAndOrdered) {
+  EchoServerNet net;
+  const auto payload = pattern_bytes(200'000);
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  std::size_t offset = 0;
+  auto pump = [&] {
+    offset += conn->send(std::span<const std::uint8_t>(
+        payload.data() + offset, payload.size() - offset));
+  };
+  conn->set_on_connected(pump);
+  conn->set_on_send_space(pump);
+  net.queue.run();
+  EXPECT_EQ(net.received, payload);
+}
+
+TEST(TcpTransferTest, TransferSurvivesPacketLoss) {
+  net::ChannelConfig cfg =
+      net::ChannelConfig::symmetric(10'000'000, sim::milliseconds(20));
+  cfg.a_to_b.random_drop_probability = 0.05;
+  cfg.b_to_a.random_drop_probability = 0.05;
+  EchoServerNet net(cfg);
+  const auto payload = pattern_bytes(100'000);
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  std::size_t offset = 0;
+  auto pump = [&] {
+    offset += conn->send(std::span<const std::uint8_t>(
+        payload.data() + offset, payload.size() - offset));
+  };
+  conn->set_on_connected(pump);
+  conn->set_on_send_space(pump);
+  net.queue.run_until(sim::seconds(300));
+  EXPECT_EQ(net.received, payload);
+  EXPECT_GE(conn->stats().retransmits, 1u);
+}
+
+TEST(TcpTransferTest, EchoRoundTrip) {
+  EchoServerNet net(net::ChannelConfig::symmetric(0, sim::milliseconds(10)),
+                    /*echo=*/true);
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  Collector client_rx;
+  client_rx.attach(conn);
+  conn->set_on_connected([&] { conn->send("ping"); });
+  net.queue.run();
+  EXPECT_EQ(client_rx.as_string(), "ping");
+}
+
+TEST(TcpTransferTest, SegmentsRespectMss) {
+  EchoServerNet net;
+  TcpOptions opts;
+  opts.mss = 536;
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, opts);
+  const auto payload = pattern_bytes(5000);
+  conn->set_on_connected([&] {
+    conn->send(std::span<const std::uint8_t>(payload.data(), payload.size()));
+  });
+  net.queue.run();
+  EXPECT_EQ(net.received, payload);
+  for (const auto& r : net.trace.records()) {
+    EXPECT_LE(r.payload_bytes, 536u);
+  }
+}
+
+TEST(TcpTransferTest, NagleCoalescesSmallWrites) {
+  // With Nagle on, a burst of tiny writes while data is in flight coalesces
+  // into at most one small segment per RTT.
+  EchoServerNet net(net::ChannelConfig::symmetric(0, sim::milliseconds(100)));
+  TcpOptions opts;
+  opts.nodelay = false;
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, opts);
+  // Stagger the writes over 20 ms (RTT is 100 ms): the first goes out alone,
+  // the rest must be held by Nagle until the first ACK returns.
+  conn->set_on_connected([&] {
+    for (int i = 0; i < 20; ++i) {
+      net.queue.schedule_in(sim::milliseconds(i), [&] { conn->send("x"); });
+    }
+  });
+  net.queue.run();
+  ASSERT_EQ(net.received.size(), 20u);
+  // Count client data segments: first tiny write goes out alone, the other
+  // 19 bytes ride one coalesced segment after the first ACK returns.
+  std::size_t data_segments = 0;
+  for (const auto& r : net.trace.records()) {
+    if (r.src == kClientAddr && r.payload_bytes > 0) ++data_segments;
+  }
+  EXPECT_EQ(data_segments, 2u);
+  EXPECT_GE(conn->stats().nagle_delays, 1u);
+}
+
+TEST(TcpTransferTest, NodelaySendsSmallWritesImmediately) {
+  EchoServerNet net(net::ChannelConfig::symmetric(0, sim::milliseconds(100)));
+  TcpOptions opts;
+  opts.nodelay = true;
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, opts);
+  // Same staggered writes as the Nagle test; with TCP_NODELAY each write
+  // becomes its own segment.
+  conn->set_on_connected([&] {
+    for (int i = 0; i < 5; ++i) {
+      net.queue.schedule_in(sim::milliseconds(i), [&] { conn->send("x"); });
+    }
+  });
+  net.queue.run();
+  ASSERT_EQ(net.received.size(), 5u);
+  std::size_t data_segments = 0;
+  for (const auto& r : net.trace.records()) {
+    if (r.src == kClientAddr && r.payload_bytes > 0) ++data_segments;
+  }
+  EXPECT_EQ(data_segments, 5u);
+}
+
+TEST(TcpTransferTest, DelayedAckHoldsPureAckUpTo200ms) {
+  // One small client write, server app sends nothing: the server's ACK should
+  // be delayed by the 200 ms delayed-ACK timer rather than sent immediately.
+  EchoServerNet net(net::ChannelConfig::symmetric(0, sim::milliseconds(10)));
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  conn->set_on_connected([&] { conn->send("q"); });
+  net.queue.run();
+  // Find the data packet and the ACK covering it.
+  sim::Time data_at = -1, ack_at = -1;
+  for (const auto& r : net.trace.records()) {
+    if (r.src == kClientAddr && r.payload_bytes == 1) data_at = r.time;
+    if (r.src == kServerAddr && r.payload_bytes == 0 && data_at >= 0 &&
+        ack_at < 0 && r.time > data_at) {
+      ack_at = r.time;
+    }
+  }
+  ASSERT_GE(data_at, 0);
+  ASSERT_GE(ack_at, 0);
+  EXPECT_GE(ack_at - data_at, sim::milliseconds(200));
+}
+
+TEST(TcpTransferTest, EverySecondSegmentIsAckedPromptly) {
+  // Two back-to-back full segments must trigger an immediate ACK (the
+  // "ack every second segment" rule), not a 200 ms delay.
+  EchoServerNet net(net::ChannelConfig::symmetric(0, sim::milliseconds(10)));
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  const auto payload = pattern_bytes(2 * 1460);
+  conn->set_on_connected([&] {
+    conn->send(std::span<const std::uint8_t>(payload.data(), payload.size()));
+  });
+  net.queue.run();
+  sim::Time second_data_at = -1, ack_at = -1;
+  int data_count = 0;
+  for (const auto& r : net.trace.records()) {
+    if (r.src == kClientAddr && r.payload_bytes > 0) {
+      if (++data_count == 2) second_data_at = r.time;
+    }
+    if (r.src == kServerAddr && r.payload_bytes == 0 && second_data_at >= 0 &&
+        ack_at < 0 && r.time >= second_data_at) {
+      ack_at = r.time;
+    }
+  }
+  ASSERT_GE(ack_at, 0);
+  EXPECT_LT(ack_at - second_data_at, sim::milliseconds(200));
+}
+
+TEST(TcpTransferTest, SendBufferBackpressureReportsPartialAccept) {
+  EchoServerNet net;
+  TcpOptions opts;
+  opts.send_buffer = 1000;
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, opts);
+  const auto payload = pattern_bytes(5000);
+  std::size_t first_accept = 0;
+  bool got_space_callback = false;
+  conn->set_on_connected([&] {
+    first_accept = conn->send(
+        std::span<const std::uint8_t>(payload.data(), payload.size()));
+  });
+  conn->set_on_send_space([&] { got_space_callback = true; });
+  net.queue.run();
+  EXPECT_LE(first_accept, 1000u);
+  EXPECT_GT(first_accept, 0u);
+  EXPECT_TRUE(got_space_callback);
+}
+
+TEST(TcpTransferTest, SequenceNumbersWrapCorrectly) {
+  // Force initial sequence numbers near 2^32 by running many connects until
+  // we exercise wrap... instead, run a large transfer with a host RNG seed
+  // chosen so the ISS lands within 100 KB of the wrap point.
+  for (std::uint64_t seed = 0; seed < 100'000; ++seed) {
+    sim::Rng probe(seed + 10);
+    const std::uint32_t iss = probe.next_u32();
+    // ISS within ~200 KB of the wrap point: the 300 KB transfer crosses it.
+    if (iss < 0xFFFCF000u) continue;
+    // This seed makes the client host generate an ISS near wrap.
+    sim::EventQueue q;
+    net::Channel ch(q, net::ChannelConfig::symmetric(0, sim::milliseconds(1)),
+                    sim::Rng(1));
+    tcp::Host client(q, kClientAddr, "c", sim::Rng(seed + 10));
+    tcp::Host server(q, kServerAddr, "s", sim::Rng(99));
+    ch.attach_a(&client);
+    ch.attach_b(&server);
+    client.attach_uplink(&ch.uplink_from_a());
+    server.attach_uplink(&ch.uplink_from_b());
+    std::vector<std::uint8_t> received;
+    server.listen(
+        80,
+        [&](ConnectionPtr c) {
+          c->set_on_data([&received, raw = c.get()] {
+            auto b = raw->read_all();
+            received.insert(received.end(), b.begin(), b.end());
+          });
+        },
+        TcpOptions{});
+    const auto payload = pattern_bytes(300'000);
+    ConnectionPtr conn = client.connect(kServerAddr, 80, TcpOptions{});
+    std::size_t offset = 0;
+    auto pump = [&] {
+      offset += conn->send(std::span<const std::uint8_t>(
+          payload.data() + offset, payload.size() - offset));
+    };
+    conn->set_on_connected(pump);
+    conn->set_on_send_space(pump);
+    q.run();
+    ASSERT_EQ(received, payload) << "seed " << seed;
+    return;  // one wrap-adjacent seed suffices
+  }
+  GTEST_SKIP() << "no seed produced an ISS near wrap";
+}
+
+TEST(TcpTransferTest, BidirectionalSimultaneousTransfer) {
+  EchoServerNet net;
+  const auto c2s = pattern_bytes(50'000, 1);
+  const auto s2c = pattern_bytes(60'000, 2);
+  std::vector<std::uint8_t> client_got;
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  conn->set_on_data([&] {
+    auto b = conn->read_all();
+    client_got.insert(client_got.end(), b.begin(), b.end());
+  });
+  std::size_t coff = 0;
+  auto cpump = [&] {
+    coff += conn->send(std::span<const std::uint8_t>(c2s.data() + coff,
+                                                     c2s.size() - coff));
+  };
+  conn->set_on_connected(cpump);
+  conn->set_on_send_space(cpump);
+  // Server pushes its stream as soon as it accepts.
+  net.server.stop_listening(80);
+  std::size_t soff = 0;
+  ConnectionPtr srv;
+  net.server.listen(
+      80,
+      [&](ConnectionPtr c) {
+        srv = c;
+        auto spump = [&soff, &s2c, raw = c.get()] {
+          soff += raw->send(std::span<const std::uint8_t>(
+              s2c.data() + soff, s2c.size() - soff));
+        };
+        c->set_on_data([&net, raw = c.get()] {
+          auto b = raw->read_all();
+          net.received.insert(net.received.end(), b.begin(), b.end());
+        });
+        c->set_on_send_space(spump);
+        spump();
+      },
+      TcpOptions{});
+  net.queue.run();
+  EXPECT_EQ(net.received, c2s);
+  EXPECT_EQ(client_got, s2c);
+}
+
+}  // namespace
+}  // namespace hsim

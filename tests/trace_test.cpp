@@ -1,0 +1,133 @@
+#include "net/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsim::net {
+namespace {
+
+Packet packet(IpAddr src, IpAddr dst, Port sp, Port dp, std::uint8_t flags,
+              std::size_t len) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.tcp.src_port = sp;
+  p.tcp.dst_port = dp;
+  p.tcp.flags = flags;
+  p.payload.resize(len);
+  return p;
+}
+
+TEST(TraceTest, SummaryCountsAndOverhead) {
+  PacketTrace t(/*client=*/1);
+  t.record(sim::milliseconds(0), packet(1, 2, 100, 80, flag::kSyn, 0));
+  t.record(sim::milliseconds(10), packet(2, 1, 80, 100,
+                                         flag::kSyn | flag::kAck, 0));
+  t.record(sim::milliseconds(20), packet(1, 2, 100, 80, flag::kAck, 160));
+  const TraceSummary s = t.summarize();
+  EXPECT_EQ(s.packets, 3u);
+  EXPECT_EQ(s.payload_bytes, 160u);
+  EXPECT_EQ(s.wire_bytes, 160u + 3 * kIpTcpHeaderBytes);
+  EXPECT_EQ(s.packets_client_to_server, 2u);
+  EXPECT_EQ(s.packets_server_to_client, 1u);
+  EXPECT_DOUBLE_EQ(s.overhead_percent, 100.0 * 120 / 280);
+  EXPECT_DOUBLE_EQ(s.elapsed_seconds(), 0.02);
+}
+
+TEST(TraceTest, EmptySummaryIsZero) {
+  PacketTrace t(1);
+  const TraceSummary s = t.summarize();
+  EXPECT_EQ(s.packets, 0u);
+  EXPECT_EQ(s.wire_bytes, 0u);
+}
+
+TEST(TraceTest, PacketTrainsSplitByConnection) {
+  PacketTrace t(1);
+  // Connection A: 3 packets; connection B (different client port): 2 packets.
+  t.record(0, packet(1, 2, 100, 80, flag::kSyn, 0));
+  t.record(1, packet(2, 1, 80, 100, flag::kSyn | flag::kAck, 0));
+  t.record(2, packet(1, 2, 100, 80, flag::kAck, 10));
+  t.record(3, packet(1, 2, 101, 80, flag::kSyn, 0));
+  t.record(4, packet(2, 1, 80, 101, flag::kSyn | flag::kAck, 0));
+  const auto trains = t.packet_trains();
+  ASSERT_EQ(trains.size(), 2u);
+  EXPECT_EQ(trains[0], 3u);
+  EXPECT_EQ(trains[1], 2u);
+  EXPECT_DOUBLE_EQ(t.mean_packet_train_length(), 2.5);
+  EXPECT_EQ(t.connection_count(), 2u);
+}
+
+TEST(TraceTest, PortReuseStartsNewTrain) {
+  PacketTrace t(1);
+  t.record(0, packet(1, 2, 100, 80, flag::kSyn, 0));
+  t.record(1, packet(1, 2, 100, 80, flag::kFin | flag::kAck, 0));
+  // Same 4-tuple, fresh SYN: a second connection.
+  t.record(2, packet(1, 2, 100, 80, flag::kSyn, 0));
+  const auto trains = t.packet_trains();
+  ASSERT_EQ(trains.size(), 2u);
+  EXPECT_EQ(trains[0], 2u);
+  EXPECT_EQ(trains[1], 1u);
+}
+
+TEST(TraceTest, TextRenderingContainsFlagsAndTruncates) {
+  PacketTrace t(1);
+  for (int i = 0; i < 5; ++i) {
+    t.record(sim::milliseconds(i), packet(1, 2, 100, 80, flag::kAck, 10));
+  }
+  const std::string full = t.to_text();
+  EXPECT_NE(full.find("A"), std::string::npos);
+  const std::string cut = t.to_text(2);
+  EXPECT_NE(cut.find("...\n"), std::string::npos);
+}
+
+TEST(TraceTest, RetransmissionDetection) {
+  PacketTrace t(1);
+  Packet data = packet(1, 2, 100, 80, flag::kAck, 500);
+  data.tcp.seq = 1000;
+  t.record(0, data);
+  t.record(1, data);  // retransmit: same 4-tuple + seq with payload
+  data.tcp.seq = 1500;
+  t.record(2, data);  // new data
+  Packet ack = packet(2, 1, 80, 100, flag::kAck, 0);
+  t.record(3, ack);
+  t.record(4, ack);  // duplicate ACKs are not data retransmissions
+  EXPECT_EQ(t.retransmitted_data_packets(), 1u);
+}
+
+TEST(TraceTest, ThroughputSeriesBucketsWireBytes) {
+  PacketTrace t(1);
+  t.record(sim::milliseconds(10), packet(2, 1, 80, 100, flag::kAck, 960));
+  t.record(sim::milliseconds(110), packet(2, 1, 80, 100, flag::kAck, 460));
+  t.record(sim::milliseconds(120), packet(1, 2, 100, 80, flag::kAck, 0));
+  const auto down = t.throughput_series(false, sim::milliseconds(100));
+  ASSERT_EQ(down.size(), 2u);
+  EXPECT_EQ(down[0], 1000u);  // 960 + 40 header
+  EXPECT_EQ(down[1], 500u);
+  const auto up = t.throughput_series(true, sim::milliseconds(100));
+  ASSERT_EQ(up.size(), 2u);
+  EXPECT_EQ(up[1], 40u);
+  EXPECT_TRUE(t.throughput_series(true, 0).empty());
+}
+
+TEST(TraceTest, LongestQuietGap) {
+  PacketTrace t(1);
+  EXPECT_EQ(t.longest_quiet_gap(), 0);
+  t.record(0, packet(1, 2, 100, 80, flag::kAck, 1));
+  t.record(sim::milliseconds(5), packet(1, 2, 100, 80, flag::kAck, 1));
+  t.record(sim::milliseconds(205), packet(1, 2, 100, 80, flag::kAck, 1));
+  EXPECT_EQ(t.longest_quiet_gap(), sim::milliseconds(200));
+}
+
+TEST(TraceTest, TimeSequenceFiltersDirectionAndEmptyPackets) {
+  PacketTrace t(1);
+  Packet data = packet(1, 2, 100, 80, flag::kAck, 100);
+  data.tcp.seq = 1000;
+  t.record(sim::seconds(1), data);
+  t.record(sim::seconds(2), packet(2, 1, 80, 100, flag::kAck, 0));
+  const std::string c2s = t.to_time_sequence(true);
+  EXPECT_NE(c2s.find("1100"), std::string::npos);
+  const std::string s2c = t.to_time_sequence(false);
+  EXPECT_TRUE(s2c.empty());
+}
+
+}  // namespace
+}  // namespace hsim::net
