@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_connection_mgmt.dir/ablate_connection_mgmt.cpp.o"
+  "CMakeFiles/ablate_connection_mgmt.dir/ablate_connection_mgmt.cpp.o.d"
+  "ablate_connection_mgmt"
+  "ablate_connection_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_connection_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_nagle.dir/ablate_nagle.cpp.o"
+  "CMakeFiles/ablate_nagle.dir/ablate_nagle.cpp.o.d"
+  "ablate_nagle"
+  "ablate_nagle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_nagle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_slowstart.dir/ablate_slowstart.cpp.o"
+  "CMakeFiles/ablate_slowstart.dir/ablate_slowstart.cpp.o.d"
+  "ablate_slowstart"
+  "ablate_slowstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_slowstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

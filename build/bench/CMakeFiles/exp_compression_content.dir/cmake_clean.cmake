@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_compression_content.dir/exp_compression_content.cpp.o"
+  "CMakeFiles/exp_compression_content.dir/exp_compression_content.cpp.o.d"
+  "exp_compression_content"
+  "exp_compression_content.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_compression_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_png_conversion.dir/exp_png_conversion.cpp.o"
+  "CMakeFiles/exp_png_conversion.dir/exp_png_conversion.cpp.o.d"
+  "exp_png_conversion"
+  "exp_png_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_png_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

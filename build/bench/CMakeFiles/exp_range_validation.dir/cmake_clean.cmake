@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_range_validation.dir/exp_range_validation.cpp.o"
+  "CMakeFiles/exp_range_validation.dir/exp_range_validation.cpp.o.d"
+  "exp_range_validation"
+  "exp_range_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_range_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

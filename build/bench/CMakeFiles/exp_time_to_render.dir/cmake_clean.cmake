@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_time_to_render.dir/exp_time_to_render.cpp.o"
+  "CMakeFiles/exp_time_to_render.dir/exp_time_to_render.cpp.o.d"
+  "exp_time_to_render"
+  "exp_time_to_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_time_to_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_css_replacement.dir/fig01_css_replacement.cpp.o"
+  "CMakeFiles/fig01_css_replacement.dir/fig01_css_replacement.cpp.o.d"
+  "fig01_css_replacement"
+  "fig01_css_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_css_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

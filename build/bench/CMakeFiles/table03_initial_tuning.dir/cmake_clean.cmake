@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_initial_tuning.dir/table03_initial_tuning.cpp.o"
+  "CMakeFiles/table03_initial_tuning.dir/table03_initial_tuning.cpp.o.d"
+  "table03_initial_tuning"
+  "table03_initial_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_initial_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table03_initial_tuning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_jigsaw_lan.dir/table04_jigsaw_lan.cpp.o"
+  "CMakeFiles/table04_jigsaw_lan.dir/table04_jigsaw_lan.cpp.o.d"
+  "table04_jigsaw_lan"
+  "table04_jigsaw_lan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_jigsaw_lan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

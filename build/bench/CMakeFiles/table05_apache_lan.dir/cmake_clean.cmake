@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_apache_lan.dir/table05_apache_lan.cpp.o"
+  "CMakeFiles/table05_apache_lan.dir/table05_apache_lan.cpp.o.d"
+  "table05_apache_lan"
+  "table05_apache_lan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_apache_lan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_jigsaw_wan.dir/table06_jigsaw_wan.cpp.o"
+  "CMakeFiles/table06_jigsaw_wan.dir/table06_jigsaw_wan.cpp.o.d"
+  "table06_jigsaw_wan"
+  "table06_jigsaw_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_jigsaw_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

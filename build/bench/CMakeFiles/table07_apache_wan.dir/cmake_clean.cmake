@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_apache_wan.dir/table07_apache_wan.cpp.o"
+  "CMakeFiles/table07_apache_wan.dir/table07_apache_wan.cpp.o.d"
+  "table07_apache_wan"
+  "table07_apache_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_apache_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table08_jigsaw_ppp.dir/table08_jigsaw_ppp.cpp.o"
+  "CMakeFiles/table08_jigsaw_ppp.dir/table08_jigsaw_ppp.cpp.o.d"
+  "table08_jigsaw_ppp"
+  "table08_jigsaw_ppp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table08_jigsaw_ppp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

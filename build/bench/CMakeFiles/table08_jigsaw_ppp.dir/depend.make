@@ -1,0 +1,2 @@
+# Empty dependencies file for table08_jigsaw_ppp.
+# This may be replaced when dependencies are built.

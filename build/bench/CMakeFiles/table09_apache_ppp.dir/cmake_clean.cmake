@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table09_apache_ppp.dir/table09_apache_ppp.cpp.o"
+  "CMakeFiles/table09_apache_ppp.dir/table09_apache_ppp.cpp.o.d"
+  "table09_apache_ppp"
+  "table09_apache_ppp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table09_apache_ppp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

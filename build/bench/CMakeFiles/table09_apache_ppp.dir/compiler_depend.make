@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table09_apache_ppp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_browsers_jigsaw.dir/table10_browsers_jigsaw.cpp.o"
+  "CMakeFiles/table10_browsers_jigsaw.dir/table10_browsers_jigsaw.cpp.o.d"
+  "table10_browsers_jigsaw"
+  "table10_browsers_jigsaw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_browsers_jigsaw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

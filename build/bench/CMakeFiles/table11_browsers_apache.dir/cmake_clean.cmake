@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_browsers_apache.dir/table11_browsers_apache.cpp.o"
+  "CMakeFiles/table11_browsers_apache.dir/table11_browsers_apache.cpp.o.d"
+  "table11_browsers_apache"
+  "table11_browsers_apache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_browsers_apache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table12_modem_compression.dir/table12_modem_compression.cpp.o"
+  "CMakeFiles/table12_modem_compression.dir/table12_modem_compression.cpp.o.d"
+  "table12_modem_compression"
+  "table12_modem_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table12_modem_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

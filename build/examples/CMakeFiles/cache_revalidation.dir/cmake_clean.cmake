@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_revalidation.dir/cache_revalidation.cpp.o"
+  "CMakeFiles/cache_revalidation.dir/cache_revalidation.cpp.o.d"
+  "cache_revalidation"
+  "cache_revalidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_revalidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

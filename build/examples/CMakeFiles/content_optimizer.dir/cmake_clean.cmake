@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/content_optimizer.dir/content_optimizer.cpp.o"
+  "CMakeFiles/content_optimizer.dir/content_optimizer.cpp.o.d"
+  "content_optimizer"
+  "content_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/content_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

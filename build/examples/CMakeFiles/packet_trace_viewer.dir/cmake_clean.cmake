@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_trace_viewer.dir/packet_trace_viewer.cpp.o"
+  "CMakeFiles/packet_trace_viewer.dir/packet_trace_viewer.cpp.o.d"
+  "packet_trace_viewer"
+  "packet_trace_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_trace_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_keepalive_trap.dir/proxy_keepalive_trap.cpp.o"
+  "CMakeFiles/proxy_keepalive_trap.dir/proxy_keepalive_trap.cpp.o.d"
+  "proxy_keepalive_trap"
+  "proxy_keepalive_trap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_keepalive_trap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

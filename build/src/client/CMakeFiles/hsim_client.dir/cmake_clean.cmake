@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsim_client.dir/profile.cpp.o"
+  "CMakeFiles/hsim_client.dir/profile.cpp.o.d"
+  "CMakeFiles/hsim_client.dir/robot.cpp.o"
+  "CMakeFiles/hsim_client.dir/robot.cpp.o.d"
+  "libhsim_client.a"
+  "libhsim_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsim_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

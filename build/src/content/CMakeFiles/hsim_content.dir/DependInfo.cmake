@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/content/css.cpp" "src/content/CMakeFiles/hsim_content.dir/css.cpp.o" "gcc" "src/content/CMakeFiles/hsim_content.dir/css.cpp.o.d"
+  "/root/repo/src/content/gif.cpp" "src/content/CMakeFiles/hsim_content.dir/gif.cpp.o" "gcc" "src/content/CMakeFiles/hsim_content.dir/gif.cpp.o.d"
+  "/root/repo/src/content/image.cpp" "src/content/CMakeFiles/hsim_content.dir/image.cpp.o" "gcc" "src/content/CMakeFiles/hsim_content.dir/image.cpp.o.d"
+  "/root/repo/src/content/microscape.cpp" "src/content/CMakeFiles/hsim_content.dir/microscape.cpp.o" "gcc" "src/content/CMakeFiles/hsim_content.dir/microscape.cpp.o.d"
+  "/root/repo/src/content/mng.cpp" "src/content/CMakeFiles/hsim_content.dir/mng.cpp.o" "gcc" "src/content/CMakeFiles/hsim_content.dir/mng.cpp.o.d"
+  "/root/repo/src/content/png.cpp" "src/content/CMakeFiles/hsim_content.dir/png.cpp.o" "gcc" "src/content/CMakeFiles/hsim_content.dir/png.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/deflate/CMakeFiles/hsim_deflate.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

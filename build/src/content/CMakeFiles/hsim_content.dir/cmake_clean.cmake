@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsim_content.dir/css.cpp.o"
+  "CMakeFiles/hsim_content.dir/css.cpp.o.d"
+  "CMakeFiles/hsim_content.dir/gif.cpp.o"
+  "CMakeFiles/hsim_content.dir/gif.cpp.o.d"
+  "CMakeFiles/hsim_content.dir/image.cpp.o"
+  "CMakeFiles/hsim_content.dir/image.cpp.o.d"
+  "CMakeFiles/hsim_content.dir/microscape.cpp.o"
+  "CMakeFiles/hsim_content.dir/microscape.cpp.o.d"
+  "CMakeFiles/hsim_content.dir/mng.cpp.o"
+  "CMakeFiles/hsim_content.dir/mng.cpp.o.d"
+  "CMakeFiles/hsim_content.dir/png.cpp.o"
+  "CMakeFiles/hsim_content.dir/png.cpp.o.d"
+  "libhsim_content.a"
+  "libhsim_content.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsim_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deflate/checksum.cpp" "src/deflate/CMakeFiles/hsim_deflate.dir/checksum.cpp.o" "gcc" "src/deflate/CMakeFiles/hsim_deflate.dir/checksum.cpp.o.d"
+  "/root/repo/src/deflate/deflate.cpp" "src/deflate/CMakeFiles/hsim_deflate.dir/deflate.cpp.o" "gcc" "src/deflate/CMakeFiles/hsim_deflate.dir/deflate.cpp.o.d"
+  "/root/repo/src/deflate/huffman.cpp" "src/deflate/CMakeFiles/hsim_deflate.dir/huffman.cpp.o" "gcc" "src/deflate/CMakeFiles/hsim_deflate.dir/huffman.cpp.o.d"
+  "/root/repo/src/deflate/inflate.cpp" "src/deflate/CMakeFiles/hsim_deflate.dir/inflate.cpp.o" "gcc" "src/deflate/CMakeFiles/hsim_deflate.dir/inflate.cpp.o.d"
+  "/root/repo/src/deflate/tables.cpp" "src/deflate/CMakeFiles/hsim_deflate.dir/tables.cpp.o" "gcc" "src/deflate/CMakeFiles/hsim_deflate.dir/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

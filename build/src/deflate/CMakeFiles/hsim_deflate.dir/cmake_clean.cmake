@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsim_deflate.dir/checksum.cpp.o"
+  "CMakeFiles/hsim_deflate.dir/checksum.cpp.o.d"
+  "CMakeFiles/hsim_deflate.dir/deflate.cpp.o"
+  "CMakeFiles/hsim_deflate.dir/deflate.cpp.o.d"
+  "CMakeFiles/hsim_deflate.dir/huffman.cpp.o"
+  "CMakeFiles/hsim_deflate.dir/huffman.cpp.o.d"
+  "CMakeFiles/hsim_deflate.dir/inflate.cpp.o"
+  "CMakeFiles/hsim_deflate.dir/inflate.cpp.o.d"
+  "CMakeFiles/hsim_deflate.dir/tables.cpp.o"
+  "CMakeFiles/hsim_deflate.dir/tables.cpp.o.d"
+  "libhsim_deflate.a"
+  "libhsim_deflate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsim_deflate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

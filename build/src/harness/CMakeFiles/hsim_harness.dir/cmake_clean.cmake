@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsim_harness.dir/experiment.cpp.o"
+  "CMakeFiles/hsim_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/hsim_harness.dir/table.cpp.o"
+  "CMakeFiles/hsim_harness.dir/table.cpp.o.d"
+  "libhsim_harness.a"
+  "libhsim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsim_http.dir/chunked.cpp.o"
+  "CMakeFiles/hsim_http.dir/chunked.cpp.o.d"
+  "CMakeFiles/hsim_http.dir/date.cpp.o"
+  "CMakeFiles/hsim_http.dir/date.cpp.o.d"
+  "CMakeFiles/hsim_http.dir/message.cpp.o"
+  "CMakeFiles/hsim_http.dir/message.cpp.o.d"
+  "CMakeFiles/hsim_http.dir/parser.cpp.o"
+  "CMakeFiles/hsim_http.dir/parser.cpp.o.d"
+  "libhsim_http.a"
+  "libhsim_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsim_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsim_modem.dir/v42bis.cpp.o"
+  "CMakeFiles/hsim_modem.dir/v42bis.cpp.o.d"
+  "libhsim_modem.a"
+  "libhsim_modem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsim_modem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhsim_modem.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsim_net.dir/link.cpp.o"
+  "CMakeFiles/hsim_net.dir/link.cpp.o.d"
+  "CMakeFiles/hsim_net.dir/trace.cpp.o"
+  "CMakeFiles/hsim_net.dir/trace.cpp.o.d"
+  "libhsim_net.a"
+  "libhsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsim_proxy.dir/proxy.cpp.o"
+  "CMakeFiles/hsim_proxy.dir/proxy.cpp.o.d"
+  "libhsim_proxy.a"
+  "libhsim_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsim_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/server.cpp" "src/server/CMakeFiles/hsim_server.dir/server.cpp.o" "gcc" "src/server/CMakeFiles/hsim_server.dir/server.cpp.o.d"
+  "/root/repo/src/server/static_site.cpp" "src/server/CMakeFiles/hsim_server.dir/static_site.cpp.o" "gcc" "src/server/CMakeFiles/hsim_server.dir/static_site.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/hsim_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/hsim_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/content/CMakeFiles/hsim_content.dir/DependInfo.cmake"
+  "/root/repo/build/src/deflate/CMakeFiles/hsim_deflate.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

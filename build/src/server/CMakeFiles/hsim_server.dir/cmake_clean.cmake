@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsim_server.dir/server.cpp.o"
+  "CMakeFiles/hsim_server.dir/server.cpp.o.d"
+  "CMakeFiles/hsim_server.dir/static_site.cpp.o"
+  "CMakeFiles/hsim_server.dir/static_site.cpp.o.d"
+  "libhsim_server.a"
+  "libhsim_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsim_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

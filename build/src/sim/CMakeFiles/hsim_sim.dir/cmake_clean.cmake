@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsim_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/hsim_sim.dir/event_queue.cpp.o.d"
+  "libhsim_sim.a"
+  "libhsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsim_tcp.dir/connection.cpp.o"
+  "CMakeFiles/hsim_tcp.dir/connection.cpp.o.d"
+  "CMakeFiles/hsim_tcp.dir/host.cpp.o"
+  "CMakeFiles/hsim_tcp.dir/host.cpp.o.d"
+  "libhsim_tcp.a"
+  "libhsim_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsim_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

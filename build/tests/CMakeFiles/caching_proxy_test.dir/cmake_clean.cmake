@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caching_proxy_test.dir/caching_proxy_test.cpp.o"
+  "CMakeFiles/caching_proxy_test.dir/caching_proxy_test.cpp.o.d"
+  "caching_proxy_test"
+  "caching_proxy_test.pdb"
+  "caching_proxy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caching_proxy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

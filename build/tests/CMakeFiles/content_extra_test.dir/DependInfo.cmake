@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/content_extra_test.cpp" "tests/CMakeFiles/content_extra_test.dir/content_extra_test.cpp.o" "gcc" "tests/CMakeFiles/content_extra_test.dir/content_extra_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/hsim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/content/CMakeFiles/hsim_content.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/hsim_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/hsim_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/deflate/CMakeFiles/hsim_deflate.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/hsim_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/modem/CMakeFiles/hsim_modem.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/hsim_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

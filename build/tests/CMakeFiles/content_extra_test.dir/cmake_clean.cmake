@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/content_extra_test.dir/content_extra_test.cpp.o"
+  "CMakeFiles/content_extra_test.dir/content_extra_test.cpp.o.d"
+  "content_extra_test"
+  "content_extra_test.pdb"
+  "content_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/content_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deflate_test.dir/deflate_test.cpp.o"
+  "CMakeFiles/deflate_test.dir/deflate_test.cpp.o.d"
+  "deflate_test"
+  "deflate_test.pdb"
+  "deflate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deflate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gif_test.cpp" "tests/CMakeFiles/gif_test.dir/gif_test.cpp.o" "gcc" "tests/CMakeFiles/gif_test.dir/gif_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/content/CMakeFiles/hsim_content.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/deflate/CMakeFiles/hsim_deflate.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gif_test.dir/gif_test.cpp.o"
+  "CMakeFiles/gif_test.dir/gif_test.cpp.o.d"
+  "gif_test"
+  "gif_test.pdb"
+  "gif_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

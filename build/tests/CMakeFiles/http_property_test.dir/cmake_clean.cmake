@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_property_test.dir/http_property_test.cpp.o"
+  "CMakeFiles/http_property_test.dir/http_property_test.cpp.o.d"
+  "http_property_test"
+  "http_property_test.pdb"
+  "http_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

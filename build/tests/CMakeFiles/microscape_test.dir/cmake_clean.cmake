@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscape_test.dir/microscape_test.cpp.o"
+  "CMakeFiles/microscape_test.dir/microscape_test.cpp.o.d"
+  "microscape_test"
+  "microscape_test.pdb"
+  "microscape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modem_test.dir/modem_test.cpp.o"
+  "CMakeFiles/modem_test.dir/modem_test.cpp.o.d"
+  "modem_test"
+  "modem_test.pdb"
+  "modem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

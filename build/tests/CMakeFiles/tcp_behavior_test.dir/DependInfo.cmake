@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tcp_behavior_test.cpp" "tests/CMakeFiles/tcp_behavior_test.dir/tcp_behavior_test.cpp.o" "gcc" "tests/CMakeFiles/tcp_behavior_test.dir/tcp_behavior_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/hsim_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

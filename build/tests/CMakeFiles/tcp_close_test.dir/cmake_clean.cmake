@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_close_test.dir/tcp_close_test.cpp.o"
+  "CMakeFiles/tcp_close_test.dir/tcp_close_test.cpp.o.d"
+  "tcp_close_test"
+  "tcp_close_test.pdb"
+  "tcp_close_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_close_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

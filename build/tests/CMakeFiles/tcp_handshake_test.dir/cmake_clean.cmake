@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_handshake_test.dir/tcp_handshake_test.cpp.o"
+  "CMakeFiles/tcp_handshake_test.dir/tcp_handshake_test.cpp.o.d"
+  "tcp_handshake_test"
+  "tcp_handshake_test.pdb"
+  "tcp_handshake_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_handshake_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
