@@ -7,17 +7,25 @@
 //                  [--runs N] [--seed S]
 //                  [--buffer BYTES] [--flush-ms MS] [--no-explicit-flush]
 //                  [--max-conns N] [--no-nodelay] [--ranges]
-//                  [--format summary|tsv|trace]
+//                  [--chaos FAULT] [--format summary|tsv|trace]
+//
+// --chaos layers a named fault regime (see harness/chaos.hpp) onto the run
+// and arms the client's recovery machinery: none, burst-loss, outage,
+// link-flaps, duplication, reordering, corruption, server-stall,
+// premature-close, server-errors.
 //
 // Examples:
 //   run_experiment --net ppp --mode pipec --scenario first
 //   run_experiment --net wan --server apache --mode pipe --format tsv
 //   run_experiment --net lan --mode 1.0 --format trace | head -40
+//   run_experiment --net wan --mode pipe --chaos burst-loss
+//   run_experiment --net wan --mode 1.1 --chaos server-stall --format trace
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "harness/chaos.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 #include "server/static_site.hpp"
@@ -36,6 +44,10 @@ using namespace hsim;
                "[--flush-ms MS]\n"
                "          [--no-explicit-flush] [--max-conns N] "
                "[--no-nodelay] [--ranges]\n"
+               "          [--chaos none|burst-loss|outage|link-flaps|"
+               "duplication|reordering|\n"
+               "                   corruption|server-stall|premature-close|"
+               "server-errors]\n"
                "          [--format summary|tsv|trace]\n",
                argv0);
   std::exit(2);
@@ -56,7 +68,17 @@ struct Options {
   unsigned max_conns = 0;
   bool no_nodelay = false;
   bool ranges = false;
+  harness::ChaosFault chaos = harness::ChaosFault::kNone;
+  bool chaos_set = false;  // "--chaos none" still arms the recovery knobs
 };
+
+harness::ChaosFault parse_fault(const std::string& v, const char* argv0) {
+  if (v == "none") return harness::ChaosFault::kNone;
+  for (const harness::ChaosFault fault : harness::all_chaos_faults()) {
+    if (v == to_string(fault)) return fault;
+  }
+  usage(argv0);
+}
 
 Options parse(int argc, char** argv) {
   Options o;
@@ -108,6 +130,9 @@ Options parse(int argc, char** argv) {
       o.no_nodelay = true;
     } else if (a == "--ranges") {
       o.ranges = true;
+    } else if (a == "--chaos") {
+      o.chaos = parse_fault(need_value(i), argv[0]);
+      o.chaos_set = true;
     } else if (a == "--format") {
       o.format = need_value(i);
       if (o.format != "summary" && o.format != "tsv" && o.format != "trace") {
@@ -123,9 +148,19 @@ Options parse(int argc, char** argv) {
 int run_trace_format(const Options& o) {
   // Single run with the full tcpdump-style trace on stdout.
   const content::MicroscapeSite& site = harness::shared_site();
+
+  // Route the chaos mutations through an ExperimentSpec so the trace path
+  // injects exactly what run_once would.
+  harness::ExperimentSpec spec;
+  spec.server = o.server;
+  spec.client = harness::robot_config(o.mode);
+  if (o.chaos_set) harness::apply_chaos(o.chaos, spec);
+  net::ChannelConfig channel_config = o.network.channel_config();
+  if (spec.mutate_channel) spec.mutate_channel(channel_config);
+
   sim::EventQueue queue;
   sim::Rng rng(o.seed);
-  net::Channel channel(queue, o.network.channel_config(), rng.fork());
+  net::Channel channel(queue, channel_config, rng.fork());
   tcp::Host client_host(queue, 1, "client", rng.fork());
   tcp::Host server_host(queue, 2, "server", rng.fork());
   channel.attach_a(&client_host);
@@ -136,9 +171,9 @@ int run_trace_format(const Options& o) {
   channel.set_trace(&trace);
   server::HttpServer server(server_host,
                             server::StaticSite::from_microscape(site),
-                            o.server, rng.fork());
+                            spec.server, rng.fork());
   server.start(80);
-  client::ClientConfig config = harness::robot_config(o.mode);
+  client::ClientConfig config = spec.client;
   config.tcp.recv_buffer =
       std::min(config.tcp.recv_buffer, o.network.client_recv_buffer);
   config.validate_with_ranges = o.ranges;
@@ -184,6 +219,7 @@ int main(int argc, char** argv) {
   if (o.max_conns > 0) spec.client.max_connections = o.max_conns;
   if (o.no_nodelay) spec.client.nodelay = false;
   spec.client.validate_with_ranges = o.ranges;
+  if (o.chaos_set) harness::apply_chaos(o.chaos, spec);
 
   const harness::AveragedResult r =
       harness::run_averaged(spec, harness::shared_site(), o.runs);

@@ -9,12 +9,22 @@
 namespace hsim::client {
 
 namespace {
-constexpr unsigned kMaxAttempts = 5;
-
 std::span<const std::uint8_t> as_span(const std::vector<std::uint8_t>& v) {
   return {v.data(), v.size()};
 }
 }  // namespace
+
+std::string_view to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kConnectFailure: return "connect-failure";
+    case FailureKind::kTransportFailure: return "transport-failure";
+    case FailureKind::kRequestDeadline: return "request-deadline";
+    case FailureKind::kPageDeadline: return "page-deadline";
+    case FailureKind::kServerError: return "server-error";
+    case FailureKind::kConnectionLost: return "connection-lost";
+  }
+  return "?";
+}
 
 std::string_view to_string(ProtocolMode mode) {
   switch (mode) {
@@ -32,7 +42,9 @@ Robot::Robot(tcp::Host& host, net::IpAddr server_addr, net::Port server_port,
     : host_(host),
       server_addr_(server_addr),
       server_port_(server_port),
-      config_(std::move(config)) {}
+      config_(std::move(config)),
+      retry_timer_(host.event_queue()),
+      page_timer_(host.event_queue()) {}
 
 Robot::~Robot() {
   for (const LanePtr& lane : lanes_) {
@@ -43,6 +55,7 @@ Robot::~Robot() {
       lane->conn->set_on_reset({});
       lane->conn->set_on_peer_fin({});
       lane->conn->set_on_send_space({});
+      lane->conn->set_on_failed({});
     }
   }
 }
@@ -61,6 +74,11 @@ void Robot::begin(DoneCallback done) {
   html_raw_consumed_ = 0;
   refs_discovered_ = 0;
   inflater_.reset();
+  retry_timer_.cancel();
+  page_timer_.cancel();
+  if (config_.page_deadline > 0) {
+    page_timer_.arm(config_.page_deadline, [this] { on_page_deadline(); });
+  }
 }
 
 void Robot::start_first_visit(const std::string& root, DoneCallback done) {
@@ -114,6 +132,7 @@ void Robot::enqueue(PendingRequest request) { queue_.push_back(std::move(request
 Robot::LanePtr Robot::open_lane() {
   auto lane = std::make_shared<Lane>();
   lane->flush_timer = std::make_unique<sim::Timer>(host_.event_queue());
+  lane->deadline_timer = std::make_unique<sim::Timer>(host_.event_queue());
   tcp::TcpOptions opts = config_.tcp;
   opts.nodelay = config_.nodelay;
   lane->conn = host_.connect(server_addr_, server_port_, opts);
@@ -140,7 +159,7 @@ Robot::LanePtr Robot::open_lane() {
       l->conn->shutdown_send();
       if (!l->closed) {
         l->closed = true;
-        on_lane_closed(l, /*reset=*/false);
+        on_lane_closed(l, LaneClose::kGraceful);
       }
     }
   });
@@ -149,14 +168,23 @@ Robot::LanePtr Robot::open_lane() {
       l->closed = true;
       l->parser.on_connection_closed();
       on_lane_data(l);
-      on_lane_closed(l, /*reset=*/false);
+      on_lane_closed(l, LaneClose::kGraceful);
     }
   });
   lane->conn->set_on_reset([this, weak] {
     if (auto l = weak.lock(); l && !l->closed) {
       l->closed = true;
       ++stats_.resets_seen;
-      on_lane_closed(l, /*reset=*/true);
+      on_lane_closed(l, LaneClose::kReset);
+    }
+  });
+  lane->conn->set_on_failed([this, weak] {
+    // Terminal transport error: the TCP layer exhausted its retries (SYN cap
+    // or max_data_retransmits) and tore the connection down.
+    if (auto l = weak.lock(); l && !l->closed) {
+      l->closed = true;
+      on_lane_closed(l, l->connected ? LaneClose::kTransportFailure
+                                     : LaneClose::kConnectFailure);
     }
   });
   lanes_.push_back(lane);
@@ -211,6 +239,9 @@ void Robot::issue_on_lane(const LanePtr& lane, PendingRequest pending) {
   ++stats_.requests_sent;
   if (pending.attempts > 0) ++stats_.retries;
   lane->outstanding.push_back(std::move(pending));
+  // The deadline clock covers the response at the head of the pipeline; it
+  // is restarted as complete responses arrive (see on_lane_data).
+  if (!lane->deadline_timer->armed()) arm_request_deadline(lane);
 
   if (!config_.pipelined()) {
     // Persistent / HTTP/1.0 modes write each request immediately.
@@ -259,6 +290,19 @@ void Robot::pump_lane_output(const LanePtr& lane) {
 
 void Robot::pump() {
   if (finished_) return;
+  const sim::Time now = host_.event_queue().now();
+  // Retry backoff gates the queue head only: requests stay strictly FIFO
+  // (reordering pipelined requests around a backed-off head would reorder
+  // responses relative to request issue order).
+  auto head_ready = [&] {
+    return !queue_.empty() && queue_.front().not_before <= now;
+  };
+  auto arm_retry_wakeup = [&] {
+    if (!queue_.empty() && queue_.front().not_before > now &&
+        !retry_timer_.armed()) {
+      retry_timer_.arm(queue_.front().not_before - now, [this] { pump(); });
+    }
+  };
   if (config_.pipelined()) {
     // Single persistent connection carrying the whole pipeline.
     LanePtr lane;
@@ -269,14 +313,18 @@ void Robot::pump() {
       }
     }
     if (!lane) {
-      if (queue_.empty()) return;
+      if (!head_ready()) {
+        arm_retry_wakeup();
+        return;
+      }
       lane = open_lane();
     }
-    while (!queue_.empty()) {
+    while (head_ready()) {
       PendingRequest req = std::move(queue_.front());
       queue_.pop_front();
       issue_on_lane(lane, std::move(req));
     }
+    arm_retry_wakeup();
     return;
   }
 
@@ -285,7 +333,7 @@ void Robot::pump() {
   // and HTTP/1.1 persistent (lane reused), and the browsers' N-parallel
   // strategies. First reuse idle lanes, then open new ones up to the cap.
   for (const LanePtr& lane : lanes_) {
-    if (queue_.empty()) break;
+    if (!head_ready()) break;
     if (!lane->closed && lane->connected && lane->outstanding.empty()) {
       PendingRequest req = std::move(queue_.front());
       queue_.pop_front();
@@ -299,12 +347,13 @@ void Robot::pump() {
     }
     return n;
   };
-  while (!queue_.empty() && open_count() < config_.max_connections) {
+  while (head_ready() && open_count() < config_.max_connections) {
     LanePtr lane = open_lane();
     PendingRequest req = std::move(queue_.front());
     queue_.pop_front();
     issue_on_lane(lane, std::move(req));
   }
+  arm_retry_wakeup();
 }
 
 void Robot::on_lane_data(const LanePtr& lane) {
@@ -312,10 +361,12 @@ void Robot::on_lane_data(const LanePtr& lane) {
   const std::vector<std::uint8_t> bytes = lane->conn->read_all();
   if (!bytes.empty()) lane->parser.feed(as_span(bytes));
 
+  bool popped_any = false;
   while (auto response = lane->parser.next()) {
     if (lane->outstanding.empty()) break;  // unsolicited data; drop
     PendingRequest pending = std::move(lane->outstanding.front());
     lane->outstanding.pop_front();
+    popped_any = true;
     if (config_.per_response_cpu <= 0) {
       handle_response(lane, pending, std::move(*response));
       if (finished_) return;
@@ -332,6 +383,10 @@ void Robot::on_lane_data(const LanePtr& lane) {
           if (!finished_) handle_response(lane, pending, std::move(response));
         });
   }
+  // A complete response is "progress": restart (or clear) the per-request
+  // deadline. Raw bytes deliberately do NOT restart it — a server that
+  // trickles a response forever would otherwise never trip the deadline.
+  if (popped_any) arm_request_deadline(lane);
   scan_html_progress(lane);
 }
 
@@ -384,8 +439,28 @@ void Robot::discover_references() {
 
 void Robot::handle_response(const LanePtr& lane, const PendingRequest& pending,
                             http::Response response) {
-  ++completed_responses_;
   stats_.body_bytes += response.body.size();
+
+  if (response.status >= 500 && config_.retry_server_errors) {
+    // A transient server error: re-issue (with backoff) instead of treating
+    // the response as terminal. The retry is a fresh attempt, so it counts
+    // against max_attempts like a connection-loss recovery does.
+    ++stats_.responses_error;
+    PendingRequest retry = pending;
+    ++retry.attempts;
+    if (retry.attempts >= config_.max_attempts) {
+      fail_request(retry, FailureKind::kServerError);
+    } else {
+      retry.not_before =
+          host_.event_queue().now() + backoff_delay(retry.attempts);
+      queue_.push_back(std::move(retry));
+    }
+    maybe_finish();
+    if (!finished_) pump();
+    return;
+  }
+
+  ++completed_responses_;
   if (response.status == 200) {
     ++stats_.responses_ok;
   } else if (response.status == 206) {
@@ -467,13 +542,51 @@ void Robot::handle_response(const LanePtr& lane, const PendingRequest& pending,
   if (!finished_) pump();
 }
 
-void Robot::on_lane_closed(const LanePtr& lane, bool /*reset*/) {
+sim::Time Robot::backoff_delay(unsigned attempts) const {
+  if (config_.retry_backoff <= 0 || attempts == 0) return 0;
+  const unsigned shift = std::min(attempts - 1, 6u);
+  const sim::Time delay = config_.retry_backoff << shift;
+  return std::min(delay, config_.retry_backoff_cap);
+}
+
+void Robot::arm_request_deadline(const LanePtr& lane) {
+  if (config_.request_deadline <= 0 || !lane->deadline_timer) return;
+  if (lane->closed || lane->outstanding.empty()) {
+    lane->deadline_timer->cancel();
+    return;
+  }
+  std::weak_ptr<Lane> weak = lane;
+  lane->deadline_timer->arm(config_.request_deadline, [this, weak] {
+    if (auto l = weak.lock(); l && !l->closed) {
+      // The head response made no progress for a whole deadline period
+      // (e.g. a wedged server holding the connection open). Abort the
+      // connection and recover through the usual requeue path.
+      l->closed = true;
+      ++stats_.request_deadlines_fired;
+      l->conn->abort();
+      on_lane_closed(l, LaneClose::kDeadline);
+    }
+  });
+}
+
+void Robot::fail_request(const PendingRequest& request, FailureKind kind) {
+  ++completed_responses_;
+  ++stats_.requests_failed;
+  stats_.failures.push_back({request.target, kind, request.attempts});
+}
+
+void Robot::on_lane_closed(const LanePtr& lane, LaneClose cause) {
   if (finished_) return;
   lane->flush_timer->cancel();
+  if (lane->deadline_timer) lane->deadline_timer->cancel();
+  if (cause == LaneClose::kConnectFailure) ++stats_.connect_failures;
+  if (cause == LaneClose::kTransportFailure) ++stats_.transport_failures;
+
   // Unanswered requests (sent but no response) go back on the queue, as do
   // any bytes that were still buffered and unsent.
   std::deque<PendingRequest> unanswered = std::move(lane->outstanding);
   lane->outstanding.clear();
+  const sim::Time now = host_.event_queue().now();
   bool head = true;
   for (PendingRequest& req : unanswered) {
     // Only the head request is charged an attempt: a server that serves N
@@ -481,11 +594,34 @@ void Robot::on_lane_closed(const LanePtr& lane, bool /*reset*/) {
     // progress each cycle, so later requests are victims, not failures.
     if (head) {
       head = false;
-      if (++req.attempts >= kMaxAttempts) {
-        ++completed_responses_;
+      if (++req.attempts >= config_.max_attempts) {
         ++stats_.responses_error;
+        FailureKind kind = FailureKind::kConnectionLost;
+        switch (cause) {
+          case LaneClose::kConnectFailure:
+            kind = FailureKind::kConnectFailure;
+            break;
+          case LaneClose::kTransportFailure:
+            kind = FailureKind::kTransportFailure;
+            break;
+          case LaneClose::kDeadline:
+            kind = FailureKind::kRequestDeadline;
+            break;
+          case LaneClose::kGraceful:
+          case LaneClose::kReset:
+            break;
+        }
+        fail_request(req, kind);
         continue;
       }
+      if (cause == LaneClose::kReset) {
+        ++stats_.retries_after_reset;
+      } else if (cause == LaneClose::kGraceful) {
+        ++stats_.retries_after_close;
+      }
+      req.not_before = now + backoff_delay(req.attempts);
+    } else {
+      req.not_before = 0;  // victims re-issue immediately
     }
     queue_.push_back(std::move(req));
   }
@@ -494,13 +630,49 @@ void Robot::on_lane_closed(const LanePtr& lane, bool /*reset*/) {
   if (!finished_) pump();
 }
 
+void Robot::on_page_deadline() {
+  if (finished_) return;
+  finished_ = true;
+  stats_.page_deadline_hit = true;
+  stats_.complete = false;
+  stats_.finished = host_.event_queue().now();
+  retry_timer_.cancel();
+  // Everything still unresolved is attributed to the page deadline.
+  for (const PendingRequest& req : queue_) {
+    ++stats_.requests_failed;
+    stats_.failures.push_back(
+        {req.target, FailureKind::kPageDeadline, req.attempts});
+  }
+  queue_.clear();
+  for (const LanePtr& lane : lanes_) {
+    lane->flush_timer->cancel();
+    if (lane->deadline_timer) lane->deadline_timer->cancel();
+    for (const PendingRequest& req : lane->outstanding) {
+      ++stats_.requests_failed;
+      stats_.failures.push_back(
+          {req.target, FailureKind::kPageDeadline, req.attempts});
+    }
+    lane->outstanding.clear();
+    if (!lane->closed) {
+      lane->closed = true;
+      lane->conn->abort();
+    }
+  }
+  lanes_.clear();
+  if (done_) done_();
+}
+
 void Robot::maybe_finish() {
   if (finished_) return;
   if (completed_responses_ < expected_responses_ || !queue_.empty()) return;
   finished_ = true;
-  stats_.complete = true;
+  stats_.complete = (stats_.requests_failed == 0);
   stats_.finished = host_.event_queue().now();
+  retry_timer_.cancel();
+  page_timer_.cancel();
   for (const LanePtr& lane : lanes_) {
+    lane->flush_timer->cancel();
+    if (lane->deadline_timer) lane->deadline_timer->cancel();
     if (!lane->closed) lane->conn->shutdown_send();
   }
   if (done_) done_();

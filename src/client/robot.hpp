@@ -39,6 +39,26 @@ enum class ProtocolMode {
 };
 std::string_view to_string(ProtocolMode mode);
 
+/// Why a request (or the whole page retrieval) permanently failed. Structured
+/// failure attribution: chaos tests assert the *responsible* fault surfaced,
+/// rather than a generic error or — worse — a hang.
+enum class FailureKind {
+  kConnectFailure,    // TCP connect timed out (SYN retries exhausted)
+  kTransportFailure,  // established connection gave up retransmitting
+  kRequestDeadline,   // per-request deadline expired (e.g. stalled server)
+  kPageDeadline,      // whole-page deadline expired
+  kServerError,       // 5xx responses persisted through every retry
+  kConnectionLost,    // connection kept closing/resetting under us
+};
+std::string_view to_string(FailureKind kind);
+
+/// One permanently-failed request, with its retry count.
+struct RequestFailure {
+  std::string target;
+  FailureKind kind = FailureKind::kConnectionLost;
+  unsigned attempts = 0;
+};
+
 /// How a cache-validation visit expresses its requests.
 enum class RevalidationStyle {
   /// Full HTTP/1.1 style: conditional GET with If-None-Match on everything.
@@ -86,6 +106,29 @@ struct ClientConfig {
   /// HTTP/1.0 robot had no persistent cache and only pays parse cost.
   sim::Time per_response_cpu = sim::milliseconds(5);
 
+  // ---- Failure recovery --------------------------------------------------
+  /// A request is abandoned (structured failure) after this many attempts.
+  unsigned max_attempts = 5;
+
+  /// Abort a connection whose next response has not completed within this
+  /// time (0 = no deadline). This is what rescues the client from a server
+  /// that wedges mid-response without closing.
+  sim::Time request_deadline = 0;
+
+  /// Give up on the whole retrieval after this long (0 = no deadline).
+  /// Expiry reports a structured kPageDeadline failure; it never hangs.
+  sim::Time page_deadline = 0;
+
+  /// Exponential backoff between re-issues of a failed request: attempt k
+  /// waits retry_backoff * 2^(k-1), capped at retry_backoff_cap. 0 = retry
+  /// immediately (the pre-fault-injection behaviour).
+  sim::Time retry_backoff = 0;
+  sim::Time retry_backoff_cap = sim::seconds(10);
+
+  /// Re-issue requests answered with 5xx (bounded by max_attempts). Off by
+  /// default: the paper's robot treated errors as terminal.
+  bool retry_server_errors = false;
+
   bool wants_deflate() const {
     return mode == ProtocolMode::kHttp11PipelinedCompressed;
   }
@@ -103,6 +146,10 @@ struct RobotStats {
   std::size_t responses_not_modified = 0;
   std::size_t responses_error = 0;     // 4xx/5xx
   std::size_t retries = 0;             // re-issued after connection loss
+  /// Partition of recovery re-issues by what killed the connection — the
+  /// paper's pipelining-close pitfall shows up as retries_after_reset.
+  std::size_t retries_after_reset = 0;   // lane died by RST
+  std::size_t retries_after_close = 0;   // lane closed gracefully (FIN)
   std::size_t resets_seen = 0;
   std::size_t explicit_flushes = 0;
   std::size_t timer_flushes = 0;
@@ -110,7 +157,18 @@ struct RobotStats {
   std::uint64_t body_bytes = 0;
   sim::Time started = 0;
   sim::Time finished = 0;
+  /// True iff every request resolved successfully (no permanent failures,
+  /// no page-deadline expiry).
   bool complete = false;
+
+  // ---- Failure accounting ------------------------------------------------
+  std::size_t requests_failed = 0;        // permanently abandoned
+  std::size_t connect_failures = 0;       // TCP connect give-ups observed
+  std::size_t transport_failures = 0;     // established-connection give-ups
+  std::size_t request_deadlines_fired = 0;
+  bool page_deadline_hit = false;
+  /// One entry per permanently-failed request, with the responsible fault.
+  std::vector<RequestFailure> failures;
 
   // Perceived-performance timestamps (0 = never happened). The paper leaves
   // time-to-render as future work; these are the raw ingredients.
@@ -154,6 +212,17 @@ class Robot {
     bool conditional = false;
     bool is_root = false;
     unsigned attempts = 0;
+    /// Earliest time this request may be (re)issued — retry backoff.
+    sim::Time not_before = 0;
+  };
+
+  /// Why a lane went away; drives retry accounting and failure attribution.
+  enum class LaneClose {
+    kGraceful,          // FIN / orderly close
+    kReset,             // RST
+    kConnectFailure,    // tcp on_failed before the handshake completed
+    kTransportFailure,  // tcp on_failed after establishment
+    kDeadline,          // our own request deadline aborted it
   };
 
   /// One TCP connection and its in-flight request queue.
@@ -166,6 +235,8 @@ class Robot {
     bool connected = false;
     bool closed = false;
     std::unique_ptr<sim::Timer> flush_timer;
+    /// Per-request deadline for the response at the head of `outstanding`.
+    std::unique_ptr<sim::Timer> deadline_timer;
   };
   using LanePtr = std::shared_ptr<Lane>;
 
@@ -179,9 +250,13 @@ class Robot {
   void pump_lane_output(const LanePtr& lane);
 
   void on_lane_data(const LanePtr& lane);
-  void on_lane_closed(const LanePtr& lane, bool reset);
+  void on_lane_closed(const LanePtr& lane, LaneClose cause);
   void handle_response(const LanePtr& lane, const PendingRequest& pending,
                        http::Response response);
+  sim::Time backoff_delay(unsigned attempts) const;
+  void arm_request_deadline(const LanePtr& lane);
+  void fail_request(const PendingRequest& request, FailureKind kind);
+  void on_page_deadline();
   void scan_html_progress(const LanePtr& lane);
   void ingest_html_bytes(std::span<const std::uint8_t> raw, bool deflated);
   void discover_references();
@@ -194,6 +269,9 @@ class Robot {
   Cache cache_;
   RobotStats stats_;
   DoneCallback done_;
+  /// Wakes pump() once the head-of-queue retry backoff elapses.
+  sim::Timer retry_timer_;
+  sim::Timer page_timer_;
 
   std::deque<PendingRequest> queue_;  // not yet assigned to a lane
   std::vector<LanePtr> lanes_;

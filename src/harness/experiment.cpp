@@ -63,7 +63,9 @@ RunResult run_once(const ExperimentSpec& spec,
   sim::EventQueue queue;
   sim::Rng rng(spec.seed);
 
-  net::Channel channel(queue, spec.network.channel_config(), rng.fork());
+  net::ChannelConfig channel_config = spec.network.channel_config();
+  if (spec.mutate_channel) spec.mutate_channel(channel_config);
+  net::Channel channel(queue, channel_config, rng.fork());
   tcp::Host client_host(queue, kClientAddr, "client", rng.fork());
   tcp::Host server_host(queue, kServerAddr, "server", rng.fork());
   channel.attach_a(&client_host);
@@ -117,6 +119,7 @@ RunResult run_once(const ExperimentSpec& spec,
   // Allow connection teardown (FIN exchanges) to be captured.
   queue.run_until(queue.now() + sim::seconds(120));
   (void)done;
+  if (spec.inspect_robot) spec.inspect_robot(robot);
 
   RunResult result;
   result.trace = trace.summarize();

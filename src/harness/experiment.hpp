@@ -30,6 +30,15 @@ struct ExperimentSpec {
   /// modem-compression model; each direction gets its own dictionary, as
   /// the two modems of a dialup pair do).
   std::function<net::Link::PayloadSizer()> make_link_sizer;
+  /// Optional: edit the channel configuration after the network profile has
+  /// produced it but before the links are built. This is how fault
+  /// injection (bursty loss, outages, duplication, corruption, reordering)
+  /// is layered onto any experiment; see harness/chaos.hpp.
+  std::function<void(net::ChannelConfig&)> mutate_channel;
+  /// Optional: called with the robot after the measured run drains, before
+  /// teardown. Lets callers inspect state RunResult does not carry — e.g.
+  /// comparing the populated cache byte-for-byte against the source site.
+  std::function<void(client::Robot&)> inspect_robot;
 };
 
 struct RunResult {

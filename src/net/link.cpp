@@ -5,8 +5,20 @@
 
 namespace hsim::net {
 
+std::vector<OutageWindow> make_flaps(sim::Time first_down, sim::Time down_for,
+                                     sim::Time up_for, unsigned count) {
+  std::vector<OutageWindow> windows;
+  windows.reserve(count);
+  sim::Time at = first_down;
+  for (unsigned i = 0; i < count; ++i) {
+    windows.push_back({at, at + down_for});
+    at += down_for + up_for;
+  }
+  return windows;
+}
+
 Link::Link(sim::EventQueue& queue, LinkConfig config, sim::Rng rng)
-    : queue_(queue), config_(config), rng_(rng) {}
+    : queue_(queue), config_(std::move(config)), rng_(rng) {}
 
 sim::Time Link::serialisation_time(std::size_t wire_bytes) const {
   if (config_.bandwidth_bps <= 0) return 0;
@@ -14,12 +26,38 @@ sim::Time Link::serialisation_time(std::size_t wire_bytes) const {
   return sim::from_seconds(bits / static_cast<double>(config_.bandwidth_bps));
 }
 
-void Link::transmit(Packet packet) {
+bool Link::is_down(sim::Time at) const {
+  for (const OutageWindow& w : config_.outages) {
+    if (at >= w.down_at && at < w.up_at) return true;
+  }
+  return false;
+}
+
+bool Link::loss_model_drops() {
   if (config_.random_drop_probability > 0.0 &&
       rng_.chance(config_.random_drop_probability)) {
     ++stats_.packets_dropped_random;
-    return;
+    return true;
   }
+  if (config_.gilbert_elliott.enabled) {
+    const GilbertElliottConfig& ge = config_.gilbert_elliott;
+    // Advance the chain one step per offered packet, then draw the loss.
+    if (ge_bad_state_) {
+      if (rng_.chance(ge.p_bad_to_good)) ge_bad_state_ = false;
+    } else {
+      if (rng_.chance(ge.p_good_to_bad)) ge_bad_state_ = true;
+    }
+    const double p = ge_bad_state_ ? ge.loss_bad : ge.loss_good;
+    if (p > 0.0 && rng_.chance(p)) {
+      ++stats_.packets_dropped_burst;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Link::transmit(Packet packet) {
+  if (loss_model_drops()) return;
   if (tx_queue_.size() >= config_.queue_limit_packets) {
     ++stats_.packets_dropped_queue;
     return;
@@ -29,6 +67,12 @@ void Link::transmit(Packet packet) {
 }
 
 void Link::start_next_transmission() {
+  // A down link loses everything reaching the transmitter; drain instantly so
+  // the queue does not replay stale packets when the link comes back.
+  while (!tx_queue_.empty() && is_down(queue_.now())) {
+    tx_queue_.pop_front();
+    ++stats_.packets_dropped_outage;
+  }
   if (tx_queue_.empty()) {
     transmitting_ = false;
     return;
@@ -55,11 +99,40 @@ void Link::start_next_transmission() {
   }
 
   sim::Time delivery = queue_.now() + tx_done + prop;
-  // Links never reorder: a jittered packet may not overtake its predecessor.
-  delivery = std::max(delivery, last_delivery_time_);
-  last_delivery_time_ = delivery;
+
+  const bool corrupted = config_.corrupt_probability > 0.0 &&
+                         rng_.chance(config_.corrupt_probability);
+  const bool reordered = !corrupted && config_.reorder_extra_delay > 0 &&
+                         config_.reorder_probability > 0.0 &&
+                         rng_.chance(config_.reorder_probability);
+  const bool duplicated = !corrupted && config_.duplicate_probability > 0.0 &&
+                          rng_.chance(config_.duplicate_probability);
+
+  if (reordered) {
+    // Delivered late, outside the in-order sequence: successors may overtake
+    // it, but by no more than reorder_extra_delay.
+    delivery += config_.reorder_extra_delay;
+    ++stats_.packets_reordered;
+  } else {
+    // Links never reorder on their own: a jittered packet may not overtake
+    // its predecessor.
+    delivery = std::max(delivery, last_delivery_time_);
+    last_delivery_time_ = delivery;
+  }
 
   queue_.schedule_in(tx_done, [this] { start_next_transmission(); });
+
+  if (corrupted) {
+    // The bytes crossed the wire but fail the receiver's checksum.
+    queue_.schedule_at(delivery, [this] { ++stats_.packets_corrupted; });
+    return;
+  }
+  if (duplicated) {
+    ++stats_.packets_duplicated;
+    queue_.schedule_at(delivery, [this, p = packet]() mutable {
+      if (sink_ != nullptr) sink_->deliver(std::move(p));
+    });
+  }
   queue_.schedule_at(delivery, [this, p = std::move(packet)]() mutable {
     if (sink_ != nullptr) sink_->deliver(std::move(p));
   });

@@ -5,12 +5,25 @@
 // propagation delay before being delivered to the sink. If more packets are
 // enqueued than the transmit queue can hold, excess packets are dropped
 // (drop-tail), which is what lets TCP's loss recovery paths be exercised.
+//
+// Beyond the physical model the link is also the simulator's fault-injection
+// point. All faults draw from the link's own deterministic Rng stream, so a
+// fixed seed reproduces the exact same fault sequence:
+//   - uniform Bernoulli drop (`random_drop_probability`);
+//   - bursty loss via a two-state Gilbert-Elliott chain (`gilbert_elliott`);
+//   - packet duplication (`duplicate_probability`);
+//   - bounded reordering (`reorder_probability` + `reorder_extra_delay`);
+//   - payload corruption, modelled as a checksum failure: the packet crosses
+//     the wire (consuming bandwidth) but is discarded at the receiver;
+//   - scheduled outage windows (`outages`): while the link is down, packets
+//     reaching the transmitter are lost.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "sim/event_queue.hpp"
@@ -26,6 +39,42 @@ class PacketSink {
   virtual void deliver(Packet packet) = 0;
 };
 
+/// Two-state Markov (Gilbert-Elliott) loss model. The chain advances one step
+/// per packet offered to the link; each state drops with its own probability.
+/// Mean burst length (packets spent in the bad state per excursion) is
+/// 1 / p_bad_to_good; the stationary bad-state probability is
+/// p_good_to_bad / (p_good_to_bad + p_bad_to_good).
+struct GilbertElliottConfig {
+  bool enabled = false;
+  double p_good_to_bad = 0.0;
+  double p_bad_to_good = 1.0;
+  double loss_good = 0.0;
+  double loss_bad = 1.0;
+
+  double stationary_bad() const {
+    const double denom = p_good_to_bad + p_bad_to_good;
+    return denom > 0.0 ? p_good_to_bad / denom : 0.0;
+  }
+  /// Long-run expected packet loss rate of the chain.
+  double expected_loss() const {
+    const double pb = stationary_bad();
+    return pb * loss_bad + (1.0 - pb) * loss_good;
+  }
+};
+
+/// A scheduled interval during which the link is down: packets reaching the
+/// transmitter in [down_at, up_at) are lost.
+struct OutageWindow {
+  sim::Time down_at = 0;
+  sim::Time up_at = 0;
+};
+
+/// Builds a repeating down/up pattern ("link flaps"): `count` outages, the
+/// first starting at `first_down`, each `down_for` long and separated by
+/// `up_for` of healthy link.
+std::vector<OutageWindow> make_flaps(sim::Time first_down, sim::Time down_for,
+                                     sim::Time up_for, unsigned count);
+
 struct LinkConfig {
   /// Bits per second; 0 means infinite (no serialisation delay).
   std::int64_t bandwidth_bps = 0;
@@ -39,6 +88,23 @@ struct LinkConfig {
   double delay_jitter = 0.0;
   /// Probability of randomly dropping a packet (fault injection for tests).
   double random_drop_probability = 0.0;
+
+  // ---- Fault injection ----------------------------------------------------
+  /// Bursty (correlated) loss; applied in addition to the uniform drop.
+  GilbertElliottConfig gilbert_elliott;
+  /// Probability a transmitted packet is delivered twice.
+  double duplicate_probability = 0.0;
+  /// Probability a packet is pulled out of the in-order delivery sequence and
+  /// delivered late. Requires reorder_extra_delay > 0 to have any effect.
+  double reorder_probability = 0.0;
+  /// Extra delay a reordered packet experiences past its nominal delivery
+  /// time. This bounds how far a packet can fall behind its successors.
+  sim::Time reorder_extra_delay = 0;
+  /// Probability a packet is corrupted in flight: it consumes wire time but
+  /// the receiver discards it (failed checksum), so it is never delivered.
+  double corrupt_probability = 0.0;
+  /// Scheduled link outages (see OutageWindow). Windows may not overlap.
+  std::vector<OutageWindow> outages;
 };
 
 struct LinkStats {
@@ -46,9 +112,16 @@ struct LinkStats {
   std::uint64_t bytes_sent = 0;  // wire bytes (payload + 40 B header each)
   std::uint64_t packets_dropped_queue = 0;
   std::uint64_t packets_dropped_random = 0;
+  std::uint64_t packets_dropped_burst = 0;   // Gilbert-Elliott losses
+  std::uint64_t packets_dropped_outage = 0;  // lost to a down link
+  std::uint64_t packets_corrupted = 0;  // crossed the wire, dropped at receiver
+  std::uint64_t packets_duplicated = 0;
+  std::uint64_t packets_reordered = 0;
 
+  /// Packets that never reached the far end, for any reason.
   std::uint64_t packets_dropped() const {
-    return packets_dropped_queue + packets_dropped_random;
+    return packets_dropped_queue + packets_dropped_random +
+           packets_dropped_burst + packets_dropped_outage + packets_corrupted;
   }
 };
 
@@ -70,8 +143,12 @@ class Link {
 
   void set_payload_sizer(PayloadSizer sizer) { sizer_ = std::move(sizer); }
 
-  /// Enqueues a packet for transmission. May drop (queue overflow / random).
+  /// Enqueues a packet for transmission. May drop (queue overflow / random /
+  /// burst loss).
   void transmit(Packet packet);
+
+  /// True if an outage window covers `at`.
+  bool is_down(sim::Time at) const;
 
   const LinkStats& stats() const { return stats_; }
   const LinkConfig& config() const { return config_; }
@@ -79,6 +156,7 @@ class Link {
  private:
   void start_next_transmission();
   sim::Time serialisation_time(std::size_t wire_bytes) const;
+  bool loss_model_drops();
 
   sim::EventQueue& queue_;
   LinkConfig config_;
@@ -88,8 +166,9 @@ class Link {
   PayloadSizer sizer_;
   std::deque<Packet> tx_queue_;
   bool transmitting_ = false;
+  bool ge_bad_state_ = false;  // Gilbert-Elliott chain state
   /// Earliest time the next packet may be *delivered*, ensuring in-order
-  /// delivery even with delay jitter.
+  /// delivery even with delay jitter. Reordered packets are exempt.
   sim::Time last_delivery_time_ = 0;
   LinkStats stats_;
 };

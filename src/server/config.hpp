@@ -18,6 +18,35 @@ enum class CloseStyle {
   kNaive,     // close both directions at once (draws RSTs under pipelining)
 };
 
+/// Injectable server misbehaviours (all off by default). These model the
+/// failure modes real HTTP studies keep running into: wedged worker
+/// processes, servers that die mid-response, and transient 5xx storms.
+struct ServerFaults {
+  /// After pushing this many wire bytes on a connection, stop writing and go
+  /// silent: the connection stays open but nothing further is sent (a wedged
+  /// worker). 0 = off. Only a client deadline gets out of this.
+  std::size_t stall_after_bytes = 0;
+
+  /// After pushing this many wire bytes on a connection, discard everything
+  /// still buffered and close it (per close_style) — a premature close mid-
+  /// response. 0 = off.
+  std::size_t premature_close_after_bytes = 0;
+
+  /// Restrict the stall / premature-close faults to the first N accepted
+  /// connections (0 = every connection). Letting later connections through
+  /// is what makes client-side recovery observable end to end.
+  unsigned faulty_connection_limit = 0;
+
+  /// Per-request probability of answering "500 Internal Server Error"
+  /// instead of serving the resource.
+  double error_probability = 0.0;
+
+  bool any() const {
+    return stall_after_bytes > 0 || premature_close_after_bytes > 0 ||
+           error_probability > 0.0;
+  }
+};
+
 struct ServerConfig {
   std::string server_name = "Jigsaw/1.06";
 
@@ -62,6 +91,9 @@ struct ServerConfig {
   /// Extra response headers (header verbosity differs across servers; this
   /// affects the byte counts in the tables).
   bool verbose_headers = false;
+
+  /// Fault injection (chaos testing); see ServerFaults.
+  ServerFaults faults;
 
   tcp::TcpOptions tcp;
 };

@@ -102,6 +102,9 @@ void HttpServer::on_accept(tcp::ConnectionPtr conn) {
   auto state = std::make_shared<ConnState>();
   state->conn = conn;
   state->idle_timer = std::make_unique<sim::Timer>(host_.event_queue());
+  state->fault_eligible =
+      config_.faults.faulty_connection_limit == 0 ||
+      stats_.connections_accepted <= config_.faults.faulty_connection_limit;
   connections_[conn.get()] = state;
 
   std::weak_ptr<ConnState> weak = state;
@@ -190,6 +193,19 @@ void HttpServer::process_next(const ConnStatePtr& state) {
 http::Response HttpServer::build_response(const http::Request& request) {
   http::Response res;
   res.version = request.version;
+
+  // Fault injection: transient 5xx storm.
+  if (config_.faults.error_probability > 0.0 &&
+      rng_.chance(config_.faults.error_probability)) {
+    res.status = 500;
+    res.reason = std::string(http::default_reason(500));
+    res.headers.add("Date",
+                    http::format_http_date(
+                        http::sim_to_unix(host_.event_queue().now())));
+    res.headers.add("Server", config_.server_name);
+    res.headers.add("Content-Length", "0");
+    return res;
+  }
 
   const Resource* resource = site_.find(request.target);
   if (resource == nullptr) {
@@ -287,6 +303,7 @@ void HttpServer::finish_request(const ConnStatePtr& state,
     case 206: ++stats_.responses_206; break;
     case 304: ++stats_.responses_304; break;
     case 404: ++stats_.responses_404; break;
+    case 500: ++stats_.responses_5xx; break;
     default: break;
   }
   if (res.headers.has_token("Content-Encoding", "deflate")) {
@@ -348,14 +365,38 @@ void HttpServer::flush_output(const ConnStatePtr& state, bool idle_flush) {
 }
 
 void HttpServer::pump_unsent(const ConnStatePtr& state) {
+  const ServerFaults& faults = config_.faults;
   while (!state->out_unsent.empty()) {
+    std::size_t take =
+        std::min<std::size_t>(state->out_unsent.size(), 32 * 1024);
+    if (state->fault_eligible) {
+      if (faults.stall_after_bytes > 0) {
+        if (state->wire_bytes_pushed >= faults.stall_after_bytes) {
+          // The worker wedges: the connection stays open but goes silent.
+          if (!state->stalled) {
+            state->stalled = true;
+            ++stats_.stalls_injected;
+          }
+          return;
+        }
+        take = std::min(take,
+                        faults.stall_after_bytes - state->wire_bytes_pushed);
+      }
+      if (faults.premature_close_after_bytes > 0) {
+        if (state->wire_bytes_pushed >= faults.premature_close_after_bytes) {
+          inject_premature_close(state);
+          return;
+        }
+        take = std::min(take, faults.premature_close_after_bytes -
+                                  state->wire_bytes_pushed);
+      }
+    }
     // Contiguous chunk for span-based send.
-    std::vector<std::uint8_t> chunk(
-        state->out_unsent.begin(),
-        state->out_unsent.begin() +
-            std::min<std::size_t>(state->out_unsent.size(), 32 * 1024));
+    std::vector<std::uint8_t> chunk(state->out_unsent.begin(),
+                                    state->out_unsent.begin() + take);
     const std::size_t sent = state->conn->send(
         std::span<const std::uint8_t>(chunk.data(), chunk.size()));
+    state->wire_bytes_pushed += sent;
     state->out_unsent.erase(state->out_unsent.begin(),
                             state->out_unsent.begin() + sent);
     if (sent < chunk.size()) break;  // TCP send buffer full; resume on space
@@ -363,6 +404,20 @@ void HttpServer::pump_unsent(const ConnStatePtr& state) {
   if (state->closing && state->out_unsent.empty() &&
       state->out_buffer.empty()) {
     begin_close(state);
+  }
+}
+
+void HttpServer::inject_premature_close(const ConnStatePtr& state) {
+  ++stats_.premature_closes_injected;
+  state->fault_eligible = false;  // fire once per connection
+  state->out_buffer.clear();
+  state->out_unsent.clear();
+  state->pending.clear();
+  state->closing = true;
+  if (config_.close_style == CloseStyle::kNaive) {
+    state->conn->close_naive();
+  } else {
+    state->conn->shutdown_send();
   }
 }
 

@@ -25,10 +25,13 @@ struct ServerStats {
   std::uint64_t responses_206 = 0;
   std::uint64_t responses_304 = 0;
   std::uint64_t responses_404 = 0;
+  std::uint64_t responses_5xx = 0;  // injected server errors
   std::uint64_t deflated_responses = 0;
   std::uint64_t output_flushes_full = 0;  // buffer reached capacity
   std::uint64_t output_flushes_idle = 0;  // flushed because queue went idle
   std::uint64_t connections_closed_by_limit = 0;
+  std::uint64_t stalls_injected = 0;           // fault: connection went silent
+  std::uint64_t premature_closes_injected = 0;  // fault: closed mid-response
 };
 
 class HttpServer {
@@ -58,6 +61,10 @@ class HttpServer {
     unsigned served = 0;
     bool closing = false;
     std::unique_ptr<sim::Timer> idle_timer;
+    // Fault-injection bookkeeping.
+    std::size_t wire_bytes_pushed = 0;  // bytes handed to the TCP connection
+    bool fault_eligible = false;        // stall/close faults apply here
+    bool stalled = false;               // the stall fault has triggered
   };
   using ConnStatePtr = std::shared_ptr<ConnState>;
 
@@ -70,6 +77,7 @@ class HttpServer {
                         const http::Response& response);
   void flush_output(const ConnStatePtr& state, bool idle_flush);
   void pump_unsent(const ConnStatePtr& state);
+  void inject_premature_close(const ConnStatePtr& state);
   void begin_close(const ConnStatePtr& state);
   void arm_idle_timer(const ConnStatePtr& state);
 

@@ -29,6 +29,15 @@ std::string_view to_string(State s) {
   return "?";
 }
 
+std::string_view to_string(ConnError e) {
+  switch (e) {
+    case ConnError::kNone: return "none";
+    case ConnError::kConnectTimeout: return "connect-timeout";
+    case ConnError::kRetransmitTimeout: return "retransmit-timeout";
+  }
+  return "?";
+}
+
 Connection::Connection(Host& host, Key key, TcpOptions options)
     : host_(host),
       key_(key),
@@ -333,6 +342,23 @@ void Connection::on_rto_fire() {
   rto_ = std::min(rto_ * 2, options_.max_rto);
   rtt_sample_.reset();  // Karn: never sample retransmitted data
 
+  // Give-up checks: a cap of 0 means "retry forever".
+  if (state_ == State::kSynSent || state_ == State::kSynRcvd) {
+    if (options_.max_syn_retries != 0 &&
+        syn_retries_ >= options_.max_syn_retries) {
+      become_failed(ConnError::kConnectTimeout);
+      return;
+    }
+    ++syn_retries_;
+  } else {
+    if (options_.max_data_retransmits != 0 &&
+        consecutive_rtos_ >= options_.max_data_retransmits) {
+      become_failed(ConnError::kRetransmitTimeout);
+      return;
+    }
+    ++consecutive_rtos_;
+  }
+
   if (state_ == State::kSynSent) {
     net::Packet p;
     p.src = host_.addr();
@@ -414,6 +440,8 @@ void Connection::on_new_data_acked(Offset newly_acked_end,
     }
     rto_ = std::clamp(srtt_ + 4 * rttvar_, options_.min_rto, options_.max_rto);
   }
+
+  consecutive_rtos_ = 0;  // forward progress: the path is alive
 
   // Congestion window growth.
   if (cwnd_ < ssthresh_) {
@@ -705,6 +733,25 @@ void Connection::enter_time_wait() {
   rto_timer_.cancel();
   time_wait_timer_.arm(options_.time_wait_duration,
                        [this] { become_closed(false); });
+}
+
+void Connection::become_failed(ConnError error) {
+  if (state_ == State::kClosed) return;
+  error_ = error;
+  // Best-effort RST so the peer does not linger half-open if the path heals.
+  send_rst(static_cast<Seq>(wire_seq(snd_next_) + (fin_sent_ ? 1 : 0)));
+  state_ = State::kClosed;
+  rto_timer_.cancel();
+  delack_timer_.cancel();
+  time_wait_timer_.cancel();
+  recv_ready_.clear();
+  reassembly_.clear();
+  send_buf_.clear();
+  // A failed connection loses unread data exactly like a reset, so on_reset
+  // is the fallback for applications that do not wire on_failed.
+  Callback cb = on_failed_ ? on_failed_ : on_reset_;
+  ConnectionPtr self = host_.remove_connection(key_);
+  if (cb) cb();
 }
 
 void Connection::become_closed(bool notify_reset) {

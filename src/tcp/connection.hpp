@@ -49,6 +49,15 @@ enum class State {
 
 std::string_view to_string(State s);
 
+/// Terminal failure cause reported through on_failed.
+enum class ConnError {
+  kNone,
+  kConnectTimeout,     // SYN (or SYN-ACK) retries exhausted
+  kRetransmitTimeout,  // established, but retransmissions never got through
+};
+
+std::string_view to_string(ConnError e);
+
 struct ConnectionStats {
   std::uint64_t segments_sent = 0;
   std::uint64_t segments_received = 0;
@@ -119,6 +128,8 @@ class Connection : public std::enable_shared_from_this<Connection> {
   bool peer_closed() const { return peer_fin_delivered_; }
   /// True if the connection was torn down by an incoming RST.
   bool was_reset() const { return was_reset_; }
+  /// Terminal failure cause, or kNone if the connection did not fail.
+  ConnError error() const { return error_; }
 
   // Callbacks. All optional; fired from within event processing.
   void set_on_connected(Callback cb) { on_connected_ = std::move(cb); }
@@ -127,6 +138,10 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void set_on_closed(Callback cb) { on_closed_ = std::move(cb); }
   void set_on_reset(Callback cb) { on_reset_ = std::move(cb); }
   void set_on_send_space(Callback cb) { on_send_space_ = std::move(cb); }
+  /// Terminal failure (connect timeout / retransmission give-up). If unset,
+  /// on_reset fires instead — a failed connection loses data like a reset
+  /// does, so reset handling is the correct fallback.
+  void set_on_failed(Callback cb) { on_failed_ = std::move(cb); }
 
   // ---- Host interface ----------------------------------------------------
 
@@ -167,6 +182,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void on_new_data_acked(Offset newly_acked_end, std::size_t acked_bytes);
   void enter_time_wait();
   void become_closed(bool notify_reset);
+  void become_failed(ConnError error);
 
   Offset bytes_in_flight() const { return snd_next_ - snd_acked_; }
   Seq wire_seq(Offset data_offset) const;
@@ -205,6 +221,9 @@ class Connection : public std::enable_shared_from_this<Connection> {
   sim::Time rttvar_ = 0;
   sim::Time rto_;
   sim::Timer rto_timer_;
+  std::uint32_t syn_retries_ = 0;
+  std::uint32_t consecutive_rtos_ = 0;  // reset whenever an ACK makes progress
+  ConnError error_ = ConnError::kNone;
 
   // ---- Receive side ----
   Seq irs_ = 0;  // initial receive sequence number
@@ -229,6 +248,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   Callback on_closed_;
   Callback on_reset_;
   Callback on_send_space_;
+  Callback on_failed_;
 };
 
 using ConnectionPtr = std::shared_ptr<Connection>;

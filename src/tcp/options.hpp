@@ -41,6 +41,18 @@ struct TcpOptions {
   sim::Time max_rto = sim::seconds(60);
   sim::Time initial_rto = sim::seconds(3);
 
+  /// Handshake give-up: abandon the connection attempt after the initial
+  /// SYN (or SYN-ACK) plus this many retransmissions go unanswered; the
+  /// application sees on_failed with ConnError::kConnectTimeout. 0 = retry
+  /// forever (pre-fault-injection behaviour).
+  std::uint32_t max_syn_retries = 6;
+
+  /// Established-state give-up: after this many *consecutive* retransmission
+  /// timeouts with no forward progress (no new data acked), the connection is
+  /// torn down and on_failed fires with ConnError::kRetransmitTimeout instead
+  /// of doubling the RTO through a dead link forever. 0 = never give up.
+  std::uint32_t max_data_retransmits = 15;
+
   /// How long a fully-closed initiating endpoint lingers in TIME_WAIT.
   sim::Time time_wait_duration = sim::seconds(30);
 };

@@ -1,0 +1,291 @@
+// Link-layer fault injection: Gilbert-Elliott bursty loss, duplication,
+// reordering, corruption and scheduled outages. Everything draws from the
+// link's seeded Rng, so each expectation is deterministic for its seed.
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace hsim::net {
+namespace {
+
+class CollectingSink : public PacketSink {
+ public:
+  explicit CollectingSink(sim::EventQueue& q) : queue_(q) {}
+  void deliver(Packet packet) override {
+    arrivals.emplace_back(queue_.now(), std::move(packet));
+  }
+  std::vector<std::pair<sim::Time, Packet>> arrivals;
+
+ private:
+  sim::EventQueue& queue_;
+};
+
+Packet make_packet(std::size_t payload_bytes, std::uint32_t seq = 0) {
+  Packet p;
+  p.payload.resize(payload_bytes, 0xAB);
+  p.tcp.seq = seq;
+  return p;
+}
+
+TEST(GilbertElliottTest, StationaryAndExpectedLossMatchClosedForm) {
+  GilbertElliottConfig ge;
+  ge.p_good_to_bad = 0.02;
+  ge.p_bad_to_good = 0.3;
+  ge.loss_good = 0.001;
+  ge.loss_bad = 0.4;
+  EXPECT_NEAR(ge.stationary_bad(), 0.02 / 0.32, 1e-12);
+  const double pb = 0.02 / 0.32;
+  EXPECT_NEAR(ge.expected_loss(), pb * 0.4 + (1 - pb) * 0.001, 1e-12);
+}
+
+TEST(GilbertElliottTest, EmpiricalLossRateConvergesToExpectation) {
+  // The long-run drop fraction of the chain must approach its closed-form
+  // expectation, independently of the seed.
+  GilbertElliottConfig ge;
+  ge.enabled = true;
+  ge.p_good_to_bad = 0.05;
+  ge.p_bad_to_good = 0.25;
+  ge.loss_good = 0.0;
+  ge.loss_bad = 0.8;
+  const double expected = ge.expected_loss();
+  constexpr int kPackets = 40'000;
+
+  for (const std::uint64_t seed : {11u, 222u, 3333u}) {
+    sim::EventQueue q;
+    CollectingSink sink(q);
+    LinkConfig cfg;
+    cfg.gilbert_elliott = ge;
+    cfg.queue_limit_packets = kPackets + 1;
+    Link link(q, cfg, sim::Rng(seed));
+    link.set_sink(&sink);
+    for (int i = 0; i < kPackets; ++i) link.transmit(make_packet(100));
+    q.run();
+    const double observed =
+        static_cast<double>(link.stats().packets_dropped_burst) / kPackets;
+    EXPECT_NEAR(observed, expected, 0.15 * expected)
+        << "seed " << seed << ": observed " << observed << " vs expected "
+        << expected;
+    EXPECT_EQ(sink.arrivals.size(),
+              kPackets - link.stats().packets_dropped_burst);
+  }
+}
+
+TEST(GilbertElliottTest, LossesAreBursty) {
+  // With loss_bad = 1 and loss_good = 0, drop runs are exactly the bad-state
+  // sojourns, whose mean length is 1 / p_bad_to_good — here 4 packets. A
+  // uniform Bernoulli process at the same average rate would have mean run
+  // length barely above 1.
+  GilbertElliottConfig ge;
+  ge.enabled = true;
+  ge.p_good_to_bad = 0.02;
+  ge.p_bad_to_good = 0.25;
+  ge.loss_good = 0.0;
+  ge.loss_bad = 1.0;
+
+  sim::EventQueue q;
+  CollectingSink sink(q);
+  constexpr std::uint32_t kPackets = 30'000;
+  LinkConfig cfg;
+  cfg.gilbert_elliott = ge;
+  cfg.queue_limit_packets = kPackets + 1;
+  Link link(q, cfg, sim::Rng(42));
+  link.set_sink(&sink);
+  for (std::uint32_t i = 0; i < kPackets; ++i) {
+    link.transmit(make_packet(100, i));
+  }
+  q.run();
+
+  std::vector<bool> delivered(kPackets, false);
+  for (const auto& [when, p] : sink.arrivals) delivered[p.tcp.seq] = true;
+  std::size_t runs = 0, dropped = 0;
+  bool in_run = false;
+  for (std::uint32_t i = 0; i < kPackets; ++i) {
+    if (!delivered[i]) {
+      ++dropped;
+      if (!in_run) {
+        ++runs;
+        in_run = true;
+      }
+    } else {
+      in_run = false;
+    }
+  }
+  ASSERT_GT(runs, 0u);
+  const double mean_run = static_cast<double>(dropped) / runs;
+  EXPECT_NEAR(mean_run, 4.0, 1.0);
+  EXPECT_GT(mean_run, 2.0);  // clearly burstier than uniform loss
+}
+
+TEST(FaultInjectionTest, DuplicationDeliversExtraCopies) {
+  sim::EventQueue q;
+  CollectingSink sink(q);
+  constexpr std::uint32_t kPackets = 4000;
+  LinkConfig cfg;
+  cfg.duplicate_probability = 0.5;
+  cfg.queue_limit_packets = kPackets + 1;
+  Link link(q, cfg, sim::Rng(7));
+  link.set_sink(&sink);
+  for (std::uint32_t i = 0; i < kPackets; ++i) {
+    link.transmit(make_packet(50, i));
+  }
+  q.run();
+  const std::uint64_t dups = link.stats().packets_duplicated;
+  EXPECT_EQ(sink.arrivals.size(), kPackets + dups);
+  EXPECT_NEAR(static_cast<double>(dups) / kPackets, 0.5, 0.05);
+  // A duplicate carries the same bytes as its original.
+  std::vector<unsigned> copies(kPackets, 0);
+  for (const auto& [when, p] : sink.arrivals) ++copies[p.tcp.seq];
+  for (const unsigned c : copies) {
+    EXPECT_GE(c, 1u);
+    EXPECT_LE(c, 2u);
+  }
+}
+
+TEST(FaultInjectionTest, CorruptionConsumesWireTimeButDropsAtReceiver) {
+  sim::EventQueue q;
+  CollectingSink sink(q);
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8000;  // 1000 bytes/sec
+  cfg.corrupt_probability = 1.0;
+  Link link(q, cfg, sim::Rng(3));
+  link.set_sink(&sink);
+  link.transmit(make_packet(960));  // 1000 wire bytes -> 1 s on the wire
+  link.transmit(make_packet(960));
+  q.run();
+  // Nothing is delivered, but both packets crossed (and occupied) the wire.
+  EXPECT_TRUE(sink.arrivals.empty());
+  EXPECT_EQ(link.stats().packets_corrupted, 2u);
+  EXPECT_EQ(link.stats().bytes_sent, 2000u);
+  EXPECT_EQ(link.stats().packets_dropped(), 2u);
+  EXPECT_EQ(q.now(), sim::seconds(2));
+}
+
+TEST(FaultInjectionTest, ReorderingIsBoundedByExtraDelay) {
+  sim::EventQueue q;
+  CollectingSink sink(q);
+  constexpr std::uint32_t kPackets = 500;
+  LinkConfig cfg;
+  cfg.propagation_delay = sim::milliseconds(50);
+  cfg.reorder_probability = 0.3;
+  cfg.reorder_extra_delay = sim::milliseconds(30);
+  cfg.queue_limit_packets = kPackets + 1;
+  Link link(q, cfg, sim::Rng(17));
+  link.set_sink(&sink);
+  for (std::uint32_t i = 0; i < kPackets; ++i) {
+    link.transmit(make_packet(10, i));
+  }
+  q.run();
+  ASSERT_EQ(sink.arrivals.size(), kPackets);  // reordering never loses data
+  EXPECT_GT(link.stats().packets_reordered, 0u);
+  std::size_t out_of_order = 0;
+  std::uint32_t max_seq_seen = 0;
+  for (const auto& [when, p] : sink.arrivals) {
+    if (p.tcp.seq < max_seq_seen) ++out_of_order;
+    max_seq_seen = std::max(max_seq_seen, p.tcp.seq);
+    // Displacement is bounded: no packet arrives later than its nominal
+    // delivery time plus the configured extra delay.
+    EXPECT_LE(when, sim::milliseconds(50) + sim::milliseconds(30));
+  }
+  EXPECT_GT(out_of_order, 0u);
+  EXPECT_EQ(out_of_order, link.stats().packets_reordered);
+}
+
+TEST(FaultInjectionTest, OrderPreservedWhenReorderingDisabled) {
+  // The in-order delivery invariant must survive every other fault: jitter,
+  // duplication and burst loss may thin or thicken the stream but never
+  // permute it.
+  sim::EventQueue q;
+  CollectingSink sink(q);
+  LinkConfig cfg;
+  cfg.propagation_delay = sim::milliseconds(40);
+  cfg.delay_jitter = 0.5;
+  cfg.duplicate_probability = 0.2;
+  cfg.gilbert_elliott.enabled = true;
+  cfg.gilbert_elliott.p_good_to_bad = 0.05;
+  cfg.gilbert_elliott.p_bad_to_good = 0.5;
+  cfg.gilbert_elliott.loss_bad = 1.0;
+  cfg.queue_limit_packets = 2001;
+  Link link(q, cfg, sim::Rng(23));
+  link.set_sink(&sink);
+  constexpr std::uint32_t kPackets = 2000;
+  for (std::uint32_t i = 0; i < kPackets; ++i) {
+    link.transmit(make_packet(10, i));
+  }
+  q.run();
+  ASSERT_FALSE(sink.arrivals.empty());
+  for (std::size_t i = 1; i < sink.arrivals.size(); ++i) {
+    EXPECT_LE(sink.arrivals[i - 1].first, sink.arrivals[i].first);
+    EXPECT_LE(sink.arrivals[i - 1].second.tcp.seq,
+              sink.arrivals[i].second.tcp.seq);
+  }
+}
+
+TEST(OutageTest, PacketsDuringOutageAreLost) {
+  sim::EventQueue q;
+  CollectingSink sink(q);
+  LinkConfig cfg;
+  cfg.outages.push_back({sim::milliseconds(10), sim::milliseconds(20)});
+  Link link(q, cfg, sim::Rng(1));
+  link.set_sink(&sink);
+  EXPECT_FALSE(link.is_down(sim::milliseconds(9)));
+  EXPECT_TRUE(link.is_down(sim::milliseconds(10)));
+  EXPECT_TRUE(link.is_down(sim::milliseconds(19)));
+  EXPECT_FALSE(link.is_down(sim::milliseconds(20)));
+
+  link.transmit(make_packet(10, 0));  // t=0: link up, delivered
+  q.schedule_at(sim::milliseconds(12),
+                [&] { link.transmit(make_packet(10, 1)); });  // down: lost
+  q.schedule_at(sim::milliseconds(25),
+                [&] { link.transmit(make_packet(10, 2)); });  // up again
+  q.run();
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  EXPECT_EQ(sink.arrivals[0].second.tcp.seq, 0u);
+  EXPECT_EQ(sink.arrivals[1].second.tcp.seq, 2u);
+  EXPECT_EQ(link.stats().packets_dropped_outage, 1u);
+}
+
+TEST(OutageTest, QueuedPacketsDrainWhenOutageBegins) {
+  sim::EventQueue q;
+  CollectingSink sink(q);
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8000;  // 1 s per 1000-wire-byte packet
+  cfg.outages.push_back({sim::milliseconds(1500), sim::seconds(100)});
+  Link link(q, cfg, sim::Rng(1));
+  link.set_sink(&sink);
+  for (std::uint32_t i = 0; i < 5; ++i) link.transmit(make_packet(960, i));
+  q.run();
+  // Packet 0 finishes at 1 s; packet 1 starts while the link is still up
+  // (t = 1 s) and completes; packets 2-4 reach the transmitter at t = 2 s,
+  // mid-outage, and are lost.
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  EXPECT_EQ(link.stats().packets_dropped_outage, 3u);
+}
+
+TEST(OutageTest, MakeFlapsBuildsRepeatingPattern) {
+  const auto flaps = make_flaps(sim::milliseconds(100), sim::milliseconds(50),
+                                sim::milliseconds(150), 3);
+  ASSERT_EQ(flaps.size(), 3u);
+  EXPECT_EQ(flaps[0].down_at, sim::milliseconds(100));
+  EXPECT_EQ(flaps[0].up_at, sim::milliseconds(150));
+  EXPECT_EQ(flaps[1].down_at, sim::milliseconds(300));
+  EXPECT_EQ(flaps[1].up_at, sim::milliseconds(350));
+  EXPECT_EQ(flaps[2].down_at, sim::milliseconds(500));
+  EXPECT_EQ(flaps[2].up_at, sim::milliseconds(550));
+
+  LinkConfig cfg;
+  cfg.outages = flaps;
+  sim::EventQueue q;
+  Link link(q, cfg, sim::Rng(1));
+  EXPECT_TRUE(link.is_down(sim::milliseconds(320)));
+  EXPECT_FALSE(link.is_down(sim::milliseconds(400)));
+  EXPECT_TRUE(link.is_down(sim::milliseconds(549)));
+  EXPECT_FALSE(link.is_down(sim::milliseconds(600)));
+}
+
+}  // namespace
+}  // namespace hsim::net

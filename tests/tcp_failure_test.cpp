@@ -1,0 +1,139 @@
+// Terminal TCP failure paths: connect timeout (SYN retry cap) and
+// established-connection give-up (max consecutive retransmission timeouts),
+// surfaced through Connection::set_on_failed. These are what keep the
+// simulator from spinning forever on a dead link.
+#include <gtest/gtest.h>
+
+#include "tcp_test_util.hpp"
+
+namespace hsim {
+namespace {
+
+using testutil::TestNet;
+
+net::ChannelConfig dead_channel() {
+  net::ChannelConfig cfg =
+      net::ChannelConfig::symmetric(0, sim::milliseconds(10));
+  cfg.a_to_b.random_drop_probability = 1.0;
+  cfg.b_to_a.random_drop_probability = 1.0;
+  return cfg;
+}
+
+TEST(TcpFailureTest, ConnectTimeoutAfterSynRetriesExhausted) {
+  TestNet net(dead_channel());
+  tcp::TcpOptions opts;
+  opts.max_syn_retries = 3;
+
+  bool failed = false, connected = false;
+  tcp::ConnError error = tcp::ConnError::kNone;
+  auto conn = net.client.connect(testutil::kServerAddr, 80, opts);
+  conn->set_on_connected([&] { connected = true; });
+  conn->set_on_failed([&] {
+    failed = true;
+    error = conn->error();
+  });
+  net.queue.run();  // must drain: the retry budget bounds the event horizon
+
+  EXPECT_FALSE(connected);
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(error, tcp::ConnError::kConnectTimeout);
+  EXPECT_EQ(net.client.open_connections(), 0u);
+}
+
+TEST(TcpFailureTest, ConnectSucceedsOnceOutageEnds) {
+  // SYNs vanish into a 3-second outage; the retry budget (default 6)
+  // outlasts it and the handshake completes when the link returns.
+  net::ChannelConfig cfg =
+      net::ChannelConfig::symmetric(0, sim::milliseconds(10));
+  cfg.a_to_b.outages.push_back({0, sim::seconds(3)});
+  TestNet net(cfg);
+  net.server.listen(80, [](tcp::ConnectionPtr) {}, {});
+
+  bool failed = false, connected = false;
+  auto conn = net.client.connect(testutil::kServerAddr, 80, {});
+  conn->set_on_connected([&] { connected = true; });
+  conn->set_on_failed([&] { failed = true; });
+  net.queue.run_until(sim::seconds(60));
+
+  EXPECT_TRUE(connected);
+  EXPECT_FALSE(failed);
+  EXPECT_EQ(conn->error(), tcp::ConnError::kNone);
+}
+
+TEST(TcpFailureTest, EstablishedConnectionGivesUpRetransmitting) {
+  // Healthy handshake, then the link dies for good mid-transfer. The sender
+  // must stop after max_data_retransmits consecutive RTOs and report a
+  // terminal transport failure rather than backing off forever.
+  net::ChannelConfig cfg =
+      net::ChannelConfig::symmetric(0, sim::milliseconds(10));
+  const sim::Time outage_start = sim::milliseconds(500);
+  cfg.a_to_b.outages.push_back({outage_start, sim::seconds(100'000)});
+  cfg.b_to_a.outages.push_back({outage_start, sim::seconds(100'000)});
+  TestNet net(cfg);
+
+  tcp::ConnectionPtr accepted;
+  net.server.listen(80, [&](tcp::ConnectionPtr c) { accepted = c; }, {});
+
+  tcp::TcpOptions opts;
+  opts.max_data_retransmits = 4;
+  bool failed = false;
+  tcp::ConnError error = tcp::ConnError::kNone;
+  auto conn = net.client.connect(testutil::kServerAddr, 80, opts);
+  conn->set_on_failed([&] {
+    failed = true;
+    error = conn->error();
+  });
+  const auto payload = testutil::pattern_bytes(20'000);
+  conn->set_on_connected([&] {
+    net.queue.schedule_at(outage_start + sim::milliseconds(100), [&] {
+      conn->send({payload.data(), payload.size()});
+    });
+  });
+  net.queue.run_until(sim::seconds(7200));
+
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(error, tcp::ConnError::kRetransmitTimeout);
+  EXPECT_EQ(net.client.open_connections(), 0u);
+}
+
+TEST(TcpFailureTest, FailureFallsBackToOnResetWhenUnwired) {
+  // Applications that predate set_on_failed still observe the teardown: a
+  // give-up loses buffered data exactly like a peer reset would.
+  TestNet net(dead_channel());
+  tcp::TcpOptions opts;
+  opts.max_syn_retries = 2;
+
+  bool reset_seen = false;
+  auto conn = net.client.connect(testutil::kServerAddr, 80, opts);
+  conn->set_on_reset([&] { reset_seen = true; });
+  net.queue.run();
+
+  EXPECT_TRUE(reset_seen);
+  EXPECT_EQ(conn->error(), tcp::ConnError::kConnectTimeout);
+}
+
+TEST(TcpFailureTest, ZeroDisablesTheGiveUpCaps) {
+  // max_syn_retries = 0 means "retry forever": after an hour of a dead
+  // channel the connection is still trying, not failed.
+  TestNet net(dead_channel());
+  tcp::TcpOptions opts;
+  opts.max_syn_retries = 0;
+
+  bool failed = false;
+  auto conn = net.client.connect(testutil::kServerAddr, 80, opts);
+  conn->set_on_failed([&] { failed = true; });
+  net.queue.run_until(sim::seconds(3600));
+
+  EXPECT_FALSE(failed);
+  EXPECT_EQ(conn->error(), tcp::ConnError::kNone);
+}
+
+TEST(TcpFailureTest, ConnErrorToStringIsStable) {
+  EXPECT_EQ(to_string(tcp::ConnError::kNone), "none");
+  EXPECT_EQ(to_string(tcp::ConnError::kConnectTimeout), "connect-timeout");
+  EXPECT_EQ(to_string(tcp::ConnError::kRetransmitTimeout),
+            "retransmit-timeout");
+}
+
+}  // namespace
+}  // namespace hsim
