@@ -66,8 +66,7 @@ void run(bool strip_connection_headers) {
   parser.push_request_context(http::Method::kGet);
   sim::Time response_at = -1, closed_at = -1;
   conn->set_on_data([&] {
-    const auto b = conn->read_all();
-    parser.feed({b.data(), b.size()});
+    parser.feed(conn->read_all());
     if (parser.next() && response_at < 0) response_at = queue.now();
   });
   conn->set_on_peer_fin([&] {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "buf/bytes.hpp"
 #include "http/date.hpp"
 
 namespace hsim::client {
@@ -15,7 +16,9 @@ struct CacheEntry {
   std::string etag;
   http::UnixSeconds last_modified = 0;
   std::string content_type;
-  std::vector<std::uint8_t> body;
+  // Shared slices of the response that filled the entry — caching a body
+  // never duplicates the payload.
+  buf::Chain body;
 };
 
 class Cache {

@@ -8,12 +8,6 @@
 
 namespace hsim::client {
 
-namespace {
-std::span<const std::uint8_t> as_span(const std::vector<std::uint8_t>& v) {
-  return {v.data(), v.size()};
-}
-}  // namespace
-
 std::string_view to_string(FailureKind kind) {
   switch (kind) {
     case FailureKind::kConnectFailure: return "connect-failure";
@@ -231,8 +225,8 @@ http::Request Robot::build_request(const PendingRequest& pending) const {
 
 void Robot::issue_on_lane(const LanePtr& lane, PendingRequest pending) {
   const http::Request req = build_request(pending);
-  const auto wire = req.serialize();
-  lane->out_buffer.insert(lane->out_buffer.end(), wire.begin(), wire.end());
+  // Adopt the serialized request; the chain shares it from here on.
+  lane->out_buffer.append(buf::Bytes(req.serialize()));
   lane->parser.push_request_context(pending.method);
   const bool is_first = !first_request_issued_;
   first_request_issued_ = true;
@@ -269,9 +263,7 @@ void Robot::issue_on_lane(const LanePtr& lane, PendingRequest pending) {
 void Robot::flush_lane(const LanePtr& lane, bool /*explicit_flush*/) {
   lane->flush_timer->cancel();
   if (!lane->out_buffer.empty()) {
-    lane->out_unsent.insert(lane->out_unsent.end(), lane->out_buffer.begin(),
-                            lane->out_buffer.end());
-    lane->out_buffer.clear();
+    lane->out_unsent.append(std::move(lane->out_buffer));
   }
   pump_lane_output(lane);
 }
@@ -279,12 +271,10 @@ void Robot::flush_lane(const LanePtr& lane, bool /*explicit_flush*/) {
 void Robot::pump_lane_output(const LanePtr& lane) {
   if (!lane->connected || lane->closed) return;
   while (!lane->out_unsent.empty()) {
-    std::vector<std::uint8_t> chunk(lane->out_unsent.begin(),
-                                    lane->out_unsent.end());
-    const std::size_t sent = lane->conn->send(as_span(chunk));
-    lane->out_unsent.erase(lane->out_unsent.begin(),
-                           lane->out_unsent.begin() + sent);
-    if (sent < chunk.size()) break;
+    const std::size_t want = lane->out_unsent.size();
+    const std::size_t sent = lane->conn->send(lane->out_unsent);
+    lane->out_unsent.pop_front(sent);
+    if (sent < want) break;
   }
 }
 
@@ -358,8 +348,8 @@ void Robot::pump() {
 
 void Robot::on_lane_data(const LanePtr& lane) {
   if (finished_) return;
-  const std::vector<std::uint8_t> bytes = lane->conn->read_all();
-  if (!bytes.empty()) lane->parser.feed(as_span(bytes));
+  buf::Chain bytes = lane->conn->read_all();
+  if (!bytes.empty()) lane->parser.feed(std::move(bytes));
 
   bool popped_any = false;
   while (auto response = lane->parser.next()) {
@@ -398,10 +388,11 @@ void Robot::scan_html_progress(const LanePtr& lane) {
   const bool deflated =
       partial->headers.has_token("Content-Encoding", "deflate");
   if (partial->body.size() > html_raw_consumed_) {
-    ingest_html_bytes(
-        std::span<const std::uint8_t>(partial->body.data() + html_raw_consumed_,
-                                      partial->body.size() - html_raw_consumed_),
-        deflated);
+    // Walk the chain's contiguous runs past the consumed prefix; no flatten.
+    partial->body.slice(html_raw_consumed_)
+        .for_each([&](std::span<const std::uint8_t> run) {
+          ingest_html_bytes(run, deflated);
+        });
     discover_references();
   }
 }
@@ -477,11 +468,10 @@ void Robot::handle_response(const LanePtr& lane, const PendingRequest& pending,
   if (pending.is_root && first_visit_ && response.status == 200) {
     // Finish ingesting the document (bytes past the last partial scan).
     if (response.body.size() > html_raw_consumed_) {
-      ingest_html_bytes(
-          std::span<const std::uint8_t>(
-              response.body.data() + html_raw_consumed_,
-              response.body.size() - html_raw_consumed_),
-          deflated);
+      response.body.slice(html_raw_consumed_)
+          .for_each([&](std::span<const std::uint8_t> run) {
+            ingest_html_bytes(run, deflated);
+          });
     }
     stats_.html_complete_at = host_.event_queue().now();
     discover_references();
@@ -506,7 +496,7 @@ void Robot::handle_response(const LanePtr& lane, const PendingRequest& pending,
     if (const auto ct = response.headers.get("Content-Type")) {
       entry.content_type = std::string(*ct);
     }
-    entry.body.assign(html_text_.begin(), html_text_.end());
+    entry.body.append(buf::Bytes(std::string_view(html_text_)));
     cache_.store(pending.target, std::move(entry));
   } else if (first_visit_ && response.status == 200) {
     if (stats_.first_image_done_at == 0) {

@@ -230,8 +230,8 @@ class Robot {
     tcp::ConnectionPtr conn;
     http::ResponseParser parser;
     std::deque<PendingRequest> outstanding;
-    std::vector<std::uint8_t> out_buffer;
-    std::deque<std::uint8_t> out_unsent;
+    buf::Chain out_buffer;
+    buf::Chain out_unsent;
     bool connected = false;
     bool closed = false;
     std::unique_ptr<sim::Timer> flush_timer;

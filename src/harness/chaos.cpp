@@ -120,9 +120,7 @@ bool cache_matches_site(const client::Cache& cache,
                         const std::string& root) {
   const client::CacheEntry* html = cache.find(root);
   if (html == nullptr) return false;
-  if (html->body.size() != site.html.size() ||
-      !std::equal(html->body.begin(), html->body.end(), site.html.begin()))
-    return false;
+  if (!html->body.equals(std::string_view(site.html))) return false;
   for (const content::SiteImage& image : site.images) {
     const client::CacheEntry* entry = cache.find(image.path);
     if (entry == nullptr || entry->body != image.gif_bytes) return false;

@@ -127,17 +127,41 @@ std::size_t Request::wire_size() const {
          headers.wire_size() + 2 + body.size();
 }
 
+namespace {
+std::string response_head(const Response& r) {
+  std::string head;
+  head.reserve(r.wire_size() - r.body.size());
+  head.append(to_string(r.version));
+  head.push_back(' ');
+  head.append(std::to_string(r.status));
+  head.push_back(' ');
+  head.append(r.reason);
+  head.append("\r\n");
+  for (const auto& [name, value] : r.headers.items()) {
+    head.append(name);
+    head.append(": ");
+    head.append(value);
+    head.append("\r\n");
+  }
+  head.append("\r\n");
+  return head;
+}
+}  // namespace
+
 std::vector<std::uint8_t> Response::serialize() const {
   std::vector<std::uint8_t> out;
   out.reserve(wire_size());
-  append(out, to_string(version));
-  append(out, " ");
-  append(out, std::to_string(status));
-  append(out, " ");
-  append(out, reason);
-  append(out, "\r\n");
-  append_headers(out, headers);
-  out.insert(out.end(), body.begin(), body.end());
+  append(out, response_head(*this));
+  const std::size_t head_size = out.size();
+  out.resize(head_size + body.size());
+  body.copy_to(0, std::span<std::uint8_t>(out).subspan(head_size));
+  return out;
+}
+
+buf::Chain Response::serialize_chain() const {
+  buf::Chain out;
+  out.append(buf::Bytes(std::string_view(response_head(*this))));
+  out.append(body);
   return out;
 }
 

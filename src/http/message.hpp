@@ -9,6 +9,8 @@
 #include <string_view>
 #include <vector>
 
+#include "buf/bytes.hpp"
+
 namespace hsim::http {
 
 enum class Version { kHttp10, kHttp11 };
@@ -67,9 +69,15 @@ struct Response {
   int status = 200;
   std::string reason = "OK";
   Headers headers;
-  std::vector<std::uint8_t> body;
+  // Shared slices of the origin bytes (a static_site asset on the server,
+  // arrived TCP segments on the client) — copying a Response never copies
+  // its payload.
+  buf::Chain body;
 
   std::vector<std::uint8_t> serialize() const;
+  /// Wire form as head-bytes + shared body slices: serializing a response
+  /// copies only the start line and headers, never the body.
+  buf::Chain serialize_chain() const;
   std::size_t wire_size() const;
 
   /// True for statuses that never carry a body (1xx, 204, 304).

@@ -13,10 +13,19 @@ std::optional<Version> parse_version(std::string_view s) {
   return std::nullopt;
 }
 
-/// Finds "\r\n\r\n"; returns offset just past it, or npos.
-std::size_t find_header_end(const std::string& buffer) {
-  const std::size_t pos = buffer.find("\r\n\r\n");
-  return pos == std::string::npos ? std::string::npos : pos + 4;
+/// Finds "\r\n\r\n"; returns offset just past it, or buf::npos. `scan_hint`
+/// remembers how far previous calls searched so that feeding a message in
+/// many small pieces never rescans old bytes (the separator may straddle the
+/// boundary, hence the 3-byte overlap).
+std::size_t find_header_end(const buf::Chain& buffer,
+                            std::size_t& scan_hint) {
+  const std::size_t from = scan_hint > 3 ? scan_hint - 3 : 0;
+  const std::size_t pos = buffer.find("\r\n\r\n", from);
+  if (pos == buf::npos) {
+    scan_hint = buffer.size();
+    return buf::npos;
+  }
+  return pos + 4;
 }
 
 bool parse_decimal(std::string_view s, std::size_t& out) {
@@ -81,8 +90,10 @@ bool parse_header_block(std::string_view block, Headers& headers) {
 // ---------------------------------------------------------------------------
 
 void RequestParser::feed(std::span<const std::uint8_t> data) {
-  buffer_.append(reinterpret_cast<const char*>(data.data()), data.size());
+  buffer_.append_copy(data);
 }
+
+void RequestParser::feed(buf::Chain data) { buffer_.append(std::move(data)); }
 
 std::optional<Request> RequestParser::next() {
   if (error_ != ParseError::kNone) return std::nullopt;
@@ -92,10 +103,12 @@ std::optional<Request> RequestParser::next() {
 }
 
 bool RequestParser::try_parse(Request& out) {
-  const std::size_t header_end = find_header_end(buffer_);
-  if (header_end == std::string::npos) return false;
+  const std::size_t header_end = find_header_end(buffer_, header_scan_);
+  if (header_end == buf::npos) return false;
 
-  const std::string_view head(buffer_.data(), header_end - 4);
+  // The head is small and line-structured: flatten it once for parsing.
+  const std::string head_str = buffer_.to_string(0, header_end - 4);
+  const std::string_view head(head_str);
   const std::size_t line_end = head.find("\r\n");
   const std::string_view start_line =
       line_end == std::string_view::npos ? head : head.substr(0, line_end);
@@ -139,9 +152,9 @@ bool RequestParser::try_parse(Request& out) {
     }
   }
   if (buffer_.size() < header_end + body_len) return false;  // need body
-  req.body.assign(buffer_.begin() + header_end,
-                  buffer_.begin() + header_end + body_len);
-  buffer_.erase(0, header_end + body_len);
+  buffer_.pop_front(header_end);
+  req.body = buffer_.split_front(body_len).to_vector();
+  header_scan_ = 0;
   out = std::move(req);
   return true;
 }
@@ -155,8 +168,10 @@ void ResponseParser::push_request_context(Method method) {
 }
 
 void ResponseParser::feed(std::span<const std::uint8_t> data) {
-  buffer_.append(reinterpret_cast<const char*>(data.data()), data.size());
+  buffer_.append_copy(data);
 }
+
+void ResponseParser::feed(buf::Chain data) { buffer_.append(std::move(data)); }
 
 void ResponseParser::on_connection_closed() { connection_closed_ = true; }
 
@@ -169,10 +184,11 @@ std::optional<Response> ResponseParser::next() {
 
 bool ResponseParser::try_parse(Response& out) {
   if (!in_body_) {
-    const std::size_t header_end = find_header_end(buffer_);
-    if (header_end == std::string::npos) return false;
+    const std::size_t header_end = find_header_end(buffer_, header_scan_);
+    if (header_end == buf::npos) return false;
 
-    const std::string_view head(buffer_.data(), header_end - 4);
+    const std::string head_str = buffer_.to_string(0, header_end - 4);
+    const std::string_view head(head_str);
     const std::size_t line_end = head.find("\r\n");
     const std::string_view start_line =
         line_end == std::string_view::npos ? head : head.substr(0, line_end);
@@ -209,7 +225,8 @@ bool ResponseParser::try_parse(Response& out) {
       error_ = ParseError::kBadHeader;
       return false;
     }
-    buffer_.erase(0, header_end);
+    buffer_.pop_front(header_end);
+    header_scan_ = 0;
 
     // Determine framing.
     const Method req_method = request_methods_.empty()
@@ -242,17 +259,13 @@ bool ResponseParser::try_parse(Response& out) {
       break;
     case BodyMode::kContentLength: {
       const std::size_t take = std::min(body_remaining_, buffer_.size());
-      pending_.body.insert(pending_.body.end(), buffer_.begin(),
-                           buffer_.begin() + take);
-      buffer_.erase(0, take);
+      pending_.body.append(buffer_.split_front(take));
       body_remaining_ -= take;
       if (body_remaining_ > 0) return false;
       break;
     }
     case BodyMode::kUntilClose: {
-      pending_.body.insert(pending_.body.end(), buffer_.begin(),
-                           buffer_.end());
-      buffer_.clear();
+      pending_.body.append(std::move(buffer_));
       if (!connection_closed_) return false;
       break;
     }
@@ -260,8 +273,9 @@ bool ResponseParser::try_parse(Response& out) {
       for (;;) {
         if (chunk_state_ == ChunkState::kSize) {
           const std::size_t eol = buffer_.find("\r\n");
-          if (eol == std::string::npos) return false;
-          std::string_view size_str(buffer_.data(), eol);
+          if (eol == buf::npos) return false;
+          const std::string size_line = buffer_.to_string(0, eol);
+          std::string_view size_str(size_line);
           // Ignore chunk extensions.
           const std::size_t semi = size_str.find(';');
           if (semi != std::string_view::npos) {
@@ -271,16 +285,14 @@ bool ResponseParser::try_parse(Response& out) {
             error_ = ParseError::kBadChunk;
             return false;
           }
-          buffer_.erase(0, eol + 2);
+          buffer_.pop_front(eol + 2);
           chunk_state_ = chunk_remaining_ == 0 ? ChunkState::kTrailer
                                                : ChunkState::kData;
         }
         if (chunk_state_ == ChunkState::kData) {
           const std::size_t take =
               std::min(chunk_remaining_, buffer_.size());
-          pending_.body.insert(pending_.body.end(), buffer_.begin(),
-                               buffer_.begin() + take);
-          buffer_.erase(0, take);
+          pending_.body.append(buffer_.split_front(take));
           chunk_remaining_ -= take;
           if (chunk_remaining_ > 0) return false;
           chunk_state_ = ChunkState::kDataCrlf;
@@ -291,7 +303,7 @@ bool ResponseParser::try_parse(Response& out) {
             error_ = ParseError::kBadChunk;
             return false;
           }
-          buffer_.erase(0, 2);
+          buffer_.pop_front(2);
           chunk_state_ = ChunkState::kSize;
           continue;
         }
@@ -299,12 +311,12 @@ bool ResponseParser::try_parse(Response& out) {
           // Trailers end with a blank line; we accept an immediate CRLF or
           // skip trailer headers up to the blank line.
           const std::size_t end = buffer_.find("\r\n");
-          if (end == std::string::npos) return false;
+          if (end == buf::npos) return false;
           if (end == 0) {
-            buffer_.erase(0, 2);
+            buffer_.pop_front(2);
             break;  // chunked body complete
           }
-          buffer_.erase(0, end + 2);  // drop one trailer line, loop again
+          buffer_.pop_front(end + 2);  // drop one trailer line, loop again
           continue;
         }
       }

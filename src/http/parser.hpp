@@ -16,6 +16,7 @@
 #include <span>
 #include <string>
 
+#include "buf/bytes.hpp"
 #include "http/message.hpp"
 
 namespace hsim::http {
@@ -31,8 +32,10 @@ enum class ParseError {
 
 class RequestParser {
  public:
-  /// Appends raw bytes from the stream.
+  /// Appends raw bytes from the stream (copied into the input chain).
   void feed(std::span<const std::uint8_t> data);
+  /// Appends arrived segment slices without copying.
+  void feed(buf::Chain data);
 
   /// Returns the next complete request, if any.
   std::optional<Request> next();
@@ -46,7 +49,10 @@ class RequestParser {
  private:
   bool try_parse(Request& out);
 
-  std::string buffer_;
+  buf::Chain buffer_;
+  // Resume point for the "\r\n\r\n" scan: everything before it has already
+  // been searched, so incremental feeds never rescan old bytes.
+  std::size_t header_scan_ = 0;
   ParseError error_ = ParseError::kNone;
 };
 
@@ -57,6 +63,9 @@ class ResponseParser {
   void push_request_context(Method method);
 
   void feed(std::span<const std::uint8_t> data);
+  /// Appends arrived segment slices without copying; body bytes flow into
+  /// the parsed Response as shared slices of these nodes.
+  void feed(buf::Chain data);
 
   /// Signals connection close (end of a read-until-close HTTP/1.0 body).
   /// May complete a pending message.
@@ -81,7 +90,8 @@ class ResponseParser {
 
   bool try_parse(Response& out);
 
-  std::string buffer_;
+  buf::Chain buffer_;
+  std::size_t header_scan_ = 0;  // resume point for the "\r\n\r\n" scan
   std::deque<Method> request_methods_;
   ParseError error_ = ParseError::kNone;
 

@@ -9,7 +9,8 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
+
+#include "buf/bytes.hpp"
 
 namespace hsim::net {
 
@@ -46,7 +47,9 @@ struct Packet {
   IpAddr src = 0;
   IpAddr dst = 0;
   TcpHeader tcp;
-  std::vector<std::uint8_t> payload;
+  // Immutable shared slice: queueing, duplication-fault copies and taps all
+  // alias the sender's buffer instead of deep-copying the bytes.
+  buf::Bytes payload;
 
   /// Total bytes this packet occupies on the wire.
   std::size_t wire_size() const { return kIpTcpHeaderBytes + payload.size(); }

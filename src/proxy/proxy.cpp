@@ -49,8 +49,7 @@ void TunnelProxy::on_client(tcp::ConnectionPtr conn) {
     if (auto r = weak.lock()) {
       r->upstream_connected = true;
       if (!r->pending_up.empty()) {
-        r->upstream->send(std::span<const std::uint8_t>(r->pending_up.data(),
-                                                        r->pending_up.size()));
+        r->upstream->send(r->pending_up);
         r->pending_up.clear();
       }
     }
@@ -79,13 +78,14 @@ void TunnelProxy::on_client(tcp::ConnectionPtr conn) {
   arm_idle(relay);
 }
 
-std::vector<std::uint8_t> TunnelProxy::filter_request_bytes(
-    const RelayPtr& relay, std::vector<std::uint8_t> bytes) {
+buf::Chain TunnelProxy::filter_request_bytes(const RelayPtr& relay,
+                                             buf::Chain bytes) {
   if (!config_.strip_connection_headers || relay->head_scanned) return bytes;
   // Minimal header-awareness: scan the first request head for a Connection
   // line and drop it. (A real mitigating proxy of the era did exactly this
-  // and nothing more.) Bytes past the first blank line pass untouched.
-  std::string text(bytes.begin(), bytes.end());
+  // and nothing more.) Bytes past the first blank line pass untouched. Only
+  // this one head is ever flattened; the steady-state path stays zero-copy.
+  const std::string text = bytes.to_string();
   const std::size_t head_end = text.find("\r\n\r\n");
   if (head_end == std::string::npos) return bytes;  // head incomplete: pass
   relay->head_scanned = true;
@@ -109,31 +109,30 @@ std::vector<std::uint8_t> TunnelProxy::filter_request_bytes(
     line_start = line_end + 2;
   }
   filtered += text.substr(head_end + 4);
-  return {filtered.begin(), filtered.end()};
+  buf::Chain out;
+  out.append(buf::Bytes(std::string_view(filtered)));
+  return out;
 }
 
 void TunnelProxy::relay_up(const RelayPtr& relay) {
   arm_idle(relay);
-  std::vector<std::uint8_t> bytes = relay->client->read_all();
+  buf::Chain bytes = relay->client->read_all();
   if (bytes.empty()) return;
   bytes = filter_request_bytes(relay, std::move(bytes));
   stats_.bytes_relayed_up += bytes.size();
   if (!relay->upstream_connected) {
-    relay->pending_up.insert(relay->pending_up.end(), bytes.begin(),
-                             bytes.end());
+    relay->pending_up.append(std::move(bytes));
     return;
   }
-  relay->upstream->send(
-      std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  relay->upstream->send(bytes);
 }
 
 void TunnelProxy::relay_down(const RelayPtr& relay) {
   arm_idle(relay);
-  const std::vector<std::uint8_t> bytes = relay->upstream->read_all();
+  const buf::Chain bytes = relay->upstream->read_all();
   if (bytes.empty()) return;
   stats_.bytes_relayed_down += bytes.size();
-  relay->client->send(
-      std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  relay->client->send(bytes);
 }
 
 // ---------------------------------------------------------------------------
@@ -188,8 +187,7 @@ void HttpProxy::on_client(tcp::ConnectionPtr conn) {
   conn->set_on_data([this, weak] {
     auto s = weak.lock();
     if (!s) return;
-    const auto bytes = s->conn->read_all();
-    s->parser.feed({bytes.data(), bytes.size()});
+    s->parser.feed(s->conn->read_all());
     while (auto request = s->parser.next()) {
       s->pending.push_back(std::move(*request));
     }
@@ -235,10 +233,9 @@ void HttpProxy::respond(const ClientConnPtr& state, http::Response response) {
   ++stats_.responses_forwarded;
   strip_hop_by_hop(response.headers, stats_);
   response.headers.add("Via", config_.via_token);
-  const auto bytes = response.serialize();
-  stats_.bytes_relayed_down += bytes.size();
-  state->conn->send(
-      std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  const buf::Chain wire = response.serialize_chain();
+  stats_.bytes_relayed_down += wire.size();
+  state->conn->send(wire);
   state->forwarding = false;
   if (state->conn->peer_closed() && state->pending.empty()) {
     state->conn->shutdown_send();
@@ -259,20 +256,19 @@ void fetch_upstream(tcp::Host& host, const HttpProxyConfig& config,
       host.connect(config.origin_addr, config.origin_port, config.tcp);
   auto parser = std::make_shared<http::ResponseParser>();
   parser->push_request_context(request.method);
-  auto wire =
-      std::make_shared<std::vector<std::uint8_t>>(request.serialize());
-  stats.bytes_relayed_up += wire->size();
+  // A Bytes handle is its own shared ownership — no extra shared_ptr needed.
+  const buf::Bytes wire(request.serialize());
+  stats.bytes_relayed_up += wire.size();
   auto shared_handler = std::make_shared<
       std::function<void(std::optional<http::Response>)>>(std::move(handler));
 
   upstream->set_on_connected([upstream = upstream.get(), wire] {
-    upstream->send(std::span<const std::uint8_t>(wire->data(), wire->size()));
+    upstream->send(wire);
     upstream->shutdown_send();  // one request per upstream connection
   });
   upstream->set_on_data(
       [upstream = upstream.get(), parser, shared_handler] {
-        const auto bytes = upstream->read_all();
-        parser->feed({bytes.data(), bytes.size()});
+        parser->feed(upstream->read_all());
         if (auto response = parser->next()) {
           if (*shared_handler) {
             auto h = std::move(*shared_handler);

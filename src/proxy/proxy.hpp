@@ -77,7 +77,7 @@ class TunnelProxy {
     tcp::ConnectionPtr client;
     tcp::ConnectionPtr upstream;
     bool upstream_connected = false;
-    std::vector<std::uint8_t> pending_up;  // buffered until upstream opens
+    buf::Chain pending_up;  // buffered until upstream opens (shared slices)
     /// Set when the head of the current request has been scanned for
     /// Connection headers (stripping applies to heads only).
     bool head_scanned = false;
@@ -88,8 +88,7 @@ class TunnelProxy {
   void on_client(tcp::ConnectionPtr conn);
   void relay_up(const RelayPtr& relay);
   void relay_down(const RelayPtr& relay);
-  std::vector<std::uint8_t> filter_request_bytes(
-      const RelayPtr& relay, std::vector<std::uint8_t> bytes);
+  buf::Chain filter_request_bytes(const RelayPtr& relay, buf::Chain bytes);
   void arm_idle(const RelayPtr& relay);
 
   tcp::Host& host_;

@@ -142,8 +142,7 @@ void HttpServer::arm_idle_timer(const ConnStatePtr& state) {
 
 void HttpServer::on_data(const ConnStatePtr& state) {
   arm_idle_timer(state);
-  const std::vector<std::uint8_t> bytes = state->conn->read_all();
-  state->parser.feed(bytes);
+  state->parser.feed(state->conn->read_all());
   while (auto request = state->parser.next()) {
     state->pending.push_back(std::move(*request));
   }
@@ -241,7 +240,7 @@ http::Response HttpServer::build_response(const http::Request& request) {
   }
 
   // Content negotiation: precompressed deflate variant.
-  const std::vector<std::uint8_t>* body = &resource->data;
+  const buf::Bytes* body = &resource->data;
   bool deflated = false;
   if (config_.support_deflate && !resource->deflated.empty() &&
       request.headers.has_token("Accept-Encoding", "deflate")) {
@@ -282,12 +281,13 @@ http::Response HttpServer::build_response(const http::Request& request) {
     res.headers.add("Content-Range", content_range);
     res.headers.add("Content-Length", std::to_string(last - first + 1));
     if (request.method != http::Method::kHead) {
-      res.body.assign(body->begin() + first, body->begin() + last + 1);
+      // Range responses slice the shared asset block — no byte is copied.
+      res.body.append(body->slice(first, last - first + 1));
     }
   } else {
     res.headers.add("Content-Length", std::to_string(body->size()));
     if (request.method != http::Method::kHead) {
-      res.body = *body;
+      res.body.append(*body);
     }
   }
   return res;
@@ -345,8 +345,9 @@ void HttpServer::finish_request(const ConnStatePtr& state,
 
 void HttpServer::enqueue_response(const ConnStatePtr& state,
                                   const http::Response& response) {
-  const std::vector<std::uint8_t> wire = response.serialize();
-  state->out_buffer.insert(state->out_buffer.end(), wire.begin(), wire.end());
+  // Head bytes are materialized once; the body rides along as shared slices
+  // of the site asset.
+  state->out_buffer.append(response.serialize_chain());
   if (state->out_buffer.size() >= config_.output_buffer) {
     ++stats_.output_flushes_full;
     flush_output(state, /*idle_flush=*/false);
@@ -356,10 +357,7 @@ void HttpServer::enqueue_response(const ConnStatePtr& state,
 void HttpServer::flush_output(const ConnStatePtr& state, bool idle_flush) {
   if (!state->out_buffer.empty()) {
     if (idle_flush) ++stats_.output_flushes_idle;
-    state->out_unsent.insert(state->out_unsent.end(),
-                             state->out_buffer.begin(),
-                             state->out_buffer.end());
-    state->out_buffer.clear();
+    state->out_unsent.append(std::move(state->out_buffer));
   }
   pump_unsent(state);
 }
@@ -391,15 +389,11 @@ void HttpServer::pump_unsent(const ConnStatePtr& state) {
                                   state->wire_bytes_pushed);
       }
     }
-    // Contiguous chunk for span-based send.
-    std::vector<std::uint8_t> chunk(state->out_unsent.begin(),
-                                    state->out_unsent.begin() + take);
-    const std::size_t sent = state->conn->send(
-        std::span<const std::uint8_t>(chunk.data(), chunk.size()));
+    // The send chain shares the unsent slices — no flattening.
+    const std::size_t sent = state->conn->send(state->out_unsent, take);
     state->wire_bytes_pushed += sent;
-    state->out_unsent.erase(state->out_unsent.begin(),
-                            state->out_unsent.begin() + sent);
-    if (sent < chunk.size()) break;  // TCP send buffer full; resume on space
+    state->out_unsent.pop_front(sent);
+    if (sent < take) break;  // TCP send buffer full; resume on space
   }
   if (state->closing && state->out_unsent.empty() &&
       state->out_buffer.empty()) {

@@ -56,8 +56,8 @@ class HttpServer {
     http::RequestParser parser;
     std::deque<http::Request> pending;
     bool processing = false;  // a CPU-delay timer is outstanding
-    std::vector<std::uint8_t> out_buffer;  // application-level batching
-    std::deque<std::uint8_t> out_unsent;   // overflow past the TCP buffer
+    buf::Chain out_buffer;  // application-level batching (shared body slices)
+    buf::Chain out_unsent;  // overflow past the TCP buffer
     unsigned served = 0;
     bool closing = false;
     std::unique_ptr<sim::Timer> idle_timer;

@@ -23,11 +23,11 @@ bool StaticSite::update(const std::string& path,
   const auto it = resources_.find(path);
   if (it == resources_.end()) return false;
   Resource& r = it->second;
-  r.data = std::move(data);
-  r.etag = make_etag(r.data);
+  r.data = buf::Bytes(std::move(data));
+  r.etag = make_etag(r.data.span());
   r.last_modified = modified_at;
   if (!r.deflated.empty()) {
-    r.deflated = deflate::zlib_compress(r.data);
+    r.deflated = buf::Bytes(deflate::zlib_compress(r.data.span()));
   }
   return true;
 }
@@ -52,10 +52,10 @@ StaticSite StaticSite::from_microscape(const content::MicroscapeSite& site,
   Resource html;
   html.path = "/index.html";
   html.content_type = "text/html";
-  html.data.assign(site.html.begin(), site.html.end());
-  html.etag = make_etag(html.data);
+  html.data = buf::Bytes(std::string_view(site.html));
+  html.etag = make_etag(html.data.span());
   if (precompress_html) {
-    html.deflated = deflate::zlib_compress(html.data);
+    html.deflated = buf::Bytes(deflate::zlib_compress(html.data.span()));
   }
   out.add(std::move(html));
 
@@ -63,8 +63,8 @@ StaticSite StaticSite::from_microscape(const content::MicroscapeSite& site,
     Resource r;
     r.path = img.path;
     r.content_type = "image/gif";
-    r.data = img.gif_bytes;
-    r.etag = make_etag(r.data);
+    r.data = buf::Bytes(std::span<const std::uint8_t>(img.gif_bytes));
+    r.etag = make_etag(r.data.span());
     out.add(std::move(r));
   }
   return out;

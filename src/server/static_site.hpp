@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "buf/bytes.hpp"
 #include "content/microscape.hpp"
 #include "http/date.hpp"
 
@@ -21,10 +22,12 @@ namespace hsim::server {
 struct Resource {
   std::string path;
   std::string content_type;
-  std::vector<std::uint8_t> data;
+  // Each asset is one shared immutable block: every response body, TCP
+  // segment and cached copy is a slice of it — serving never copies.
+  buf::Bytes data;
   /// Pre-deflated variant (zlib stream) served when the client advertises
   /// "Accept-Encoding: deflate"; empty = none.
-  std::vector<std::uint8_t> deflated;
+  buf::Bytes deflated;
   std::string etag;
   http::UnixSeconds last_modified = http::kSimulationEpoch;
 };

@@ -68,7 +68,7 @@ std::size_t Connection::send(std::span<const std::uint8_t> data) {
   }
   const std::size_t room = send_space();
   const std::size_t n = std::min(room, data.size());
-  send_buf_.insert(send_buf_.end(), data.begin(), data.begin() + n);
+  send_buf_.append_copy(data.first(n));
   snd_buffered_ += n;
   if (n < data.size()) send_space_was_exhausted_ = true;
   if (state_ == State::kEstablished || state_ == State::kCloseWait) {
@@ -82,13 +82,46 @@ std::size_t Connection::send(std::string_view text) {
       reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
 }
 
+std::size_t Connection::send(buf::Bytes data) {
+  if (fin_requested_ || state_ == State::kClosed ||
+      state_ == State::kTimeWait || was_reset_) {
+    return 0;
+  }
+  const std::size_t room = send_space();
+  const std::size_t n = std::min(room, data.size());
+  send_buf_.append(data.slice(0, n));
+  snd_buffered_ += n;
+  if (n < data.size()) send_space_was_exhausted_ = true;
+  if (state_ == State::kEstablished || state_ == State::kCloseWait) {
+    schedule_output();
+  }
+  return n;
+}
+
+std::size_t Connection::send(const buf::Chain& data, std::size_t limit) {
+  if (fin_requested_ || state_ == State::kClosed ||
+      state_ == State::kTimeWait || was_reset_) {
+    return 0;
+  }
+  const std::size_t wanted = std::min(limit, data.size());
+  const std::size_t room = send_space();
+  const std::size_t n = std::min(room, wanted);
+  send_buf_.append(data.slice(0, n));
+  snd_buffered_ += n;
+  if (n < wanted) send_space_was_exhausted_ = true;
+  if (state_ == State::kEstablished || state_ == State::kCloseWait) {
+    schedule_output();
+  }
+  return n;
+}
+
 std::size_t Connection::send_space() const {
   const std::size_t used = send_buf_.size();
   return used >= options_.send_buffer ? 0 : options_.send_buffer - used;
 }
 
-std::vector<std::uint8_t> Connection::read_all() {
-  std::vector<std::uint8_t> out(recv_ready_.begin(), recv_ready_.end());
+buf::Chain Connection::read_all() {
+  buf::Chain out = std::move(recv_ready_);
   recv_ready_.clear();
   // If we previously advertised a nearly-closed window, reading frees buffer
   // space the peer cannot know about: send a window update so the sender does
@@ -184,8 +217,7 @@ std::uint32_t Connection::advertised_window() const {
   return options_.recv_buffer - static_cast<std::uint32_t>(pending);
 }
 
-void Connection::send_segment(std::uint8_t flags, Seq seq,
-                              std::vector<std::uint8_t> payload,
+void Connection::send_segment(std::uint8_t flags, Seq seq, buf::Bytes payload,
                               bool is_retransmit) {
   net::Packet p;
   p.src = host_.addr();
@@ -218,7 +250,7 @@ void Connection::send_segment(std::uint8_t flags, Seq seq,
 void Connection::send_pure_ack() {
   send_segment(net::flag::kAck, static_cast<Seq>(wire_seq(snd_next_) +
                                                  (fin_sent_ ? 1 : 0)),
-               {}, false);
+               buf::Bytes{}, false);
 }
 
 void Connection::send_rst(Seq seq) {
@@ -283,11 +315,11 @@ void Connection::try_send() {
       break;
     }
 
-    // Copy [snd_next_, snd_next_+seg) out of the send buffer; the buffer's
-    // front corresponds to stream offset snd_acked_.
+    // Slice [snd_next_, snd_next_+seg) out of the send chain; the chain's
+    // front corresponds to stream offset snd_acked_. Zero-copy unless the
+    // segment happens to straddle two application writes.
     const std::size_t buf_off = static_cast<std::size_t>(snd_next_ - snd_acked_);
-    std::vector<std::uint8_t> payload(send_buf_.begin() + buf_off,
-                                      send_buf_.begin() + buf_off + seg);
+    buf::Bytes payload = send_buf_.slice_bytes(buf_off, seg);
 
     std::uint8_t flags = net::flag::kAck;
     if (last_of_avail) flags |= net::flag::kPsh;
@@ -322,8 +354,8 @@ void Connection::maybe_send_fin() {
   if (snd_next_ != snd_buffered_) return;  // data still queued
   // A bare FIN (no data available to carry it).
   fin_sent_ = true;
-  send_segment(net::flag::kFin | net::flag::kAck, wire_seq(snd_next_), {},
-               false);
+  send_segment(net::flag::kFin | net::flag::kAck, wire_seq(snd_next_),
+               buf::Bytes{}, false);
   state_ =
       (state_ == State::kCloseWait) ? State::kLastAck : State::kFinWait1;
   arm_rto();
@@ -408,8 +440,9 @@ void Connection::on_rto_fire() {
     // (a timeout usually means everything in flight was lost).
     const std::size_t seg = static_cast<std::size_t>(
         std::min<Offset>(options_.mss, unacked_data));
-    std::vector<std::uint8_t> payload(send_buf_.begin(),
-                                      send_buf_.begin() + seg);
+    // Re-slice the front of the send chain: the retransmission aliases the
+    // same bytes the original segment carried, no rebuild.
+    buf::Bytes payload = send_buf_.slice_bytes(0, seg);
     std::uint8_t flags = net::flag::kAck;
     const bool reaches_end = (snd_acked_ + seg == snd_buffered_);
     if (reaches_end) flags |= net::flag::kPsh;
@@ -418,8 +451,8 @@ void Connection::on_rto_fire() {
     snd_next_ = snd_acked_ + seg;
   } else {
     // Bare FIN retransmission.
-    send_segment(net::flag::kFin | net::flag::kAck, wire_seq(snd_next_), {},
-                 true);
+    send_segment(net::flag::kFin | net::flag::kAck, wire_seq(snd_next_),
+                 buf::Bytes{}, true);
   }
   arm_rto();
 }
@@ -548,8 +581,9 @@ void Connection::handle_ack(const net::Packet& packet) {
         const std::size_t seg =
             static_cast<std::size_t>(std::min<Offset>(options_.mss, unacked));
         if (seg > 0) {
-          std::vector<std::uint8_t> payload(send_buf_.begin(),
-                                            send_buf_.begin() + seg);
+          // Fast retransmit reuses the front slice of the send chain — the
+          // duplicate-ACK path no longer rebuilds the payload.
+          buf::Bytes payload = send_buf_.slice_bytes(0, seg);
           std::uint8_t flags = net::flag::kAck;
           const bool reaches_end = (snd_acked_ + seg == snd_buffered_);
           if (fin_sent_ && reaches_end) flags |= net::flag::kFin;
@@ -578,7 +612,7 @@ void Connection::handle_ack(const net::Packet& packet) {
     acked_bytes = static_cast<std::size_t>(diff);
   }
 
-  send_buf_.erase(send_buf_.begin(), send_buf_.begin() + acked_bytes);
+  send_buf_.pop_front(acked_bytes);
   snd_acked_ += acked_bytes;
   if (snd_next_ < snd_acked_) snd_next_ = snd_acked_;
   on_new_data_acked(snd_acked_, acked_bytes);
@@ -638,20 +672,19 @@ void Connection::accept_payload(const net::Packet& packet) {
             static_cast<std::int64_t>(rcv_next_) - seg_start);
         store_at = rcv_next_;
       }
-      std::vector<std::uint8_t> bytes(packet.payload.begin() + skip,
-                                      packet.payload.end());
+      // Shared slice of the arriving segment — reassembly and the app-facing
+      // ready chain alias the sender's original buffer.
+      buf::Bytes bytes = packet.payload.slice(skip);
       if (store_at == rcv_next_) {
-        recv_ready_.insert(recv_ready_.end(), bytes.begin(), bytes.end());
         rcv_next_ += bytes.size();
         stats_.bytes_received += bytes.size();
+        recv_ready_.append(std::move(bytes));
         deliver_in_order();
       } else {
         out_of_order = true;
-        auto [it, inserted] = reassembly_.try_emplace(store_at,
-                                                      std::move(bytes));
-        if (!inserted && it->second.size() < packet.payload.size() - skip) {
-          it->second.assign(packet.payload.begin() + skip,
-                            packet.payload.end());
+        auto [it, inserted] = reassembly_.try_emplace(store_at, bytes);
+        if (!inserted && it->second.size() < bytes.size()) {
+          it->second = std::move(bytes);
         }
       }
     }
@@ -696,15 +729,15 @@ void Connection::deliver_in_order() {
   // Pull contiguous segments out of the reassembly queue.
   for (auto it = reassembly_.begin(); it != reassembly_.end();) {
     if (it->first > rcv_next_) break;
-    std::vector<std::uint8_t>& bytes = it->second;
+    buf::Bytes& bytes = it->second;
     if (it->first + bytes.size() <= rcv_next_) {
       it = reassembly_.erase(it);
       continue;
     }
     const std::size_t skip = static_cast<std::size_t>(rcv_next_ - it->first);
-    recv_ready_.insert(recv_ready_.end(), bytes.begin() + skip, bytes.end());
     stats_.bytes_received += bytes.size() - skip;
     rcv_next_ += bytes.size() - skip;
+    recv_ready_.append(bytes.slice(skip));
     it = reassembly_.erase(it);
   }
 }

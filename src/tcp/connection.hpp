@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -21,8 +20,8 @@
 #include <span>
 #include <string>
 #include <string_view>
-#include <vector>
 
+#include "buf/bytes.hpp"
 #include "net/packet.hpp"
 #include "sim/event_queue.hpp"
 #include "tcp/options.hpp"
@@ -93,11 +92,17 @@ class Connection : public std::enable_shared_from_this<Connection> {
   /// Buffers application data for transmission. Returns the number of bytes
   /// accepted (may be less than data.size() if the send buffer is full; the
   /// on_send_space callback fires when room becomes available again).
+  /// The span/string overloads copy into the send chain; the Bytes/Chain
+  /// overloads enqueue shared slices without touching the payload bytes.
   std::size_t send(std::span<const std::uint8_t> data);
   std::size_t send(std::string_view text);
+  std::size_t send(buf::Bytes data);
+  /// Enqueues up to `limit` bytes from the front of `data` (zero-copy).
+  std::size_t send(const buf::Chain& data, std::size_t limit = buf::npos);
 
-  /// Drains and returns all bytes currently readable.
-  std::vector<std::uint8_t> read_all();
+  /// Drains and returns all bytes currently readable as shared slices of the
+  /// arrived segments — no copy.
+  buf::Chain read_all();
   std::size_t available() const { return recv_ready_.size(); }
 
   /// Free space in the send buffer.
@@ -156,8 +161,8 @@ class Connection : public std::enable_shared_from_this<Connection> {
   using Offset = std::uint64_t;  // absolute position in the byte stream
 
   // Segment construction / transmission.
-  void send_segment(std::uint8_t flags, Seq seq,
-                    std::vector<std::uint8_t> payload, bool is_retransmit);
+  void send_segment(std::uint8_t flags, Seq seq, buf::Bytes payload,
+                    bool is_retransmit);
   void send_pure_ack();
   void send_rst(Seq seq);
   std::uint32_t advertised_window() const;
@@ -195,7 +200,10 @@ class Connection : public std::enable_shared_from_this<Connection> {
 
   // ---- Send side ----
   Seq iss_ = 0;                 // initial send sequence number
-  std::deque<std::uint8_t> send_buf_;  // bytes [snd_acked_, snd_buffered_)
+  // Unacked + unsent bytes [snd_acked_, snd_buffered_) as shared slices.
+  // Segments — including retransmissions — are zero-copy sub-slices of these
+  // nodes; acking is pop_front.
+  buf::Chain send_buf_;
   Offset snd_acked_ = 0;        // stream offset cumulatively acked
   Offset snd_next_ = 0;         // next stream offset to transmit
   Offset snd_max_ = 0;          // highest offset ever transmitted
@@ -228,8 +236,8 @@ class Connection : public std::enable_shared_from_this<Connection> {
   // ---- Receive side ----
   Seq irs_ = 0;  // initial receive sequence number
   Offset rcv_next_ = 0;  // next in-order stream offset expected
-  std::map<Offset, std::vector<std::uint8_t>> reassembly_;
-  std::deque<std::uint8_t> recv_ready_;  // in-order bytes awaiting the app
+  std::map<Offset, buf::Bytes> reassembly_;  // out-of-order segment slices
+  buf::Chain recv_ready_;  // in-order bytes awaiting the app
   std::optional<Offset> peer_fin_offset_;
   bool peer_fin_delivered_ = false;
   bool recv_shutdown_ = false;  // naive close: arriving data answered w/ RST

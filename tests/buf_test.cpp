@@ -1,0 +1,283 @@
+#include "buf/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace hsim::buf {
+namespace {
+
+std::vector<std::uint8_t> pattern(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+  return v;
+}
+
+TEST(Bytes, DefaultIsEmpty) {
+  Bytes b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(Bytes, CopiesSpanAndAdoptsVector) {
+  auto src = pattern(100);
+  Bytes copied{std::span<const std::uint8_t>(src)};
+  EXPECT_EQ(copied, std::span<const std::uint8_t>(src));
+  EXPECT_NE(copied.data(), src.data());
+
+  const std::uint8_t* raw = src.data();
+  Bytes adopted{std::move(src)};
+  EXPECT_EQ(adopted.data(), raw);  // no copy: same storage
+  EXPECT_EQ(adopted.size(), 100u);
+}
+
+TEST(Bytes, FromStringView) {
+  Bytes b{std::string_view("hello")};
+  EXPECT_EQ(b.view(), "hello");
+}
+
+TEST(Bytes, SliceSharesBlock) {
+  Bytes b{pattern(64)};
+  Bytes mid = b.slice(10, 20);
+  EXPECT_EQ(mid.size(), 20u);
+  EXPECT_EQ(mid.data(), b.data() + 10);
+  for (std::size_t i = 0; i < mid.size(); ++i) EXPECT_EQ(mid[i], b[10 + i]);
+
+  // Clamping.
+  EXPECT_EQ(b.slice(60).size(), 4u);
+  EXPECT_EQ(b.slice(100).size(), 0u);
+  EXPECT_EQ(b.slice(0).size(), 64u);
+}
+
+TEST(Bytes, SliceOutlivesParent) {
+  Bytes tail;
+  {
+    Bytes b{pattern(256)};
+    tail = b.slice(200, 56);
+  }
+  auto expect = pattern(256);
+  EXPECT_EQ(tail, std::span<const std::uint8_t>(expect).subspan(200));
+}
+
+TEST(Chain, AppendBytesIsZeroCopy) {
+  Bytes b{pattern(50)};
+  Chain c;
+  c.append(b);
+  c.append(b.slice(0, 10));
+  EXPECT_EQ(c.size(), 60u);
+  EXPECT_EQ(c.node_count(), 2u);
+  EXPECT_EQ(c[50], b[0]);
+}
+
+TEST(Chain, AppendCopyCoalesces) {
+  Chain c;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint8_t byte = static_cast<std::uint8_t>(i);
+    c.append_copy(std::span<const std::uint8_t>(&byte, 1));
+  }
+  EXPECT_EQ(c.size(), 1000u);
+  // 1000 single-byte appends must coalesce into a few blocks, not 1000.
+  EXPECT_LE(c.node_count(), 8u);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(c[i], static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST(Chain, AppendAfterSliceDoesNotDisturbViews) {
+  Chain c;
+  c.append_copy(std::string_view("hello "));
+  Chain head = c.slice(0, c.size());
+  Bytes head_bytes = c.slice_bytes(0, c.size());
+  c.append_copy(std::string_view("world"));
+  // Earlier views still see only their own bytes.
+  EXPECT_TRUE(head.equals(std::string_view("hello ")));
+  EXPECT_EQ(head_bytes.view(), "hello ");
+  EXPECT_TRUE(c.equals(std::string_view("hello world")));
+}
+
+TEST(Chain, CopiedChainDoesNotShareWritableTail) {
+  Chain a;
+  a.append_copy(std::string_view("abc"));
+  Chain b = a;
+  a.append_copy(std::string_view("DEF"));
+  b.append_copy(std::string_view("xyz"));
+  EXPECT_TRUE(a.equals(std::string_view("abcDEF")));
+  EXPECT_TRUE(b.equals(std::string_view("abcxyz")));
+}
+
+TEST(Chain, PopFrontAcrossNodes) {
+  Chain c;
+  c.append(Bytes{pattern(10)});
+  c.append(Bytes{pattern(10)});
+  c.append(Bytes{pattern(10)});
+  c.pop_front(15);
+  EXPECT_EQ(c.size(), 15u);
+  auto expect = pattern(10);
+  EXPECT_EQ(c[0], expect[5]);
+  c.pop_front(100);  // clamped
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Chain, SplitFrontMovesExactBytes) {
+  auto all = pattern(100);
+  Chain c;
+  c.append(Bytes{std::span<const std::uint8_t>(all)}.slice(0, 40));
+  c.append_copy(std::span<const std::uint8_t>(all).subspan(40));
+  Chain head = c.split_front(55);
+  EXPECT_EQ(head.size(), 55u);
+  EXPECT_EQ(c.size(), 45u);
+  EXPECT_TRUE(head.equals(std::span<const std::uint8_t>(all).subspan(0, 55)));
+  EXPECT_TRUE(c.equals(std::span<const std::uint8_t>(all).subspan(55)));
+}
+
+TEST(Chain, SliceAndSliceBytes) {
+  auto all = pattern(300);
+  Chain c;
+  c.append(Bytes{std::span<const std::uint8_t>(all)}.slice(0, 100));
+  c.append(Bytes{std::span<const std::uint8_t>(all)}.slice(100, 100));
+  c.append(Bytes{std::span<const std::uint8_t>(all)}.slice(200, 100));
+
+  Chain mid = c.slice(50, 200);
+  EXPECT_EQ(mid.size(), 200u);
+  EXPECT_TRUE(mid.equals(std::span<const std::uint8_t>(all).subspan(50, 200)));
+
+  // Within one node: zero-copy (pointer into the original block).
+  Bytes inner = c.slice_bytes(110, 50);
+  EXPECT_EQ(inner, std::span<const std::uint8_t>(all).subspan(110, 50));
+
+  // Across nodes: flattened but correct.
+  Bytes cross = c.slice_bytes(90, 50);
+  EXPECT_EQ(cross, std::span<const std::uint8_t>(all).subspan(90, 50));
+}
+
+TEST(Chain, ToBytesAndToVector) {
+  auto all = pattern(128);
+  Chain c;
+  c.append_copy(std::span<const std::uint8_t>(all).subspan(0, 64));
+  c.append(Bytes{std::span<const std::uint8_t>(all).subspan(64)});
+  EXPECT_EQ(c.to_vector(), all);
+  EXPECT_EQ(c.to_bytes(), std::span<const std::uint8_t>(all));
+}
+
+TEST(Chain, ToString) {
+  Chain c;
+  c.append_copy(std::string_view("hello "));
+  c.append(Bytes{std::string_view("world")});
+  EXPECT_EQ(c.to_string(), "hello world");
+  EXPECT_EQ(c.to_string(6), "world");
+  EXPECT_EQ(c.to_string(0, 5), "hello");
+}
+
+TEST(Chain, FindCrossesNodeBoundaries) {
+  Chain c;
+  c.append(Bytes{std::string_view("HTTP/1.0 200 OK\r")});
+  c.append(Bytes{std::string_view("\nContent-Length: 5\r\n")});
+  c.append(Bytes{std::string_view("\r")});
+  c.append(Bytes{std::string_view("\nhello")});
+  EXPECT_EQ(c.find("\r\n"), 15u);
+  EXPECT_EQ(c.find("\r\n\r\n"), 34u);
+  EXPECT_EQ(c.find("hello"), 38u);
+  EXPECT_EQ(c.find("nope"), npos);
+  // `from` past the hit skips it.
+  EXPECT_EQ(c.find("\r\n", 16), 34u);
+  // Empty needle behaves like std::string::find.
+  EXPECT_EQ(c.find(""), 0u);
+  EXPECT_EQ(c.find("", 7), 7u);
+}
+
+TEST(Chain, FindMatchesStringReference) {
+  std::mt19937 rng(1234);
+  std::string hay;
+  for (int i = 0; i < 2000; ++i) {
+    hay.push_back("ab\r\n"[rng() % 4]);
+  }
+  Chain c;
+  std::size_t pos = 0;
+  while (pos < hay.size()) {
+    std::size_t n = 1 + rng() % 17;
+    n = std::min(n, hay.size() - pos);
+    if (rng() % 2 == 0) {
+      c.append_copy(std::string_view(hay).substr(pos, n));
+    } else {
+      c.append(Bytes{std::string_view(hay).substr(pos, n)});
+    }
+    pos += n;
+  }
+  for (std::string_view needle : {"\r\n", "a\r\nb", "abab", "\r\n\r\n"}) {
+    std::size_t from = 0;
+    for (int k = 0; k < 50; ++k) {
+      std::size_t expect = hay.find(needle, from);
+      std::size_t got = c.find(needle, from);
+      EXPECT_EQ(got, expect == std::string::npos ? npos : expect)
+          << "needle=" << needle << " from=" << from;
+      if (expect == std::string::npos) break;
+      from = expect + 1;
+    }
+  }
+}
+
+TEST(Chain, Equality) {
+  auto all = pattern(90);
+  Chain a;
+  a.append(Bytes{std::span<const std::uint8_t>(all).subspan(0, 30)});
+  a.append(Bytes{std::span<const std::uint8_t>(all).subspan(30)});
+  Chain b;
+  b.append_copy(std::span<const std::uint8_t>(all).subspan(0, 45));
+  b.append_copy(std::span<const std::uint8_t>(all).subspan(45));
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a == all);
+  EXPECT_TRUE(all == a);
+  b.pop_front(1);
+  EXPECT_FALSE(a == b);
+  Chain c = a;
+  c.append_copy(std::string_view("x"));
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Chain, ForEachVisitsEveryByteInOrder) {
+  auto all = pattern(77);
+  Chain c;
+  c.append(Bytes{std::span<const std::uint8_t>(all).subspan(0, 20)});
+  c.append_copy(std::span<const std::uint8_t>(all).subspan(20));
+  std::vector<std::uint8_t> seen;
+  c.for_each([&](std::span<const std::uint8_t> run) {
+    seen.insert(seen.end(), run.begin(), run.end());
+  });
+  EXPECT_EQ(seen, all);
+}
+
+TEST(Chain, MoveAppendStealsNodes) {
+  Chain a;
+  a.append(Bytes{std::string_view("one")});
+  Chain b;
+  b.append(Bytes{std::string_view("two")});
+  a.append(std::move(b));
+  EXPECT_TRUE(a.equals(std::string_view("onetwo")));
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Chain, FrontConsumeIsLinearNotQuadratic) {
+  // The pattern the HTTP parser uses: append at the back, consume from the
+  // front. With 1 MB fed a byte at a time this must finish fast; the old
+  // std::string erase(0, n) pattern moved ~500 GB.
+  constexpr std::size_t kTotal = 1 << 20;
+  Chain c;
+  std::size_t consumed = 0;
+  std::uint8_t byte = 0x5a;
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    c.append_copy(std::span<const std::uint8_t>(&byte, 1));
+    if (c.size() >= 4096) {
+      consumed += c.split_front(4096).size();
+    }
+  }
+  consumed += c.size();
+  EXPECT_EQ(consumed, kTotal);
+}
+
+}  // namespace
+}  // namespace hsim::buf

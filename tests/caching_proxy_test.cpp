@@ -67,7 +67,7 @@ struct CacheRig {
     parser.push_request_context(http::Method::kGet);
     std::optional<http::Response> result;
     conn->set_on_data([&, raw = conn.get()] {
-      const auto b = raw->read_all();
+      const auto b = raw->read_all().to_vector();
       parser.feed({b.data(), b.size()});
       if (auto r = parser.next()) result = std::move(*r);
     });

@@ -45,7 +45,7 @@ TEST(CacheTest, StoreFindClear) {
   EXPECT_EQ(cache.find("/a"), nullptr);
   client::CacheEntry e;
   e.etag = "\"x\"";
-  e.body = {1, 2, 3};
+  e.body.append(buf::Bytes(std::vector<std::uint8_t>{1, 2, 3}));
   cache.store("/a", e);
   ASSERT_NE(cache.find("/a"), nullptr);
   EXPECT_EQ(cache.find("/a")->etag, "\"x\"");

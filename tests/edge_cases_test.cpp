@@ -54,14 +54,14 @@ TEST(RobotEdgeTest, MissingImageCountsAsErrorAndCompletes) {
   const std::string html =
       "<html><body><img src=\"/ok.gif\"><img src=\"/missing.gif\">"
       "</body></html>";
-  page.data.assign(html.begin(), html.end());
-  page.etag = server::make_etag(page.data);
+  page.data = buf::Bytes(std::string_view(html));
+  page.etag = server::make_etag(page.data.span());
   site.add(page);
   server::Resource ok;
   ok.path = "/ok.gif";
   ok.content_type = "image/gif";
-  ok.data.assign(100, 0x11);
-  ok.etag = server::make_etag(ok.data);
+  ok.data = buf::Bytes(100, 0x11);
+  ok.etag = server::make_etag(ok.data.span());
   site.add(ok);
 
   server::HttpServer server(server_host, std::move(site),
@@ -99,8 +99,8 @@ TEST(RobotEdgeTest, HtmlWithNoImagesFinishesAfterOneResponse) {
   page.path = "/plain.html";
   page.content_type = "text/html";
   const std::string html = "<html><body>no images at all</body></html>";
-  page.data.assign(html.begin(), html.end());
-  page.etag = server::make_etag(page.data);
+  page.data = buf::Bytes(std::string_view(html));
+  page.etag = server::make_etag(page.data.span());
   site.add(page);
   server::HttpServer server(server_host, std::move(site),
                             server::apache_config(), rng.fork());
@@ -144,7 +144,7 @@ TEST(ServerEdgeTest, EmptySiteServes404ForEverything) {
   parser.push_request_context(http::Method::kGet);
   std::optional<http::Response> response;
   conn->set_on_data([&] {
-    const auto b = conn->read_all();
+    const auto b = conn->read_all().to_vector();
     parser.feed({b.data(), b.size()});
     if (auto r = parser.next()) response = std::move(*r);
   });
@@ -161,10 +161,10 @@ TEST(StaticSiteEdgeTest, TotalBytesAndSize) {
   EXPECT_EQ(site.total_bytes(), 0u);
   server::Resource r;
   r.path = "/a";
-  r.data.assign(10, 1);
+  r.data = buf::Bytes(10, 1);
   site.add(r);
   r.path = "/b";
-  r.data.assign(20, 2);
+  r.data = buf::Bytes(20, 2);
   site.add(std::move(r));
   EXPECT_EQ(site.size(), 2u);
   EXPECT_EQ(site.total_bytes(), 30u);

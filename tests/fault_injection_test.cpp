@@ -27,7 +27,7 @@ class CollectingSink : public PacketSink {
 
 Packet make_packet(std::size_t payload_bytes, std::uint32_t seq = 0) {
   Packet p;
-  p.payload.resize(payload_bytes, 0xAB);
+  p.payload = buf::Bytes(payload_bytes, 0xAB);
   p.tcp.seq = seq;
   return p;
 }

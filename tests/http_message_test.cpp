@@ -74,7 +74,7 @@ TEST(ResponseTest, SerializeIncludesStatusLineAndBody) {
   r.status = 200;
   r.reason = "OK";
   r.headers.add("Content-Length", "5");
-  r.body = {'h', 'e', 'l', 'l', 'o'};
+  r.body.append(buf::Bytes(std::string_view("hello")));
   const std::string s = as_string(r.serialize());
   EXPECT_TRUE(s.starts_with("HTTP/1.1 200 OK\r\n"));
   EXPECT_TRUE(s.ends_with("\r\n\r\nhello"));

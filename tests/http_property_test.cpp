@@ -40,8 +40,9 @@ Response random_response(sim::Rng& rng, Method method) {
   res.headers.add("Server", "prop-test");
   if (!res.status_forbids_body() && method != Method::kHead) {
     const auto n = static_cast<std::size_t>(rng.uniform(0, 4000));
-    res.body.resize(n);
-    for (auto& b : res.body) b = static_cast<std::uint8_t>(rng.next_u32());
+    std::vector<std::uint8_t> body(n);
+    for (auto& b : body) b = static_cast<std::uint8_t>(rng.next_u32());
+    res.body.append(buf::Bytes(std::move(body)));
   }
   // HEAD responses may still advertise a length; parsers must not consume.
   res.headers.add("Content-Length", std::to_string(res.body.size()));

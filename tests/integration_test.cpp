@@ -96,7 +96,7 @@ TEST(IntegrationTest, CompressedHtmlDecodesIdentically) {
   ASSERT_TRUE(done);
   const client::CacheEntry* entry = robot.cache().find("/index.html");
   ASSERT_NE(entry, nullptr);
-  EXPECT_EQ(std::string(entry->body.begin(), entry->body.end()), site().html);
+  EXPECT_TRUE(entry->body.equals(std::string_view(site().html)));
 }
 
 TEST(IntegrationTest, RevalidationGets304ForEverything) {

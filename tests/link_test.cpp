@@ -24,7 +24,7 @@ class CollectingSink : public PacketSink {
 
 Packet make_packet(std::size_t payload_bytes) {
   Packet p;
-  p.payload.resize(payload_bytes, 0xAB);
+  p.payload = buf::Bytes(payload_bytes, 0xAB);
   return p;
 }
 

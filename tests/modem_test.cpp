@@ -98,7 +98,7 @@ TEST(V42bisTest, SizerShrinksLinkSerialisation) {
   net::Packet p;
   std::string text;
   for (int i = 0; i < 40; ++i) text += "compressible compressible ";
-  p.payload.assign(text.begin(), text.end());
+  p.payload = buf::Bytes(std::string_view(text));
   plain.transmit(p);
   compressed.transmit(p);
   queue.run();

@@ -98,7 +98,7 @@ TEST(HttpProxyTest, ForwardsGetEndToEnd) {
   parser.push_request_context(http::Method::kGet);
   std::vector<http::Response> responses;
   conn->set_on_data([&] {
-    const auto b = conn->read_all();
+    const auto b = conn->read_all().to_vector();
     parser.feed({b.data(), b.size()});
     while (auto r = parser.next()) responses.push_back(std::move(*r));
   });
@@ -139,7 +139,7 @@ TEST(HttpProxyTest, SequentialRequestsOnOneClientConnection) {
   parser.push_request_context(http::Method::kGet);
   std::vector<http::Response> responses;
   conn->set_on_data([&] {
-    const auto b = conn->read_all();
+    const auto b = conn->read_all().to_vector();
     parser.feed({b.data(), b.size()});
     while (auto r = parser.next()) responses.push_back(std::move(*r));
   });
@@ -183,7 +183,7 @@ TEST(TunnelProxyTest, BlindKeepAliveForwardingHangsConnections) {
   bool peer_closed = false;
   sim::Time closed_at = 0;
   conn->set_on_data([&] {
-    const auto b = conn->read_all();
+    const auto b = conn->read_all().to_vector();
     parser.feed({b.data(), b.size()});
     if (parser.next()) got_response = true;
   });
@@ -231,7 +231,7 @@ TEST(TunnelProxyTest, StrippingConnectionHeaderAvoidsTheHang) {
   bool got_response = false;
   bool peer_closed = false;
   conn->set_on_data([&] {
-    const auto b = conn->read_all();
+    const auto b = conn->read_all().to_vector();
     parser.feed({b.data(), b.size()});
     if (parser.next()) got_response = true;
   });
@@ -317,7 +317,7 @@ TEST(TunnelProxyTest, TwoProxyChainReproducesThePapersScenario) {
   bool got_response = false;
   bool closed = false;
   conn->set_on_data([&] {
-    const auto b = conn->read_all();
+    const auto b = conn->read_all().to_vector();
     parser.feed({b.data(), b.size()});
     if (parser.next()) got_response = true;
   });

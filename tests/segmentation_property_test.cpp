@@ -1,0 +1,147 @@
+// Segmentation-invariance property: parsing a pipelined response stream must
+// produce byte-identical results no matter how the wire is sliced on arrival —
+// one byte at a time, MSS-sized segments, random segment sizes, or the whole
+// stream in a single feed — and no matter whether segments arrive as flat
+// spans or as zero-copy chains. This pins down the contract the TCP receive
+// path relies on: reassembly boundaries are invisible to the HTTP layer.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "http/chunked.hpp"
+#include "http/parser.hpp"
+#include "sim/random.hpp"
+
+namespace hsim::http {
+namespace {
+
+struct ParsedResponse {
+  int status = 0;
+  std::string body;
+  std::size_t header_count = 0;
+
+  bool operator==(const ParsedResponse&) const = default;
+};
+
+struct Stream {
+  std::vector<std::uint8_t> wire;
+  std::vector<Method> methods;
+};
+
+Stream make_stream(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  Stream s;
+  const int count = static_cast<int>(rng.uniform(2, 8));
+  for (int i = 0; i < count; ++i) {
+    Response r;
+    r.version = Version::kHttp11;
+    r.headers.add("Server", "seg-prop");
+    const int kind = static_cast<int>(rng.uniform(0, 3));
+    if (kind == 0) {
+      // 304: headers only.
+      r.status = 304;
+      r.reason = std::string(default_reason(304));
+      r.headers.add("ETag", "\"seg\"");
+      r.headers.add("Content-Length", "0");
+    } else {
+      r.status = 200;
+      r.reason = "OK";
+      std::vector<std::uint8_t> body(
+          static_cast<std::size_t>(rng.uniform(0, 5000)));
+      for (auto& b : body) b = static_cast<std::uint8_t>(rng.next_u32());
+      if (kind == 2) {
+        // Chunked framing with an awkward chunk size.
+        r.headers.add("Transfer-Encoding", "chunked");
+        const auto head = r.serialize();
+        s.wire.insert(s.wire.end(), head.begin(), head.end());
+        const auto encoded = encode_chunked_body(
+            body, static_cast<std::size_t>(rng.uniform(1, 700)));
+        s.wire.insert(s.wire.end(), encoded.begin(), encoded.end());
+        s.methods.push_back(Method::kGet);
+        continue;
+      }
+      r.headers.add("Content-Length", std::to_string(body.size()));
+      r.body.append(buf::Bytes(std::move(body)));
+    }
+    const auto bytes = r.serialize();
+    s.wire.insert(s.wire.end(), bytes.begin(), bytes.end());
+    s.methods.push_back(Method::kGet);
+  }
+  return s;
+}
+
+using SegmentSizer = std::function<std::size_t()>;
+
+std::vector<ParsedResponse> parse_segmented(const Stream& s,
+                                            const SegmentSizer& next_size,
+                                            bool feed_as_chain) {
+  ResponseParser parser;
+  for (const Method m : s.methods) parser.push_request_context(m);
+  std::vector<ParsedResponse> out;
+  std::size_t pos = 0;
+  while (pos < s.wire.size()) {
+    const std::size_t n =
+        std::min(std::max<std::size_t>(next_size(), 1), s.wire.size() - pos);
+    const std::span<const std::uint8_t> segment(s.wire.data() + pos, n);
+    if (feed_as_chain) {
+      buf::Chain chunk;
+      chunk.append_copy(segment);
+      parser.feed(std::move(chunk));
+    } else {
+      parser.feed(segment);
+    }
+    pos += n;
+    while (auto r = parser.next()) {
+      out.push_back(
+          {r->status, r->body.to_string(), r->headers.size()});
+    }
+  }
+  EXPECT_FALSE(parser.failed());
+  return out;
+}
+
+class SegmentationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SegmentationProperty, ArrivalSlicingIsInvisible) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const Stream s = make_stream(seed * 131 + 17);
+
+  // Reference: the whole stream in one feed.
+  const auto whole =
+      parse_segmented(s, [&] { return s.wire.size(); }, false);
+  ASSERT_EQ(whole.size(), s.methods.size());
+
+  // 1-byte arrivals.
+  const auto byte_wise = parse_segmented(s, [] { return std::size_t{1}; },
+                                         false);
+  // MSS-sized arrivals (Ethernet-era 1460).
+  const auto mss = parse_segmented(s, [] { return std::size_t{1460}; }, false);
+  // Random-sized arrivals.
+  sim::Rng rng(seed * 977 + 3);
+  const auto random_sized = parse_segmented(
+      s, [&] { return static_cast<std::size_t>(rng.uniform(1, 2000)); },
+      false);
+  // Same three patterns arriving as zero-copy chains.
+  const auto byte_wise_chain =
+      parse_segmented(s, [] { return std::size_t{1}; }, true);
+  const auto mss_chain =
+      parse_segmented(s, [] { return std::size_t{1460}; }, true);
+  sim::Rng rng2(seed * 977 + 3);
+  const auto random_chain = parse_segmented(
+      s, [&] { return static_cast<std::size_t>(rng2.uniform(1, 2000)); },
+      true);
+
+  EXPECT_EQ(byte_wise, whole);
+  EXPECT_EQ(mss, whole);
+  EXPECT_EQ(random_sized, whole);
+  EXPECT_EQ(byte_wise_chain, whole);
+  EXPECT_EQ(mss_chain, whole);
+  EXPECT_EQ(random_chain, whole);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SegmentationProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace hsim::http

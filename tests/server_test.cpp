@@ -23,17 +23,17 @@ StaticSite make_site() {
   page.content_type = "text/html";
   const std::string body =
       "<html><body>hello hello hello hello hello</body></html>";
-  page.data.assign(body.begin(), body.end());
-  page.etag = server::make_etag(page.data);
+  page.data = buf::Bytes(std::string_view(body));
+  page.etag = server::make_etag(page.data.span());
   page.last_modified = http::kSimulationEpoch;
-  page.deflated = deflate::zlib_compress(page.data);
+  page.deflated = buf::Bytes(deflate::zlib_compress(page.data.span()));
   site.add(page);
 
   Resource image;
   image.path = "/img.gif";
   image.content_type = "image/gif";
-  image.data.assign(4000, 0x42);
-  image.etag = server::make_etag(image.data);
+  image.data = buf::Bytes(4000, 0x42);
+  image.etag = server::make_etag(image.data.span());
   image.last_modified = http::kSimulationEpoch;
   site.add(image);
   return site;
@@ -69,7 +69,7 @@ class ServerFixture : public ::testing::Test {
     for (const http::Method m : methods) parser.push_request_context(m);
     std::vector<http::Response> responses;
     conn->set_on_data([&] {
-      const auto bytes = conn->read_all();
+      const auto bytes = conn->read_all().to_vector();
       parser.feed({bytes.data(), bytes.size()});
       while (auto r = parser.next()) responses.push_back(std::move(*r));
     });
@@ -208,7 +208,8 @@ TEST_F(ServerFixture, DeflateVariantServedOnAcceptEncoding) {
   ASSERT_EQ(responses.size(), 1u);
   EXPECT_EQ(responses[0].status, 200);
   EXPECT_EQ(responses[0].headers.get("Content-Encoding"), "deflate");
-  const auto inflated = deflate::zlib_decompress(responses[0].body);
+  const auto body = responses[0].body.to_vector();
+  const auto inflated = deflate::zlib_decompress(body);
   ASSERT_TRUE(inflated.ok);
   EXPECT_EQ(inflated.data.size(), 55u);
   EXPECT_EQ(server_.stats().deflated_responses, 1u);
@@ -314,7 +315,7 @@ TEST_F(ServerFixture, VerboseHeadersAddBytes) {
   parser.push_request_context(http::Method::kGet);
   std::vector<http::Response> responses;
   conn->set_on_data([&] {
-    const auto bytes = conn->read_all();
+    const auto bytes = conn->read_all().to_vector();
     parser.feed({bytes.data(), bytes.size()});
     while (auto r = parser.next()) responses.push_back(std::move(*r));
   });

@@ -101,7 +101,7 @@ TEST(TcpBehaviorTest, IdenticalSeedsProduceIdenticalTraces) {
         80,
         [&](ConnectionPtr c) {
           c->set_on_data([&got, raw = c.get()] {
-            auto b = raw->read_all();
+            auto b = raw->read_all().to_vector();
             got.insert(got.end(), b.begin(), b.end());
           });
         },
@@ -134,15 +134,21 @@ TEST(TcpBehaviorTest, ReceiveWindowNeverExceeded) {
   sopts.recv_buffer = 4096;
   std::size_t received = 0;
   ConnectionPtr server_conn;
+  // Held at test scope so the self-rescheduling closure below can refer to
+  // itself weakly (a strong self-capture is a refcount cycle and leaks).
+  std::shared_ptr<std::function<void()>> drain;
   net.server.listen(
       80,
       [&](ConnectionPtr c) {
         server_conn = c;
         // Drain only 1 KB every 50 ms.
-        auto drain = std::make_shared<std::function<void()>>();
-        *drain = [&net, &received, raw = c.get(), drain] {
+        drain = std::make_shared<std::function<void()>>();
+        *drain = [&net, &received, raw = c.get(),
+                  weak = std::weak_ptr<std::function<void()>>(drain)] {
           received += raw->read_all().size();
-          net.queue.schedule_in(sim::milliseconds(50), *drain);
+          if (auto next = weak.lock()) {
+            net.queue.schedule_in(sim::milliseconds(50), *next);
+          }
         };
         net.queue.schedule_in(sim::milliseconds(50), *drain);
       },

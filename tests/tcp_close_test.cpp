@@ -148,7 +148,7 @@ TEST(TcpCloseTest, GracefulServerCloseDoesNotLoseResponses) {
   bool reset = false;
   conn->set_on_reset([&] { reset = true; });
   conn->set_on_data([&] {
-    auto b = conn->read_all();
+    auto b = conn->read_all().to_vector();
     got.append(b.begin(), b.end());
   });
   conn->set_on_connected([&] { conn->send("REQ-1"); });

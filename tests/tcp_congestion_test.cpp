@@ -18,7 +18,7 @@ struct BulkNet : TestNet {
         80,
         [this](ConnectionPtr c) {
           c->set_on_data([this, raw = c.get()] {
-            auto b = raw->read_all();
+            auto b = raw->read_all().to_vector();
             received.insert(received.end(), b.begin(), b.end());
           });
         },
@@ -127,7 +127,7 @@ TEST(TcpCongestionTest, FastRetransmitRecoversSingleLossWithoutRto) {
       80,
       [&](ConnectionPtr c) {
         c->set_on_data([&received, raw = c.get()] {
-          auto b = raw->read_all();
+          auto b = raw->read_all().to_vector();
           received.insert(received.end(), b.begin(), b.end());
         });
       },
@@ -201,7 +201,7 @@ TEST(TcpCongestionTest, CwndCollapsesOnTimeoutThenRegrows) {
       80,
       [&](ConnectionPtr c) {
         c->set_on_data([&received, raw = c.get()] {
-          auto b = raw->read_all();
+          auto b = raw->read_all().to_vector();
           received.insert(received.end(), b.begin(), b.end());
         });
       },

@@ -43,7 +43,7 @@ TEST_P(TcpLossProperty, ReliableDeliveryUnderLoss) {
       80,
       [&](ConnectionPtr conn) {
         conn->set_on_data([&received, raw = conn.get()] {
-          auto b = raw->read_all();
+          auto b = raw->read_all().to_vector();
           received.insert(received.end(), b.begin(), b.end());
         });
       },

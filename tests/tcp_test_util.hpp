@@ -47,8 +47,9 @@ struct Collector {
 
   void attach(const tcp::ConnectionPtr& conn) {
     conn->set_on_data([this, c = conn.get()] {
-      auto bytes = c->read_all();
-      data.insert(data.end(), bytes.begin(), bytes.end());
+      c->read_all().for_each([this](std::span<const std::uint8_t> run) {
+        data.insert(data.end(), run.begin(), run.end());
+      });
     });
     conn->set_on_peer_fin([this] { peer_fin = true; });
     conn->set_on_closed([this] { closed = true; });

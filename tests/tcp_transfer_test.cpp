@@ -23,7 +23,7 @@ struct EchoServerNet : TestNet {
         [this, echo](ConnectionPtr c) {
           server_conn = c;
           c->set_on_data([this, echo, raw = c.get()] {
-            auto bytes = raw->read_all();
+            auto bytes = raw->read_all().to_vector();
             received.insert(received.end(), bytes.begin(), bytes.end());
             if (echo) {
               raw->send(std::span<const std::uint8_t>(bytes.data(),
@@ -246,7 +246,7 @@ TEST(TcpTransferTest, SequenceNumbersWrapCorrectly) {
         80,
         [&](ConnectionPtr c) {
           c->set_on_data([&received, raw = c.get()] {
-            auto b = raw->read_all();
+            auto b = raw->read_all().to_vector();
             received.insert(received.end(), b.begin(), b.end());
           });
         },
@@ -274,7 +274,7 @@ TEST(TcpTransferTest, BidirectionalSimultaneousTransfer) {
   std::vector<std::uint8_t> client_got;
   ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
   conn->set_on_data([&] {
-    auto b = conn->read_all();
+    auto b = conn->read_all().to_vector();
     client_got.insert(client_got.end(), b.begin(), b.end());
   });
   std::size_t coff = 0;
@@ -297,7 +297,7 @@ TEST(TcpTransferTest, BidirectionalSimultaneousTransfer) {
               s2c.data() + soff, s2c.size() - soff));
         };
         c->set_on_data([&net, raw = c.get()] {
-          auto b = raw->read_all();
+          auto b = raw->read_all().to_vector();
           net.received.insert(net.received.end(), b.begin(), b.end());
         });
         c->set_on_send_space(spump);

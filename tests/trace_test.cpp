@@ -13,7 +13,7 @@ Packet packet(IpAddr src, IpAddr dst, Port sp, Port dp, std::uint8_t flags,
   p.tcp.src_port = sp;
   p.tcp.dst_port = dp;
   p.tcp.flags = flags;
-  p.payload.resize(len);
+  p.payload = buf::Bytes(len, 0);
   return p;
 }
 
