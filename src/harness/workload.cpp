@@ -1,0 +1,235 @@
+#include "harness/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "harness/chaos.hpp"
+#include "net/link.hpp"
+#include "server/static_site.hpp"
+
+namespace hsim::harness {
+
+namespace {
+
+constexpr net::IpAddr kServerAddr = 1;
+
+net::IpAddr client_addr(unsigned i) { return 1000 + i; }
+
+/// Clients-to-server aggregation point: everything a client uplink delivers
+/// is pushed onto the shared bottleneck.
+struct Funnel : net::PacketSink {
+  net::Link* bottleneck = nullptr;
+  void deliver(net::Packet packet) override {
+    bottleneck->transmit(std::move(packet));
+  }
+};
+
+/// Server-to-clients distribution point: routes by destination address onto
+/// the matching client's access downlink.
+struct Fanout : net::PacketSink {
+  std::map<net::IpAddr, net::Link*> routes;
+  void deliver(net::Packet packet) override {
+    if (auto it = routes.find(packet.dst); it != routes.end()) {
+      it->second->transmit(std::move(packet));
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t salt) {
+  // splitmix64: decorrelates the per-client streams from the master seed and
+  // from each other without any cross-client draw ordering dependence.
+  std::uint64_t z = master ^ (salt * 0x9e3779b97f4a7c15ULL);
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+unsigned WorkloadResult::completed() const {
+  unsigned n = 0;
+  for (const ClientOutcome& c : clients) {
+    if (c.complete()) ++n;
+  }
+  return n;
+}
+
+unsigned WorkloadResult::failed() const {
+  unsigned n = 0;
+  for (const ClientOutcome& c : clients) {
+    if (c.resolved && !c.complete()) ++n;
+  }
+  return n;
+}
+
+bool WorkloadResult::all_resolved() const {
+  return std::all_of(clients.begin(), clients.end(),
+                     [](const ClientOutcome& c) { return c.resolved; });
+}
+
+std::vector<double> WorkloadResult::completed_page_seconds() const {
+  std::vector<double> out;
+  out.reserve(clients.size());
+  for (const ClientOutcome& c : clients) {
+    if (c.complete()) out.push_back(c.page_seconds());
+  }
+  return out;
+}
+
+namespace {
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(xs.size())));
+  return xs[std::min(xs.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+}  // namespace
+
+double WorkloadResult::median_page_seconds() const {
+  return percentile(completed_page_seconds(), 0.5);
+}
+
+double WorkloadResult::p95_page_seconds() const {
+  return percentile(completed_page_seconds(), 0.95);
+}
+
+double WorkloadResult::jain_fairness_index() const {
+  const std::vector<double> xs = completed_page_seconds();
+  if (xs.empty()) return 0.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;  // all-zero times: degenerate but fair
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+WorkloadResult run_workload(const WorkloadConfig& config,
+                            const content::MicroscapeSite& site) {
+  const unsigned n = config.num_clients;
+  sim::EventQueue queue;
+  queue.reserve(64 + 16 * static_cast<std::size_t>(n));
+
+  // ---- Shared side: server host, bottleneck links, aggregation points ----
+  sim::Rng server_rng(derive_seed(config.master_seed, kServerSeedSalt));
+  tcp::Host server_host(queue, kServerAddr, "server", server_rng.fork());
+
+  net::LinkConfig bn_cfg;
+  bn_cfg.bandwidth_bps = config.bottleneck_bandwidth_bps;
+  bn_cfg.propagation_delay = config.bottleneck_delay;
+  bn_cfg.queue_limit_packets = config.bottleneck_queue_packets;
+  net::Link bottleneck_up(queue, bn_cfg, server_rng.fork());    // clients -> server
+  net::Link bottleneck_down(queue, bn_cfg, server_rng.fork());  // server -> clients
+
+  net::TraceSummarizer bottleneck_trace(kServerAddr);
+  const auto tap = [&bottleneck_trace, &queue](const net::Packet& p) {
+    bottleneck_trace.record(queue.now(), p);
+  };
+  bottleneck_up.set_tap(tap);
+  bottleneck_down.set_tap(tap);
+
+  Funnel funnel;
+  funnel.bottleneck = &bottleneck_up;
+  Fanout fanout;
+  bottleneck_up.set_sink(&server_host);
+  bottleneck_down.set_sink(&fanout);
+  server_host.attach_uplink(&bottleneck_down);
+
+  server::HttpServer server(server_host,
+                            server::StaticSite::from_microscape(site),
+                            config.server, server_rng.fork());
+  server.start(80);
+
+  // ---- Per-client side: host, access links, robot ----
+  const net::ChannelConfig access = config.access.channel_config();
+  std::vector<std::unique_ptr<tcp::Host>> hosts;
+  std::vector<std::unique_ptr<net::Link>> links;  // owns up+down per client
+  std::vector<std::unique_ptr<client::Robot>> robots;
+  hosts.reserve(n);
+  links.reserve(2 * static_cast<std::size_t>(n));
+  robots.reserve(n);
+
+  client::ClientConfig client_template = config.client;
+  client_template.tcp.recv_buffer = std::min(
+      client_template.tcp.recv_buffer, config.access.client_recv_buffer);
+
+  for (unsigned i = 0; i < n; ++i) {
+    sim::Rng crng(derive_seed(config.master_seed, kClientSeedSalt + i));
+    auto host = std::make_unique<tcp::Host>(
+        queue, client_addr(i), "client" + std::to_string(i), crng.fork());
+    auto up = std::make_unique<net::Link>(queue, access.a_to_b, crng.fork());
+    auto down = std::make_unique<net::Link>(queue, access.b_to_a, crng.fork());
+    up->set_sink(&funnel);
+    down->set_sink(host.get());
+    fanout.routes[client_addr(i)] = down.get();
+    host->attach_uplink(up.get());
+    robots.push_back(std::make_unique<client::Robot>(*host, kServerAddr, 80,
+                                                     client_template));
+    hosts.push_back(std::move(host));
+    links.push_back(std::move(up));
+    links.push_back(std::move(down));
+  }
+
+  // ---- Arrival process ----
+  sim::Rng arrival_rng(derive_seed(config.master_seed, kArrivalSeedSalt));
+  std::vector<sim::Time> arrivals(n, 0);
+  sim::Time t = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    if (config.arrivals == ArrivalProcess::kFixedInterval) {
+      arrivals[i] = static_cast<sim::Time>(i) * config.mean_interarrival;
+    } else {
+      const double u = arrival_rng.uniform_real(0.0, 1.0);
+      t += static_cast<sim::Time>(
+          -static_cast<double>(config.mean_interarrival) * std::log1p(-u));
+      arrivals[i] = t;
+    }
+  }
+
+  std::vector<char> resolved(n, 0);
+  for (unsigned i = 0; i < n; ++i) {
+    queue.schedule_at(arrivals[i], [&, i] {
+      robots[i]->start_first_visit(config.root,
+                                   [&resolved, i] { resolved[i] = 1; });
+    });
+  }
+
+  queue.run_until(config.horizon);
+  // Allow FIN exchanges, idle timeouts and TIME_WAIT to drain so that the
+  // connection-leak accounting below reflects steady state.
+  queue.run_until(queue.now() + config.drain);
+
+  // ---- Collect ----
+  WorkloadResult result;
+  result.clients.resize(n);
+  for (unsigned i = 0; i < n; ++i) {
+    ClientOutcome& out = result.clients[i];
+    out.id = i;
+    out.arrival = arrivals[i];
+    out.resolved = resolved[i] != 0;
+    out.stats = robots[i]->stats();
+    out.leaked_connections = hosts[i]->open_connections();
+    if (config.verify_cache && out.stats.complete) {
+      out.byte_exact =
+          cache_matches_site(robots[i]->cache(), site, config.root);
+    }
+  }
+  result.bottleneck = bottleneck_trace.summarize();
+  result.bottleneck_syns = bottleneck_trace.syn_packets();
+  result.bottleneck_queue_drops = bottleneck_up.stats().packets_dropped_queue +
+                                  bottleneck_down.stats().packets_dropped_queue;
+  result.server = server.stats();
+  if (const tcp::ListenerStats* ls = server_host.listener_stats(80)) {
+    result.listener = *ls;
+  }
+  result.server_connections_total = server_host.total_connections_created();
+  result.server_max_open = server_host.max_simultaneous_connections();
+  result.server_open_after_drain = server_host.open_connections();
+  return result;
+}
+
+}  // namespace hsim::harness

@@ -1,0 +1,118 @@
+// Many-client workload driver.
+//
+// The paper measured one robot against one server; its conclusions are about
+// what happens when *everyone* switches to HTTP/1.1. This driver instantiates
+// N independent clients — each with its own tcp::Host, access link and Rng
+// stream derived from a master seed — behind one shared bottleneck link into
+// a single server, starts them with a Poisson or fixed-interval arrival
+// process, and collects per-client completion times, failure attribution and
+// the aggregate packet summary at the bottleneck. Everything is deterministic
+// for a given master seed: two runs produce identical statistics.
+//
+//   client 0 ── access link ──┐
+//   client 1 ── access link ──┼── bottleneck link ── server
+//   ...                       │   (tap: TraceSummarizer)
+//   client N ── access link ──┘
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "client/robot.hpp"
+#include "content/microscape.hpp"
+#include "harness/network.hpp"
+#include "net/trace.hpp"
+#include "server/config.hpp"
+#include "server/server.hpp"
+#include "tcp/host.hpp"
+
+namespace hsim::harness {
+
+enum class ArrivalProcess {
+  kFixedInterval,  // client i starts at exactly i * mean_interarrival
+  kPoisson,        // exponential inter-arrival gaps with the given mean
+};
+
+struct WorkloadConfig {
+  unsigned num_clients = 10;
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  sim::Time mean_interarrival = sim::milliseconds(50);
+
+  /// Per-client access network (bandwidth/RTT/queue of the client's own leg).
+  NetworkProfile access = lan_profile();
+
+  /// The shared bottleneck between the aggregation point and the server.
+  std::int64_t bottleneck_bandwidth_bps = 10'000'000;
+  sim::Time bottleneck_delay = sim::milliseconds(10);
+  std::size_t bottleneck_queue_packets = 256;
+
+  server::ServerConfig server;
+  client::ClientConfig client;
+
+  std::uint64_t master_seed = 1;
+  std::string root = "/index.html";
+
+  /// Hard horizon for the measured phase; generous, only guards stalls.
+  sim::Time horizon = sim::seconds(600);
+  /// Extra time after the horizon for FIN exchanges / TIME_WAIT to drain,
+  /// so the leak check below is meaningful.
+  sim::Time drain = sim::seconds(120);
+
+  /// Byte-exact per-client cache verification against the source site
+  /// (scale tests want it; the 1000-client bench skips the O(N·site) cost).
+  bool verify_cache = false;
+};
+
+struct ClientOutcome {
+  unsigned id = 0;
+  sim::Time arrival = 0;   // when this client began its visit
+  bool resolved = false;   // the robot reached a verdict (done callback fired)
+  bool byte_exact = false; // only meaningful with WorkloadConfig::verify_cache
+  std::size_t leaked_connections = 0;  // client-host conns open after drain
+  client::RobotStats stats;            // includes failure attribution
+
+  bool complete() const { return stats.complete; }
+  double page_seconds() const { return stats.elapsed_seconds(); }
+};
+
+struct WorkloadResult {
+  std::vector<ClientOutcome> clients;
+
+  /// Aggregate packet summary at the shared bottleneck (both directions).
+  net::TraceSummary bottleneck;
+  std::uint64_t bottleneck_syns = 0;        // client SYNs crossing it
+  std::uint64_t bottleneck_queue_drops = 0; // drop-tail losses, both directions
+
+  server::ServerStats server;
+  tcp::ListenerStats listener;              // backlog accounting at the server
+  std::uint64_t server_connections_total = 0;  // churn: conns ever created
+  std::size_t server_max_open = 0;
+  std::size_t server_open_after_drain = 0;     // leak check
+
+  unsigned completed() const;   // clients that finished byte-complete
+  unsigned failed() const;      // clients with at least one permanent failure
+  bool all_resolved() const;    // no client hung
+
+  /// Page times of the clients that completed, in client order.
+  std::vector<double> completed_page_seconds() const;
+  double median_page_seconds() const;
+  double p95_page_seconds() const;
+
+  /// Jain's fairness index over completed page times:
+  /// (Σx)² / (n·Σx²) — 1.0 is perfectly fair, 1/n is maximally unfair.
+  double jain_fairness_index() const;
+};
+
+/// The seeding scheme: splitmix64 over (master ^ salt). Per-client streams
+/// use salt = kClientSeedSalt + client id, so client i's randomness does not
+/// depend on N or on any other client's draws.
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t salt);
+inline constexpr std::uint64_t kArrivalSeedSalt = 0xA881;
+inline constexpr std::uint64_t kServerSeedSalt = 0x5E12;
+inline constexpr std::uint64_t kClientSeedSalt = 0xC000;
+
+WorkloadResult run_workload(const WorkloadConfig& config,
+                            const content::MicroscapeSite& site);
+
+}  // namespace hsim::harness

@@ -182,6 +182,7 @@ std::string_view default_reason(int status) {
     case 416: return "Requested Range Not Satisfiable";
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
     case 505: return "HTTP Version Not Supported";
     default: return "Unknown";
   }

@@ -46,6 +46,34 @@ TraceSummary PacketTrace::summarize() const {
   return s;
 }
 
+void TraceSummarizer::record(sim::Time time, const Packet& packet) {
+  if (summary_.packets == 0) summary_.first_packet = time;
+  summary_.last_packet = std::max(summary_.last_packet, time);
+  summary_.first_packet = std::min(summary_.first_packet, time);
+  ++summary_.packets;
+  summary_.wire_bytes += packet.wire_size();
+  summary_.payload_bytes += packet.payload.size();
+  if (packet.dst == server_addr_) {
+    ++summary_.packets_client_to_server;
+  } else {
+    ++summary_.packets_server_to_client;
+  }
+  if (packet.tcp.has(flag::kSyn) && !packet.tcp.has(flag::kAck)) {
+    ++syn_packets_;
+  }
+}
+
+TraceSummary TraceSummarizer::summarize() const {
+  TraceSummary s = summary_;
+  if (s.packets == 0) return s;
+  const std::uint64_t header_bytes = s.packets * kIpTcpHeaderBytes;
+  s.overhead_percent = 100.0 * static_cast<double>(header_bytes) /
+                       static_cast<double>(s.wire_bytes);
+  s.mean_packet_size =
+      static_cast<double>(s.wire_bytes) / static_cast<double>(s.packets);
+  return s;
+}
+
 namespace {
 using ConnKey = std::tuple<IpAddr, Port, IpAddr, Port>;
 

@@ -96,4 +96,30 @@ class PacketTrace {
   std::vector<TraceRecord> records_;
 };
 
+/// Streaming trace summarizer for many-client workloads.
+///
+/// Accumulates the same aggregate TraceSummary a PacketTrace would compute,
+/// but without storing per-packet records — a 1000-client run pushes millions
+/// of packets through the bottleneck, and only the aggregate is wanted there.
+/// Direction is classified against the *server* address (everything with
+/// dst == server is client-to-server), which works for any number of clients.
+class TraceSummarizer {
+ public:
+  explicit TraceSummarizer(IpAddr server_addr = 0)
+      : server_addr_(server_addr) {}
+
+  void record(sim::Time time, const Packet& packet);
+
+  TraceSummary summarize() const;
+
+  /// Client-initiated SYNs observed (connection churn on the wire).
+  std::uint64_t syn_packets() const { return syn_packets_; }
+  std::uint64_t packets() const { return summary_.packets; }
+
+ private:
+  IpAddr server_addr_;
+  TraceSummary summary_;  // ratios filled in by summarize()
+  std::uint64_t syn_packets_ = 0;
+};
+
 }  // namespace hsim::net

@@ -18,6 +18,18 @@ enum class CloseStyle {
   kNaive,     // close both directions at once (draws RSTs under pipelining)
 };
 
+/// What happens to a connection accepted while the server is already at
+/// max_concurrent_connections.
+enum class AdmissionPolicy {
+  /// Hold the connection (established but unserved) until an active slot
+  /// frees up — the classic accept-queue model. Requests sit in the TCP
+  /// receive buffer meanwhile.
+  kQueue,
+  /// Immediately answer "503 Service Unavailable" and close. Load is shed
+  /// at the application layer instead of parking clients.
+  kReject503,
+};
+
 /// Injectable server misbehaviours (all off by default). These model the
 /// failure modes real HTTP studies keep running into: wedged worker
 /// processes, servers that die mid-response, and transient 5xx storms.
@@ -87,6 +99,19 @@ struct ServerConfig {
 
   /// Close connections idle longer than this (0 = never).
   sim::Time idle_timeout = sim::seconds(30);
+
+  // ---- Scale / admission control -----------------------------------------
+  /// TCP-level SYN/accept backlog handed to tcp::Host::listen. SYNs past it
+  /// are dropped silently (clients recover via SYN retransmission). 0 =
+  /// unlimited, the pre-scale behaviour.
+  std::size_t listen_backlog = 0;
+
+  /// Connections concurrently *served* (admitted past the accept queue).
+  /// 0 = unlimited. Overload handling follows admission_policy.
+  std::size_t max_concurrent_connections = 0;
+
+  /// Policy for connections beyond max_concurrent_connections.
+  AdmissionPolicy admission_policy = AdmissionPolicy::kQueue;
 
   /// Extra response headers (header verbosity differs across servers; this
   /// affects the byte counts in the tables).

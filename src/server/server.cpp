@@ -89,16 +89,20 @@ void HttpServer::start(net::Port port) {
   tcp::TcpOptions opts = config_.tcp;
   opts.nodelay = config_.nodelay;
   host_.listen(port, [this](tcp::ConnectionPtr c) { on_accept(std::move(c)); },
-               opts);
+               opts, tcp::ListenConfig{config_.listen_backlog});
 }
 
 void HttpServer::stop() { host_.stop_listening(port_); }
 
 void HttpServer::on_accept(tcp::ConnectionPtr conn) {
   ++stats_.connections_accepted;
-  // Connection setup consumes CPU on the (single) server processor.
-  cpu_free_at_ = std::max(cpu_free_at_, host_.event_queue().now()) +
-                 config_.per_connection_cpu;
+  const bool at_capacity =
+      config_.max_concurrent_connections != 0 &&
+      active_connections_ >= config_.max_concurrent_connections;
+  if (at_capacity && config_.admission_policy == AdmissionPolicy::kReject503) {
+    reject_with_503(std::move(conn));
+    return;
+  }
   auto state = std::make_shared<ConnState>();
   state->conn = conn;
   state->idle_timer = std::make_unique<sim::Timer>(host_.event_queue());
@@ -109,7 +113,11 @@ void HttpServer::on_accept(tcp::ConnectionPtr conn) {
 
   std::weak_ptr<ConnState> weak = state;
   conn->set_on_data([this, weak] {
-    if (auto s = weak.lock()) on_data(s);
+    if (auto s = weak.lock()) {
+      // Queued connections are never read: their requests wait in the TCP
+      // receive buffer until admission.
+      if (s->admitted) on_data(s);
+    }
   });
   conn->set_on_send_space([this, weak] {
     if (auto s = weak.lock()) pump_unsent(s);
@@ -125,18 +133,92 @@ void HttpServer::on_accept(tcp::ConnectionPtr conn) {
     if (auto s = weak.lock()) {
       s->idle_timer->cancel();
       connections_.erase(s->conn.get());
+      // Backstop for client-initiated teardown (reset, early FIN) where the
+      // server never reached begin_close.
+      release_slot(s);
     }
   };
   conn->set_on_closed(cleanup);
   conn->set_on_reset(cleanup);
+
+  if (at_capacity) {
+    // AdmissionPolicy::kQueue: park the established connection; no CPU is
+    // spent and no idle timer runs until a serving slot frees up.
+    ++stats_.connections_queued;
+    admission_queue_.push_back(weak);
+    stats_.max_admission_queue =
+        std::max<std::uint64_t>(stats_.max_admission_queue,
+                                admission_queue_.size());
+    return;
+  }
+  admit(state);
+}
+
+void HttpServer::admit(const ConnStatePtr& state) {
+  state->admitted = true;
+  ++active_connections_;
+  stats_.max_active_connections =
+      std::max<std::uint64_t>(stats_.max_active_connections,
+                              active_connections_);
+  // Connection setup consumes CPU on the (single) server processor.
+  cpu_free_at_ = std::max(cpu_free_at_, host_.event_queue().now()) +
+                 config_.per_connection_cpu;
   arm_idle_timer(state);
+  // Serve whatever arrived while the connection sat in the accept queue.
+  on_data(state);
+}
+
+void HttpServer::release_slot(const ConnStatePtr& state) {
+  if (!state->admitted) return;
+  state->admitted = false;
+  --active_connections_;
+  admit_from_queue();
+}
+
+void HttpServer::admit_from_queue() {
+  while (!admission_queue_.empty()) {
+    if (config_.max_concurrent_connections != 0 &&
+        active_connections_ >= config_.max_concurrent_connections) {
+      return;
+    }
+    ConnStatePtr state = admission_queue_.front().lock();
+    admission_queue_.pop_front();
+    // Skip clients that gave up (closed/reset) while waiting.
+    if (!state || state->conn->state() == tcp::State::kClosed) continue;
+    admit(state);
+  }
+}
+
+void HttpServer::reject_with_503(tcp::ConnectionPtr conn) {
+  ++stats_.connections_rejected;
+  http::Response res;
+  res.version = http::Version::kHttp11;
+  res.status = 503;
+  res.reason = std::string(http::default_reason(503));
+  res.headers.add("Date", http::format_http_date(
+                              http::sim_to_unix(host_.event_queue().now())));
+  res.headers.add("Server", config_.server_name);
+  res.headers.add("Connection", "close");
+  res.headers.add("Content-Length", "0");
+  conn->send(res.serialize_chain());
+  conn->shutdown_send();
 }
 
 void HttpServer::arm_idle_timer(const ConnStatePtr& state) {
   if (config_.idle_timeout <= 0) return;
   std::weak_ptr<ConnState> weak = state;
   state->idle_timer->arm(config_.idle_timeout, [this, weak] {
-    if (auto s = weak.lock()) begin_close(s);
+    if (auto s = weak.lock()) {
+      // The keep-alive clock only runs *between* requests: a connection with
+      // a request parsed or on the CPU is busy, not idle. Without this check
+      // an aggressive timeout (shorter than the per-request CPU cost) would
+      // reap connections mid-request and discard the work.
+      if (s->processing || !s->pending.empty()) {
+        arm_idle_timer(s);
+        return;
+      }
+      begin_close(s);
+    }
   });
 }
 
@@ -413,6 +495,7 @@ void HttpServer::inject_premature_close(const ConnStatePtr& state) {
   } else {
     state->conn->shutdown_send();
   }
+  release_slot(state);
 }
 
 void HttpServer::begin_close(const ConnStatePtr& state) {
@@ -426,6 +509,9 @@ void HttpServer::begin_close(const ConnStatePtr& state) {
   } else {
     state->conn->shutdown_send();
   }
+  // The worker is done with this connection; the FIN exchange and TIME_WAIT
+  // are the TCP stack's problem, not the serving slot's.
+  release_slot(state);
 }
 
 }  // namespace hsim::server

@@ -32,6 +32,11 @@ struct ServerStats {
   std::uint64_t connections_closed_by_limit = 0;
   std::uint64_t stalls_injected = 0;           // fault: connection went silent
   std::uint64_t premature_closes_injected = 0;  // fault: closed mid-response
+  // ---- Admission control --------------------------------------------------
+  std::uint64_t connections_rejected = 0;  // answered 503 and closed
+  std::uint64_t connections_queued = 0;    // parked awaiting an active slot
+  std::uint64_t max_admission_queue = 0;   // high-water mark of the queue
+  std::uint64_t max_active_connections = 0;  // high-water mark of served conns
 };
 
 class HttpServer {
@@ -65,10 +70,17 @@ class HttpServer {
     std::size_t wire_bytes_pushed = 0;  // bytes handed to the TCP connection
     bool fault_eligible = false;        // stall/close faults apply here
     bool stalled = false;               // the stall fault has triggered
+    // Admission control: false while parked in the accept queue. Unadmitted
+    // connections are never read from or served.
+    bool admitted = false;
   };
   using ConnStatePtr = std::shared_ptr<ConnState>;
 
   void on_accept(tcp::ConnectionPtr conn);
+  void admit(const ConnStatePtr& state);
+  void admit_from_queue();
+  void release_slot(const ConnStatePtr& state);
+  void reject_with_503(tcp::ConnectionPtr conn);
   void on_data(const ConnStatePtr& state);
   void process_next(const ConnStatePtr& state);
   void finish_request(const ConnStatePtr& state, const http::Request& request);
@@ -92,6 +104,14 @@ class HttpServer {
   /// concurrently). Time before which the CPU is busy.
   sim::Time cpu_free_at_ = 0;
   std::map<const tcp::Connection*, ConnStatePtr> connections_;
+  /// Connections accepted past max_concurrent_connections under kQueue,
+  /// waiting (established, unserved) for an active slot. Weak: a queued
+  /// client that gives up disappears without ceremony.
+  std::deque<std::weak_ptr<ConnState>> admission_queue_;
+  /// Admitted connections the worker is still serving. The slot frees when
+  /// the server closes its half (like a worker calling close()); the TCP
+  /// machinery finishes FIN/TIME_WAIT in the background without holding it.
+  std::size_t active_connections_ = 0;
 };
 
 }  // namespace hsim::server

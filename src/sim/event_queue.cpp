@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace hsim::sim {
@@ -7,7 +8,9 @@ namespace hsim::sim {
 TimerId EventQueue::schedule_at(Time when, Callback cb) {
   if (when < now_) when = now_;
   const std::uint64_t id = next_id_++;
-  heap_.push(Event{when, next_seq_++, id, std::move(cb)});
+  heap_.push_back(Event{when, next_seq_++, id, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  maybe_compact();
   return TimerId{id};
 }
 
@@ -19,16 +22,35 @@ bool EventQueue::cancel(TimerId id) {
   return cancelled_.insert(id.value).second;
 }
 
+EventQueue::Event EventQueue::pop_event() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
+}
+
+void EventQueue::maybe_compact() {
+  // Heavy timer churn (delayed-ACK and RTO re-arms across thousands of
+  // connections) can leave the heap mostly cancelled events, each keeping its
+  // callback captures alive. Rebuild once they outnumber the live ones.
+  if (cancelled_.size() < 1024 || cancelled_.size() * 2 < heap_.size()) return;
+  std::erase_if(heap_, [this](const Event& ev) {
+    return cancelled_.count(ev.id) != 0;
+  });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  // Ids cancelled after their event already ran would otherwise linger
+  // forever; everything surviving in the heap is live, so start clean.
+  cancelled_.clear();
+}
+
 bool EventQueue::step() {
   while (!heap_.empty()) {
-    // priority_queue::top returns const&; move out via const_cast is the
-    // standard idiom but fragile — copy the small fields and move the
-    // callback by re-pushing is worse. Pop into a local instead.
-    Event ev = heap_.top();
-    heap_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
+    Event ev = pop_event();
+    if (!cancelled_.empty()) {
+      if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
     }
     now_ = ev.when;
     ev.cb();
@@ -46,10 +68,10 @@ std::size_t EventQueue::run() {
 std::size_t EventQueue::run_until(Time deadline) {
   std::size_t n = 0;
   while (!heap_.empty()) {
-    const Event& top = heap_.top();
+    const Event& top = heap_.front();
     if (cancelled_.count(top.id) != 0) {
       cancelled_.erase(top.id);
-      heap_.pop();
+      pop_event();
       continue;
     }
     if (top.when > deadline) break;

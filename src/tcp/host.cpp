@@ -22,12 +22,18 @@ ConnectionPtr Host::connect(net::IpAddr peer, net::Port port,
   return conn;
 }
 
-void Host::listen(net::Port port, AcceptCallback on_accept,
-                  TcpOptions options) {
-  listeners_[port] = Listener{std::move(on_accept), options};
+void Host::listen(net::Port port, AcceptCallback on_accept, TcpOptions options,
+                  ListenConfig listen_config) {
+  listeners_[port] = Listener{std::move(on_accept), options, listen_config,
+                              ListenerStats{}, 0};
 }
 
 void Host::stop_listening(net::Port port) { listeners_.erase(port); }
+
+const ListenerStats* Host::listener_stats(net::Port port) const {
+  auto it = listeners_.find(port);
+  return it == listeners_.end() ? nullptr : &it->second.stats;
+}
 
 void Host::deliver(net::Packet packet) {
   Connection::Key key;
@@ -47,16 +53,36 @@ void Host::deliver(net::Packet packet) {
                            !packet.tcp.has(net::flag::kAck);
   if (initial_syn) {
     if (auto lit = listeners_.find(key.local_port); lit != listeners_.end()) {
-      auto conn = std::make_shared<Connection>(*this, key, lit->second.options);
+      Listener& listener = lit->second;
+      ++listener.stats.syns_received;
+      if (listener.config.backlog != 0 &&
+          listener.embryonic >= listener.config.backlog) {
+        // SYN queue overflow: drop silently (no RST). The client's SYN
+        // retransmission timer is what retries — a fresh SYN will arrive
+        // here again and be re-admitted once the backlog drains.
+        ++listener.stats.syns_dropped;
+        return;
+      }
+      auto conn = std::make_shared<Connection>(*this, key, listener.options);
       connections_[key] = conn;
       ++total_created_;
       max_open_ = std::max(max_open_, connections_.size());
+      ++listener.embryonic;
+      embryonic_[key] = key.local_port;
       // Look the listener up again at handshake-completion time: it may have
       // been removed (stop_listening) while the handshake was in flight.
       const net::Port port = key.local_port;
       conn->set_on_connected([this, port, weak = std::weak_ptr(conn)] {
         ConnectionPtr c = weak.lock();
         if (!c) return;
+        // Handshake complete: the connection leaves the backlog.
+        if (auto emb = embryonic_.find(c->key()); emb != embryonic_.end()) {
+          embryonic_.erase(emb);
+          if (auto found = listeners_.find(port); found != listeners_.end()) {
+            --found->second.embryonic;
+            ++found->second.stats.accepted;
+          }
+        }
         if (auto found = listeners_.find(port); found != listeners_.end() &&
                                                 found->second.on_accept) {
           found->second.on_accept(c);
@@ -101,6 +127,15 @@ ConnectionPtr Host::remove_connection(const Connection::Key& key) {
   if (it == connections_.end()) return nullptr;
   ConnectionPtr conn = std::move(it->second);
   connections_.erase(it);
+  // A connection torn down before completing its handshake (RST, retry
+  // exhaustion, stop_listening) releases its backlog slot here.
+  if (auto emb = embryonic_.find(key); emb != embryonic_.end()) {
+    if (auto lit = listeners_.find(emb->second); lit != listeners_.end() &&
+                                                 lit->second.embryonic > 0) {
+      --lit->second.embryonic;
+    }
+    embryonic_.erase(emb);
+  }
   return conn;
 }
 

@@ -19,6 +19,22 @@
 
 namespace hsim::tcp {
 
+/// Passive-open tunables for one listening port.
+struct ListenConfig {
+  /// Maximum connections simultaneously in the embryonic (handshake not yet
+  /// complete) state. A SYN arriving while the backlog is full is dropped
+  /// *silently* — no RST — so the client's SYN retransmission backoff drives
+  /// the retry, exactly as a kernel SYN queue overflow behaves. 0 = unlimited.
+  std::size_t backlog = 0;
+};
+
+/// Per-listener accounting; survives for the lifetime of the listener.
+struct ListenerStats {
+  std::uint64_t syns_received = 0;  // initial SYNs reaching this port
+  std::uint64_t syns_dropped = 0;   // silently discarded (backlog full)
+  std::uint64_t accepted = 0;       // handshakes completed
+};
+
 class Host : public net::PacketSink {
  public:
   using AcceptCallback = std::function<void(ConnectionPtr)>;
@@ -35,8 +51,12 @@ class Host : public net::PacketSink {
 
   /// Passive open: accept connections on `port`. `on_accept` fires with the
   /// new connection as soon as the three-way handshake completes.
-  void listen(net::Port port, AcceptCallback on_accept, TcpOptions options);
+  void listen(net::Port port, AcceptCallback on_accept, TcpOptions options,
+              ListenConfig listen_config = {});
   void stop_listening(net::Port port);
+
+  /// Accounting for the listener on `port`, or nullptr if none.
+  const ListenerStats* listener_stats(net::Port port) const;
 
   // PacketSink: a segment arrived from the wire.
   void deliver(net::Packet packet) override;
@@ -63,6 +83,9 @@ class Host : public net::PacketSink {
   struct Listener {
     AcceptCallback on_accept;
     TcpOptions options;
+    ListenConfig config;
+    ListenerStats stats;
+    std::size_t embryonic = 0;  // handshakes in flight against the backlog
   };
 
   void send_rst_for(const net::Packet& packet);
@@ -75,6 +98,9 @@ class Host : public net::PacketSink {
   net::Link* uplink_ = nullptr;
   std::map<Connection::Key, ConnectionPtr> connections_;
   std::map<net::Port, Listener> listeners_;
+  /// Connections still in the handshake, charged against their listener's
+  /// backlog: key -> listening port. Entries leave on accept or teardown.
+  std::map<Connection::Key, net::Port> embryonic_;
   net::Port next_ephemeral_ = 10000;
   std::uint64_t total_created_ = 0;
   std::size_t max_open_ = 0;

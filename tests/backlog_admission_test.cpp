@@ -1,0 +1,292 @@
+// Listen-backlog and admission-control regression tests.
+//
+// Backlog: a SYN burst past the configured backlog must be dropped silently
+// (no RST), counted in ListenerStats, and recovered by the clients' own SYN
+// retransmission backoff — with the retransmitted SYNs visible in the
+// client-side PacketTrace (golden packet-count assertion).
+//
+// Admission: max_concurrent_connections with the kReject503 policy answers
+// excess connections with a 503 and closes; with kQueue it parks them —
+// established, unread, no idle timer — until a serving slot frees.
+#include <gtest/gtest.h>
+
+#include "http/parser.hpp"
+#include "server/server.hpp"
+#include "server/static_site.hpp"
+#include "tcp_test_util.hpp"
+
+namespace hsim {
+namespace {
+
+using namespace testutil;
+using server::Resource;
+using server::StaticSite;
+
+// ---------------------------------------------------------------------------
+// Raw TCP backlog semantics (no HTTP involved).
+// ---------------------------------------------------------------------------
+
+struct BurstResult {
+  unsigned connected = 0;
+  unsigned failed = 0;
+  std::uint64_t wire_syns = 0;  // client-side SYN (no ACK) packets
+  std::uint64_t wire_rsts = 0;
+  tcp::ListenerStats listener;
+};
+
+BurstResult run_syn_burst(std::size_t backlog, unsigned clients) {
+  TestNet net;  // lossless, 10 ms each way
+  std::vector<tcp::ConnectionPtr> accepted;
+  net.server.listen(
+      80, [&](tcp::ConnectionPtr c) { accepted.push_back(std::move(c)); },
+      tcp::TcpOptions{}, tcp::ListenConfig{backlog});
+
+  BurstResult out;
+  std::vector<tcp::ConnectionPtr> conns;
+  for (unsigned i = 0; i < clients; ++i) {
+    auto c = net.client.connect(kServerAddr, 80, tcp::TcpOptions{});
+    c->set_on_connected([&out] { ++out.connected; });
+    c->set_on_failed([&out] { ++out.failed; });
+    conns.push_back(std::move(c));
+  }
+  net.queue.run_until(sim::seconds(120));
+
+  for (const auto& rec : net.trace.records()) {
+    const bool syn = (rec.flags & net::flag::kSyn) != 0;
+    const bool ack = (rec.flags & net::flag::kAck) != 0;
+    if (syn && !ack) ++out.wire_syns;
+    if ((rec.flags & net::flag::kRst) != 0) ++out.wire_rsts;
+  }
+  const tcp::ListenerStats* ls = net.server.listener_stats(80);
+  EXPECT_NE(ls, nullptr);
+  if (ls != nullptr) out.listener = *ls;
+  return out;
+}
+
+TEST(ListenBacklog, SynBurstPastBacklogRecoversViaRetransmit) {
+  constexpr unsigned kClients = 8;
+  const BurstResult r = run_syn_burst(/*backlog=*/2, kClients);
+
+  // Every client eventually connects; the backlog never causes a hard
+  // failure, only delay through the SYN retransmission backoff.
+  EXPECT_EQ(r.connected, kClients);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.listener.accepted, kClients);
+  EXPECT_GT(r.listener.syns_dropped, 0u);
+
+  // Golden packet-count: on a lossless link every wire SYN either created an
+  // embryonic connection (one per client) or hit the full backlog. Both the
+  // listener's view and the client-side trace must agree.
+  EXPECT_EQ(r.listener.syns_received, kClients + r.listener.syns_dropped);
+  EXPECT_EQ(r.wire_syns, kClients + r.listener.syns_dropped);
+  EXPECT_GT(r.wire_syns, kClients);  // the retransmitted SYNs are visible
+  EXPECT_EQ(r.wire_rsts, 0u);        // silent drop: overflow never RSTs
+
+  // The deterministic wave pattern with backlog 2: all 8 SYNs arrive
+  // together (2 enter, 6 drop), the drop cohort retries in lockstep RTO
+  // waves (4 drop, then 2, then none).
+  EXPECT_EQ(r.listener.syns_dropped, 12u);
+}
+
+TEST(ListenBacklog, ZeroBacklogIsUnlimited) {
+  constexpr unsigned kClients = 8;
+  const BurstResult r = run_syn_burst(/*backlog=*/0, kClients);
+  EXPECT_EQ(r.connected, kClients);
+  EXPECT_EQ(r.listener.syns_dropped, 0u);
+  EXPECT_EQ(r.listener.syns_received, kClients);
+  EXPECT_EQ(r.wire_syns, kClients);  // no retransmissions needed
+  EXPECT_EQ(r.wire_rsts, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP server admission control.
+// ---------------------------------------------------------------------------
+
+StaticSite make_site() {
+  StaticSite site;
+  Resource page;
+  page.path = "/page.html";
+  page.content_type = "text/html";
+  const std::string body = "<html><body>admission admission</body></html>";
+  page.data = buf::Bytes(std::string_view(body));
+  page.etag = server::make_etag(page.data.span());
+  page.last_modified = http::kSimulationEpoch;
+  site.add(page);
+  return site;
+}
+
+class AdmissionFixture : public ::testing::Test {
+ protected:
+  struct RawClient {
+    tcp::ConnectionPtr conn;
+    http::ResponseParser parser;
+    std::vector<http::Response> responses;
+    std::vector<sim::Time> response_times;
+    bool peer_fin = false;
+  };
+
+  AdmissionFixture()
+      : net_(net::ChannelConfig::symmetric(0, sim::milliseconds(2))) {}
+
+  void start_server(const server::ServerConfig& cfg) {
+    server_.emplace(net_.server, make_site(), cfg, sim::Rng(5));
+    server_->start(80);
+  }
+
+  static server::ServerConfig base_config() {
+    server::ServerConfig c = server::apache_config();
+    c.per_request_cpu = sim::microseconds(100);
+    c.per_connection_cpu = sim::microseconds(100);
+    return c;
+  }
+
+  /// Opens a connection that sends `wire` once established and parses
+  /// whatever comes back (up to `expected` GET responses). The fixture owns
+  /// the RawClient; the connection callbacks hold only a raw pointer, so no
+  /// shared_ptr cycle keeps dead connections alive.
+  RawClient* open_and_send(const std::string& wire, unsigned expected = 1) {
+    owned_.push_back(std::make_unique<RawClient>());
+    RawClient* rc = owned_.back().get();
+    rc->conn = net_.client.connect(kServerAddr, 80, client_opts());
+    for (unsigned i = 0; i < expected; ++i) {
+      rc->parser.push_request_context(http::Method::kGet);
+    }
+    rc->conn->set_on_data([this, rc] {
+      rc->parser.feed(rc->conn->read_all());
+      while (auto r = rc->parser.next()) {
+        rc->responses.push_back(std::move(*r));
+        rc->response_times.push_back(net_.queue.now());
+      }
+    });
+    rc->conn->set_on_peer_fin([rc] {
+      rc->peer_fin = true;
+      rc->conn->shutdown_send();
+    });
+    rc->conn->set_on_connected([rc, wire] { rc->conn->send(wire); });
+    return rc;
+  }
+
+  void run_for(sim::Time t) { net_.queue.run_until(net_.queue.now() + t); }
+
+  static tcp::TcpOptions client_opts() {
+    tcp::TcpOptions o;
+    o.nodelay = true;
+    return o;
+  }
+
+  static constexpr const char* kKeepOpenGet =
+      "GET /page.html HTTP/1.1\r\nHost: x\r\n\r\n";
+  static constexpr const char* kCloseGet =
+      "GET /page.html HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+
+  TestNet net_;
+  std::optional<server::HttpServer> server_;
+  std::vector<std::unique_ptr<RawClient>> owned_;
+};
+
+TEST_F(AdmissionFixture, Reject503WhenSaturated) {
+  server::ServerConfig cfg = base_config();
+  cfg.max_concurrent_connections = 1;
+  cfg.admission_policy = server::AdmissionPolicy::kReject503;
+  start_server(cfg);
+
+  // A takes the only slot and holds it (persistent connection, stays open).
+  auto a = open_and_send(kKeepOpenGet);
+  run_for(sim::seconds(1));
+  ASSERT_EQ(a->responses.size(), 1u);
+  EXPECT_EQ(a->responses[0].status, 200);
+
+  // B finds the server saturated: immediate 503, connection closed.
+  auto b = open_and_send(kKeepOpenGet);
+  run_for(sim::seconds(1));
+  ASSERT_EQ(b->responses.size(), 1u);
+  EXPECT_EQ(b->responses[0].status, 503);
+  EXPECT_EQ(b->responses[0].headers.get("Connection"), "close");
+  EXPECT_TRUE(b->peer_fin);
+  EXPECT_EQ(server_->stats().connections_rejected, 1u);
+
+  // Once A is reaped by the idle timeout, the slot frees and C is served.
+  run_for(cfg.idle_timeout + sim::seconds(1));
+  auto c = open_and_send(kKeepOpenGet);
+  run_for(sim::seconds(1));
+  ASSERT_EQ(c->responses.size(), 1u);
+  EXPECT_EQ(c->responses[0].status, 200);
+}
+
+TEST_F(AdmissionFixture, QueuedConnectionServedAfterSlotFrees) {
+  server::ServerConfig cfg = base_config();
+  cfg.max_concurrent_connections = 1;
+  cfg.admission_policy = server::AdmissionPolicy::kQueue;
+  start_server(cfg);
+
+  // A holds the slot; B parks in the admission queue with its request
+  // sitting unread in the TCP receive buffer.
+  auto a = open_and_send(kKeepOpenGet);
+  run_for(sim::milliseconds(100));
+  auto b = open_and_send(kKeepOpenGet);
+  run_for(sim::seconds(1));
+  ASSERT_EQ(a->responses.size(), 1u);
+  EXPECT_TRUE(b->responses.empty());  // parked: never read, never served
+  EXPECT_EQ(server_->stats().connections_queued, 1u);
+  EXPECT_EQ(server_->stats().max_admission_queue, 1u);
+
+  // A closes; the slot frees at the server's close, and B — whose request
+  // has been waiting in its receive buffer all along — is admitted and
+  // served without re-sending anything.
+  a->conn->shutdown_send();
+  run_for(sim::seconds(1));
+  ASSERT_EQ(b->responses.size(), 1u);
+  EXPECT_EQ(b->responses[0].status, 200);
+  EXPECT_GT(b->response_times[0], a->response_times[0]);
+}
+
+TEST_F(AdmissionFixture, ParkedConnectionOutlivesIdleTimeout) {
+  // The idle reaper must not collect parked connections: their clock only
+  // starts at admission. A holds the slot for the full idle timeout (the
+  // reaper closes A), then B — parked for longer than idle_timeout — is
+  // admitted and served.
+  server::ServerConfig cfg = base_config();
+  cfg.max_concurrent_connections = 1;
+  cfg.admission_policy = server::AdmissionPolicy::kQueue;
+  cfg.idle_timeout = sim::milliseconds(500);
+  start_server(cfg);
+
+  auto a = open_and_send(kKeepOpenGet);
+  run_for(sim::milliseconds(50));
+  auto b = open_and_send(kKeepOpenGet);
+  run_for(sim::seconds(3));  // well past several idle periods
+
+  ASSERT_EQ(a->responses.size(), 1u);
+  EXPECT_TRUE(a->peer_fin);  // A reaped by the idle timeout
+  ASSERT_EQ(b->responses.size(), 1u);
+  EXPECT_EQ(b->responses[0].status, 200);
+  EXPECT_EQ(server_->stats().connections_queued, 1u);
+}
+
+TEST_F(AdmissionFixture, ListenerStatsAccounting) {
+  server::ServerConfig cfg = base_config();
+  cfg.listen_backlog = 128;
+  start_server(cfg);
+
+  constexpr unsigned kConns = 5;
+  std::vector<RawClient*> clients;
+  for (unsigned i = 0; i < kConns; ++i) {
+    clients.push_back(open_and_send(kCloseGet));
+    run_for(sim::milliseconds(200));
+  }
+  run_for(sim::seconds(2));
+
+  for (const auto& rc : clients) {
+    ASSERT_EQ(rc->responses.size(), 1u);
+    EXPECT_EQ(rc->responses[0].status, 200);
+  }
+  const tcp::ListenerStats* ls = net_.server.listener_stats(80);
+  ASSERT_NE(ls, nullptr);
+  EXPECT_EQ(ls->syns_received, kConns);
+  EXPECT_EQ(ls->syns_dropped, 0u);
+  EXPECT_EQ(ls->accepted, kConns);
+  EXPECT_EQ(server_->stats().connections_accepted, kConns);
+}
+
+}  // namespace
+}  // namespace hsim

@@ -1,0 +1,88 @@
+// Fairness property test.
+//
+// N perfectly symmetric clients — identical configuration, simultaneous
+// arrival, identical access links — share one bottleneck into one server
+// over HTTP/1.1 persistent connections. Nothing distinguishes the clients
+// except their RNG streams, so their page times should cluster: Jain's
+// fairness index (Σx)²/(n·Σx²) must stay above a threshold. On failure the
+// full per-client spread is printed for debuggability.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.hpp"
+#include "harness/workload.hpp"
+
+namespace hsim {
+namespace {
+
+harness::WorkloadConfig symmetric_config(unsigned n) {
+  harness::WorkloadConfig cfg;
+  cfg.num_clients = n;
+  cfg.arrivals = harness::ArrivalProcess::kFixedInterval;
+  cfg.mean_interarrival = 0;  // everyone arrives at t = 0: fully symmetric
+  cfg.access = harness::lan_profile();
+  cfg.bottleneck_bandwidth_bps = 5'000'000;
+  cfg.bottleneck_delay = sim::milliseconds(10);
+  cfg.bottleneck_queue_packets = 128;
+  cfg.master_seed = 11;
+
+  cfg.server = server::apache_config();
+  cfg.server.listen_backlog = 64;
+  cfg.server.max_concurrent_connections = 32;
+  cfg.server.admission_policy = server::AdmissionPolicy::kQueue;
+
+  cfg.client = harness::robot_config(client::ProtocolMode::kHttp11Persistent);
+  cfg.client.max_attempts = 6;
+  cfg.client.retry_backoff = sim::milliseconds(200);
+  return cfg;
+}
+
+std::string spread_report(const harness::WorkloadResult& r) {
+  std::ostringstream out;
+  const std::vector<double> xs = r.completed_page_seconds();
+  double lo = xs.empty() ? 0.0 : xs[0], hi = lo;
+  for (double x : xs) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  out << "page-time spread: min=" << lo << "s max=" << hi
+      << "s median=" << r.median_page_seconds()
+      << "s p95=" << r.p95_page_seconds() << "s\nper-client:";
+  for (const harness::ClientOutcome& c : r.clients) {
+    out << "\n  client " << c.id << ": "
+        << (c.complete() ? std::to_string(c.page_seconds()) + "s"
+                         : "INCOMPLETE")
+        << " (retries=" << c.stats.retries << ")";
+  }
+  return out.str();
+}
+
+TEST(Fairness, SymmetricPersistentClientsShareTheBottleneckFairly) {
+  const unsigned kClients = 16;
+  const harness::WorkloadResult r =
+      harness::run_workload(symmetric_config(kClients), harness::shared_site());
+
+  ASSERT_EQ(r.completed(), kClients) << spread_report(r);
+  const double jain = r.jain_fairness_index();
+  EXPECT_GE(jain, 0.90) << "Jain's index " << jain << " below threshold\n"
+                        << spread_report(r);
+}
+
+TEST(Fairness, FairnessHoldsAcrossSeeds) {
+  // The property is about the system, not one lucky seed.
+  for (std::uint64_t seed : {101ull, 202ull, 303ull}) {
+    harness::WorkloadConfig cfg = symmetric_config(16);
+    cfg.master_seed = seed;
+    const harness::WorkloadResult r =
+        harness::run_workload(cfg, harness::shared_site());
+    ASSERT_EQ(r.completed(), 16u) << "seed " << seed << "\n"
+                                  << spread_report(r);
+    EXPECT_GE(r.jain_fairness_index(), 0.90)
+        << "seed " << seed << ": Jain's index " << r.jain_fairness_index()
+        << "\n" << spread_report(r);
+  }
+}
+
+}  // namespace
+}  // namespace hsim

@@ -1,0 +1,116 @@
+// Deterministic many-client stress test.
+//
+// 300 HTTP/1.0 clients (heavy connection churn) slam one server through a
+// deliberately tight funnel: small listen backlog (SYN drops), small
+// admission quota (queueing), and a 5 Mbit/s shared bottleneck. The suite
+// asserts the three scale invariants:
+//   1. every page either completes byte-exact or fails with an attributed
+//      FailureKind — nothing hangs, nothing is silently wrong;
+//   2. no connection leaks in any tcp::Host after the drain period;
+//   3. two runs with the same master seed produce identical aggregates
+//      (the determinism oracle that makes the other assertions trustworthy).
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/workload.hpp"
+
+namespace hsim {
+namespace {
+
+harness::WorkloadConfig stress_config() {
+  harness::WorkloadConfig cfg;
+  cfg.num_clients = 300;
+  cfg.arrivals = harness::ArrivalProcess::kPoisson;
+  cfg.mean_interarrival = sim::milliseconds(20);  // aggressive ramp-up
+  cfg.access = harness::lan_profile();
+  cfg.bottleneck_bandwidth_bps = 5'000'000;
+  cfg.bottleneck_delay = sim::milliseconds(10);
+  cfg.bottleneck_queue_packets = 128;
+  cfg.master_seed = 7;
+
+  cfg.server = server::apache_config();
+  cfg.server.listen_backlog = 32;  // small enough that the burst overflows
+  cfg.server.max_concurrent_connections = 24;
+  cfg.server.admission_policy = server::AdmissionPolicy::kQueue;
+
+  cfg.client = harness::robot_config(client::ProtocolMode::kHttp10Parallel);
+  cfg.client.max_attempts = 6;
+  cfg.client.retry_backoff = sim::milliseconds(200);
+  cfg.client.page_deadline = sim::seconds(180);
+  cfg.client.retry_server_errors = true;
+
+  cfg.verify_cache = true;
+  return cfg;
+}
+
+/// The run is expensive; both tests share the first result.
+const harness::WorkloadResult& first_run() {
+  static const harness::WorkloadResult r =
+      harness::run_workload(stress_config(), harness::shared_site());
+  return r;
+}
+
+TEST(ScaleStress, EveryClientResolvesByteExactOrAttributed) {
+  const harness::WorkloadResult& r = first_run();
+  ASSERT_EQ(r.clients.size(), 300u);
+  EXPECT_TRUE(r.all_resolved());
+
+  for (const harness::ClientOutcome& c : r.clients) {
+    SCOPED_TRACE(::testing::Message() << "client " << c.id);
+    EXPECT_TRUE(c.resolved);
+    if (c.complete()) {
+      EXPECT_TRUE(c.byte_exact);
+      EXPECT_TRUE(c.stats.failures.empty());
+    } else {
+      // A non-complete page must carry structured attribution: either
+      // per-request failures or the page deadline.
+      EXPECT_TRUE(!c.stats.failures.empty() || c.stats.page_deadline_hit);
+      EXPECT_EQ(c.stats.failures.size(), c.stats.requests_failed);
+      for (const client::RequestFailure& f : c.stats.failures) {
+        EXPECT_FALSE(f.target.empty());
+        EXPECT_FALSE(std::string(client::to_string(f.kind)).empty());
+        EXPECT_GT(f.attempts, 0u);
+      }
+    }
+    EXPECT_EQ(c.leaked_connections, 0u);
+  }
+
+  // No leaks on the server side either.
+  EXPECT_EQ(r.server_open_after_drain, 0u);
+
+  // The funnel is tight enough that the new machinery actually engages.
+  EXPECT_GT(r.listener.syns_dropped, 0u);
+  EXPECT_GT(r.server.connections_queued, 0u);
+  EXPECT_EQ(r.listener.accepted, r.server.connections_accepted);
+}
+
+TEST(ScaleStress, SameSeedProducesIdenticalAggregates) {
+  const harness::WorkloadResult& a = first_run();
+  const harness::WorkloadResult b =
+      harness::run_workload(stress_config(), harness::shared_site());
+
+  EXPECT_EQ(a.bottleneck.packets, b.bottleneck.packets);
+  EXPECT_EQ(a.bottleneck.wire_bytes, b.bottleneck.wire_bytes);
+  EXPECT_EQ(a.bottleneck.payload_bytes, b.bottleneck.payload_bytes);
+  EXPECT_EQ(a.bottleneck_syns, b.bottleneck_syns);
+  EXPECT_EQ(a.bottleneck_queue_drops, b.bottleneck_queue_drops);
+  EXPECT_EQ(a.listener.syns_received, b.listener.syns_received);
+  EXPECT_EQ(a.listener.syns_dropped, b.listener.syns_dropped);
+  EXPECT_EQ(a.server.requests_served, b.server.requests_served);
+  EXPECT_EQ(a.server.connections_queued, b.server.connections_queued);
+  EXPECT_EQ(a.server_connections_total, b.server_connections_total);
+  EXPECT_EQ(a.completed(), b.completed());
+  EXPECT_EQ(a.failed(), b.failed());
+
+  ASSERT_EQ(a.clients.size(), b.clients.size());
+  for (std::size_t i = 0; i < a.clients.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "client " << i);
+    EXPECT_EQ(a.clients[i].complete(), b.clients[i].complete());
+    EXPECT_EQ(a.clients[i].stats.requests_sent, b.clients[i].stats.requests_sent);
+    EXPECT_EQ(a.clients[i].stats.retries, b.clients[i].stats.retries);
+    EXPECT_EQ(a.clients[i].stats.finished, b.clients[i].stats.finished);
+  }
+}
+
+}  // namespace
+}  // namespace hsim
