@@ -1,6 +1,11 @@
 // Shared machinery for the table-reproduction benches (Tables 4-9): runs the
 // paper's four protocol rows for one server/network combination and prints
 // the measured values next to the paper's published ones.
+//
+// All measured numbers flow out of the per-run metrics registry (see
+// obs/metrics.hpp): harness::run_once rebuilds Pa/Bytes/%ov from the trace.*
+// counters and Sec from the client.page_*_ns gauges — byte-identical to the
+// record-walk summaries the benches printed before the registry existed.
 #pragma once
 
 #include <cstdio>

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "harness/experiment.hpp"
+#include "obs/metrics.hpp"
 #include "server/static_site.hpp"
 
 namespace {
@@ -18,6 +19,12 @@ struct Outcome {
 };
 
 Outcome run(bool with_ranges, const harness::NetworkProfile& network) {
+  // All reported numbers come out of the metrics registry (trace.* for the
+  // measured packets, client.* for page time and body bytes), same as the
+  // harness-driven table benches.
+  obs::Registry registry;
+  obs::ScopedRegistry scoped(&registry);
+
   const content::MicroscapeSite& site = harness::shared_site();
   sim::EventQueue queue;
   sim::Rng rng(17);
@@ -63,9 +70,11 @@ Outcome run(bool with_ranges, const harness::NetworkProfile& network) {
   queue.run_until(queue.now() + sim::seconds(600));
 
   Outcome o;
-  o.seconds = robot.stats().elapsed_seconds();
-  o.body_bytes = static_cast<double>(robot.stats().body_bytes);
-  o.packets = static_cast<double>(trace.summarize().packets);
+  o.seconds = sim::to_seconds(registry.gauge_value("client.page_finished_ns") -
+                              registry.gauge_value("client.page_started_ns"));
+  o.body_bytes =
+      static_cast<double>(registry.gauge_value("client.body_bytes"));
+  o.packets = static_cast<double>(registry.counter_value("trace.packets"));
   return o;
 }
 

@@ -31,6 +31,18 @@ std::string_view to_string(ProtocolMode mode) {
   return "?";
 }
 
+Robot::Metrics Robot::Metrics::bind() {
+  Metrics m;
+  if (obs::registry() == nullptr) return m;
+  m.requests_sent = obs::counter_handle("client.requests_sent");
+  m.retries = obs::counter_handle("client.retries");
+  m.page_started_ns = obs::gauge_handle("client.page_started_ns");
+  m.page_finished_ns = obs::gauge_handle("client.page_finished_ns");
+  m.body_bytes = obs::gauge_handle("client.body_bytes");
+  m.request_latency_us = obs::histogram_handle("client.request_latency_us");
+  return m;
+}
+
 Robot::Robot(tcp::Host& host, net::IpAddr server_addr, net::Port server_port,
              ClientConfig config)
     : host_(host),
@@ -58,6 +70,8 @@ void Robot::begin(DoneCallback done) {
   done_ = std::move(done);
   stats_ = RobotStats{};
   stats_.started = host_.event_queue().now();
+  metrics_.page_started_ns.set(stats_.started);
+  metrics_.body_bytes.set(0);  // per-visit, like stats_.body_bytes
   queue_.clear();
   lanes_.clear();
   expected_responses_ = 0;
@@ -232,6 +246,9 @@ void Robot::issue_on_lane(const LanePtr& lane, PendingRequest pending) {
   first_request_issued_ = true;
   ++stats_.requests_sent;
   if (pending.attempts > 0) ++stats_.retries;
+  metrics_.requests_sent.inc();
+  if (pending.attempts > 0) metrics_.retries.inc();
+  pending.issued_at = host_.event_queue().now();
   lane->outstanding.push_back(std::move(pending));
   // The deadline clock covers the response at the head of the pipeline; it
   // is restarted as complete responses arrive (see on_lane_data).
@@ -431,6 +448,9 @@ void Robot::discover_references() {
 void Robot::handle_response(const LanePtr& lane, const PendingRequest& pending,
                             http::Response response) {
   stats_.body_bytes += response.body.size();
+  metrics_.body_bytes.set(static_cast<std::int64_t>(stats_.body_bytes));
+  metrics_.request_latency_us.observe(static_cast<std::uint64_t>(
+      (host_.event_queue().now() - pending.issued_at) / 1000));
 
   if (response.status >= 500 && config_.retry_server_errors) {
     // A transient server error: re-issue (with backoff) instead of treating
@@ -626,6 +646,7 @@ void Robot::on_page_deadline() {
   stats_.page_deadline_hit = true;
   stats_.complete = false;
   stats_.finished = host_.event_queue().now();
+  metrics_.page_finished_ns.set(stats_.finished);
   retry_timer_.cancel();
   // Everything still unresolved is attributed to the page deadline.
   for (const PendingRequest& req : queue_) {
@@ -658,6 +679,7 @@ void Robot::maybe_finish() {
   finished_ = true;
   stats_.complete = (stats_.requests_failed == 0);
   stats_.finished = host_.event_queue().now();
+  metrics_.page_finished_ns.set(stats_.finished);
   retry_timer_.cancel();
   page_timer_.cancel();
   for (const LanePtr& lane : lanes_) {

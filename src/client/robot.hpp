@@ -26,6 +26,7 @@
 #include "client/profile.hpp"
 #include "deflate/inflate.hpp"
 #include "http/parser.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "tcp/host.hpp"
 
@@ -214,6 +215,9 @@ class Robot {
     unsigned attempts = 0;
     /// Earliest time this request may be (re)issued — retry backoff.
     sim::Time not_before = 0;
+    /// When the (latest attempt of the) request hit the wire; feeds the
+    /// client.request_latency_us histogram.
+    sim::Time issued_at = 0;
   };
 
   /// Why a lane went away; drives retry accounting and failure attribution.
@@ -292,6 +296,16 @@ class Robot {
   /// Single client CPU: response processing serializes (models the libwww
   /// cache overhead the paper describes).
   sim::Time client_cpu_free_ = 0;
+
+  /// client.* registry metrics. The page gauges mirror stats_.started /
+  /// stats_.finished so harness results can be rebuilt from the registry.
+  struct Metrics {
+    obs::CounterHandle requests_sent, retries;
+    obs::GaugeHandle page_started_ns, page_finished_ns, body_bytes;
+    obs::HistogramHandle request_latency_us;
+    static Metrics bind();
+  };
+  Metrics metrics_ = Metrics::bind();
 };
 
 }  // namespace hsim::client

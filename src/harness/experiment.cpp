@@ -60,6 +60,13 @@ client::ClientConfig msie_client_config(bool broken_revalidation) {
 
 RunResult run_once(const ExperimentSpec& spec,
                    const content::MicroscapeSite& site) {
+  // One registry per run, installed before any instrumented component is
+  // built so every Metrics::bind() resolves against it. The registry dies
+  // with this frame; RunResult carries a Snapshot instead.
+  obs::Registry registry;
+  if (spec.conn_timelines) registry.enable_timelines();
+  obs::ScopedRegistry scoped(&registry);
+
   sim::EventQueue queue;
   sim::Rng rng(spec.seed);
 
@@ -120,9 +127,17 @@ RunResult run_once(const ExperimentSpec& spec,
   queue.run_until(queue.now() + sim::seconds(120));
   (void)done;
   if (spec.inspect_robot) spec.inspect_robot(robot);
+  if (spec.inspect_trace) spec.inspect_trace(trace);
+  if (spec.metrics_sink) spec.metrics_sink->consume(registry);
 
   RunResult result;
-  result.trace = trace.summarize();
+  // The summary is rebuilt from the trace.* registry counters rather than by
+  // walking the records again — byte-identical by construction (both paths
+  // are fed per-packet by PacketTrace::record and share fill_ratios()).
+  result.trace = net::summary_from_metrics(registry);
+  result.metrics = registry.snapshot();
+  result.page_started = registry.gauge_value("client.page_started_ns", 0);
+  result.page_finished = registry.gauge_value("client.page_finished_ns", 0);
   result.robot = robot.stats();
   result.server = server.stats();
   result.connections_used = client_host.total_connections_created();

@@ -12,6 +12,7 @@
 #include "content/microscape.hpp"
 #include "harness/network.hpp"
 #include "net/trace.hpp"
+#include "obs/metrics.hpp"
 #include "server/config.hpp"
 #include "server/server.hpp"
 
@@ -39,20 +40,38 @@ struct ExperimentSpec {
   /// teardown. Lets callers inspect state RunResult does not carry — e.g.
   /// comparing the populated cache byte-for-byte against the source site.
   std::function<void(client::Robot&)> inspect_robot;
+  /// Optional: called with the packet trace after the measured run drains.
+  /// This is how golden-trace capture and the hsim-trace CLI get at the raw
+  /// per-packet records rather than the summary.
+  std::function<void(const net::PacketTrace&)> inspect_trace;
+  /// Optional: handed the run's metrics registry before teardown, so callers
+  /// can aggregate counters/histograms across runs.
+  obs::MetricsSink* metrics_sink = nullptr;
+  /// Record per-connection TCP timelines (state transitions, cwnd moves,
+  /// segment sends/receives). Off by default: timelines allocate.
+  bool conn_timelines = false;
 };
 
 struct RunResult {
-  net::TraceSummary trace;
+  net::TraceSummary trace;  // rebuilt from the run's metrics registry
   client::RobotStats robot;
   server::ServerStats server;
+  /// Full plain-value copy of every metric the run registered; outlives the
+  /// registry (which dies with run_once's stack frame).
+  obs::Snapshot metrics;
   std::uint64_t connections_used = 0;       // client sockets opened
   std::size_t max_parallel_connections = 0;
   double mean_packet_train = 0.0;
   std::vector<std::size_t> packet_trains;
+  /// Page bounds read back from the client.page_*_ns registry gauges; the
+  /// robot sets the gauges at the same instants it stamps RobotStats, so
+  /// seconds() is bit-identical to robot.elapsed_seconds().
+  sim::Time page_started = 0;
+  sim::Time page_finished = 0;
 
   double packets() const { return static_cast<double>(trace.packets); }
   double bytes() const { return static_cast<double>(trace.wire_bytes); }
-  double seconds() const { return robot.elapsed_seconds(); }
+  double seconds() const { return sim::to_seconds(page_finished - page_started); }
   double overhead_percent() const { return trace.overhead_percent; }
 };
 

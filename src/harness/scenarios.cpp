@@ -1,0 +1,50 @@
+#include "harness/scenarios.hpp"
+
+namespace hsim::harness {
+
+ExperimentSpec golden_table4_spec() {
+  ExperimentSpec spec;
+  spec.network = lan_profile();
+  spec.server = server::jigsaw_config();
+  spec.client = robot_config(client::ProtocolMode::kHttp10Parallel);
+  spec.scenario = Scenario::kFirstVisit;
+  spec.seed = 1;
+  return spec;
+}
+
+ExperimentSpec golden_table6_spec() {
+  ExperimentSpec spec;
+  spec.network = wan_profile();
+  spec.server = server::jigsaw_config();
+  spec.client = robot_config(client::ProtocolMode::kHttp11Pipelined);
+  spec.scenario = Scenario::kFirstVisit;
+  spec.seed = 1;
+  return spec;
+}
+
+bool golden_spec_by_name(const std::string& name, ExperimentSpec* out) {
+  if (name == "table4") {
+    *out = golden_table4_spec();
+    return true;
+  }
+  if (name == "table6") {
+    *out = golden_table6_spec();
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> golden_scenario_names() { return {"table4", "table6"}; }
+
+std::vector<net::TraceRecord> capture_trace(
+    const ExperimentSpec& spec, const content::MicroscapeSite& site) {
+  std::vector<net::TraceRecord> records;
+  ExperimentSpec capture = spec;
+  capture.inspect_trace = [&records](const net::PacketTrace& trace) {
+    records = trace.records();
+  };
+  run_once(capture, site);
+  return records;
+}
+
+}  // namespace hsim::harness

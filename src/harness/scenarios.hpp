@@ -1,0 +1,41 @@
+// Canonical golden-trace scenarios.
+//
+// A golden trace pins down the simulator's packet-level behaviour for one
+// fully-specified experiment: network profile, server, client protocol mode
+// and seed. Because every layer is deterministic for a given seed, the
+// captured trace is byte-stable — any change to a TCP constant, framing
+// decision or scheduling order shows up as a trace diff, which is exactly
+// what the golden regression suite wants to catch.
+//
+// Two scenarios are canonical, mirroring the paper's headline tables:
+//   - table4: HTTP/1.0 with 4 parallel connections, Jigsaw, LAN, first visit
+//   - table6: HTTP/1.1 pipelined, Jigsaw, WAN, first visit
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "net/trace.hpp"
+
+namespace hsim::harness {
+
+/// Table 4 row 1: HTTP/1.0 parallel over the LAN profile, seed 1.
+ExperimentSpec golden_table4_spec();
+
+/// Table 6 row 3: HTTP/1.1 pipelined over the WAN profile, seed 1.
+ExperimentSpec golden_table6_spec();
+
+/// Looks up a golden spec by name ("table4" / "table6"); returns false for an
+/// unknown name.
+bool golden_spec_by_name(const std::string& name, ExperimentSpec* out);
+
+/// All golden scenario names, in canonical order.
+std::vector<std::string> golden_scenario_names();
+
+/// Runs the spec once and returns the captured client-side packet records
+/// (the measured phase only — warm-up traffic is never traced).
+std::vector<net::TraceRecord> capture_trace(const ExperimentSpec& spec,
+                                            const content::MicroscapeSite& site);
+
+}  // namespace hsim::harness

@@ -111,6 +111,11 @@ double WorkloadResult::jain_fairness_index() const {
 
 WorkloadResult run_workload(const WorkloadConfig& config,
                             const content::MicroscapeSite& site) {
+  // Fresh registry per run (see run_once): installed before the first
+  // instrumented component so all handles bind to it.
+  obs::Registry registry;
+  obs::ScopedRegistry scoped(&registry);
+
   const unsigned n = config.num_clients;
   sim::EventQueue queue;
   queue.reserve(64 + 16 * static_cast<std::size_t>(n));
@@ -206,6 +211,7 @@ WorkloadResult run_workload(const WorkloadConfig& config,
   // ---- Collect ----
   WorkloadResult result;
   result.clients.resize(n);
+  const obs::HistogramHandle page_ms = obs::histogram_handle("workload.page_ms");
   for (unsigned i = 0; i < n; ++i) {
     ClientOutcome& out = result.clients[i];
     out.id = i;
@@ -213,13 +219,19 @@ WorkloadResult run_workload(const WorkloadConfig& config,
     out.resolved = resolved[i] != 0;
     out.stats = robots[i]->stats();
     out.leaked_connections = hosts[i]->open_connections();
+    if (out.complete()) {
+      page_ms.observe(
+          static_cast<std::uint64_t>(out.page_seconds() * 1000.0));
+    }
     if (config.verify_cache && out.stats.complete) {
       out.byte_exact =
           cache_matches_site(robots[i]->cache(), site, config.root);
     }
   }
-  result.bottleneck = bottleneck_trace.summarize();
-  result.bottleneck_syns = bottleneck_trace.syn_packets();
+  // Registry-backed, like run_once: the summarizer feeds the trace.* metrics
+  // per packet, and summary_from_metrics rebuilds the identical summary.
+  result.bottleneck = net::summary_from_metrics(registry);
+  result.bottleneck_syns = registry.counter_value("trace.syn_packets");
   result.bottleneck_queue_drops = bottleneck_up.stats().packets_dropped_queue +
                                   bottleneck_down.stats().packets_dropped_queue;
   result.server = server.stats();
@@ -229,6 +241,8 @@ WorkloadResult run_workload(const WorkloadConfig& config,
   result.server_connections_total = server_host.total_connections_created();
   result.server_max_open = server_host.max_simultaneous_connections();
   result.server_open_after_drain = server_host.open_connections();
+  if (config.metrics_sink) config.metrics_sink->consume(registry);
+  result.metrics = registry.snapshot();
   return result;
 }
 

@@ -23,6 +23,7 @@
 #include "content/microscape.hpp"
 #include "harness/network.hpp"
 #include "net/trace.hpp"
+#include "obs/metrics.hpp"
 #include "server/config.hpp"
 #include "server/server.hpp"
 #include "tcp/host.hpp"
@@ -62,6 +63,10 @@ struct WorkloadConfig {
   /// Byte-exact per-client cache verification against the source site
   /// (scale tests want it; the 1000-client bench skips the O(N·site) cost).
   bool verify_cache = false;
+
+  /// Optional: handed the run's metrics registry before teardown. Sharded
+  /// drivers merge shard registries through Registry::merge_from here.
+  obs::MetricsSink* metrics_sink = nullptr;
 };
 
 struct ClientOutcome {
@@ -78,6 +83,10 @@ struct ClientOutcome {
 
 struct WorkloadResult {
   std::vector<ClientOutcome> clients;
+
+  /// Plain-value copy of the run's metrics registry (includes the
+  /// workload.page_ms histogram of completed-client page times).
+  obs::Snapshot metrics;
 
   /// Aggregate packet summary at the shared bottleneck (both directions).
   net::TraceSummary bottleneck;

@@ -20,6 +20,18 @@ std::vector<OutageWindow> make_flaps(sim::Time first_down, sim::Time down_for,
 Link::Link(sim::EventQueue& queue, LinkConfig config, sim::Rng rng)
     : queue_(queue), config_(std::move(config)), rng_(rng) {}
 
+Link::Metrics Link::Metrics::bind() {
+  Metrics m;
+  if (obs::registry() == nullptr) return m;
+  m.packets_sent = obs::counter_handle("net.link.packets_sent");
+  m.wire_bytes = obs::counter_handle("net.link.wire_bytes");
+  m.dropped_queue = obs::counter_handle("net.link.dropped_queue");
+  m.dropped_faults = obs::counter_handle("net.link.dropped_faults");
+  m.duplicated = obs::counter_handle("net.link.duplicated");
+  m.reordered = obs::counter_handle("net.link.reordered");
+  return m;
+}
+
 sim::Time Link::serialisation_time(std::size_t wire_bytes) const {
   if (config_.bandwidth_bps <= 0) return 0;
   const double bits = static_cast<double>(wire_bytes) * 8.0;
@@ -37,6 +49,7 @@ bool Link::loss_model_drops() {
   if (config_.random_drop_probability > 0.0 &&
       rng_.chance(config_.random_drop_probability)) {
     ++stats_.packets_dropped_random;
+    metrics_.dropped_faults.inc();
     return true;
   }
   if (config_.gilbert_elliott.enabled) {
@@ -50,6 +63,7 @@ bool Link::loss_model_drops() {
     const double p = ge_bad_state_ ? ge.loss_bad : ge.loss_good;
     if (p > 0.0 && rng_.chance(p)) {
       ++stats_.packets_dropped_burst;
+      metrics_.dropped_faults.inc();
       return true;
     }
   }
@@ -60,6 +74,7 @@ void Link::transmit(Packet packet) {
   if (loss_model_drops()) return;
   if (tx_queue_.size() >= config_.queue_limit_packets) {
     ++stats_.packets_dropped_queue;
+    metrics_.dropped_queue.inc();
     return;
   }
   tx_queue_.push_back(std::move(packet));
@@ -72,6 +87,7 @@ void Link::start_next_transmission() {
   while (!tx_queue_.empty() && is_down(queue_.now())) {
     tx_queue_.pop_front();
     ++stats_.packets_dropped_outage;
+    metrics_.dropped_faults.inc();
   }
   if (tx_queue_.empty()) {
     transmitting_ = false;
@@ -84,6 +100,8 @@ void Link::start_next_transmission() {
   if (tap_) tap_(packet);
   ++stats_.packets_sent;
   stats_.bytes_sent += packet.wire_size();
+  metrics_.packets_sent.inc();
+  metrics_.wire_bytes.inc(packet.wire_size());
 
   // The modem model may shrink (or for incompressible data slightly grow) the
   // number of payload bytes that actually cross the physical medium.
@@ -113,6 +131,7 @@ void Link::start_next_transmission() {
     // it, but by no more than reorder_extra_delay.
     delivery += config_.reorder_extra_delay;
     ++stats_.packets_reordered;
+    metrics_.reordered.inc();
   } else {
     // Links never reorder on their own: a jittered packet may not overtake
     // its predecessor.
@@ -124,11 +143,15 @@ void Link::start_next_transmission() {
 
   if (corrupted) {
     // The bytes crossed the wire but fail the receiver's checksum.
-    queue_.schedule_at(delivery, [this] { ++stats_.packets_corrupted; });
+    queue_.schedule_at(delivery, [this] {
+      ++stats_.packets_corrupted;
+      metrics_.dropped_faults.inc();
+    });
     return;
   }
   if (duplicated) {
     ++stats_.packets_duplicated;
+    metrics_.duplicated.inc();
     queue_.schedule_at(delivery, [this, p = packet]() mutable {
       if (sink_ != nullptr) sink_->deliver(std::move(p));
     });

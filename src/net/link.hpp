@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
@@ -171,6 +172,15 @@ class Link {
   /// delivery even with delay jitter. Reordered packets are exempt.
   sim::Time last_delivery_time_ = 0;
   LinkStats stats_;
+
+  /// Aggregate net.link.* registry metrics, summed over every link in the
+  /// simulation (handles are null when no registry is installed).
+  struct Metrics {
+    obs::CounterHandle packets_sent, wire_bytes, dropped_queue, dropped_faults,
+        duplicated, reordered;
+    static Metrics bind();
+  };
+  Metrics metrics_ = Metrics::bind();
 };
 
 }  // namespace hsim::net

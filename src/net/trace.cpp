@@ -1,11 +1,65 @@
 #include "net/trace.hpp"
 
+#include "net/trace_io.hpp"
+
 #include <algorithm>
 #include <cstdio>
 #include <map>
 #include <tuple>
 
 namespace hsim::net {
+
+namespace {
+/// The paper's derived columns, computed one way for every summary producer
+/// (PacketTrace, TraceSummarizer, summarize_records, summary_from_metrics) so
+/// registry-backed numbers are byte-identical to the record-walking ones.
+void fill_ratios(TraceSummary& s) {
+  if (s.packets == 0) return;
+  const std::uint64_t header_bytes = s.packets * kIpTcpHeaderBytes;
+  s.overhead_percent = 100.0 * static_cast<double>(header_bytes) /
+                       static_cast<double>(s.wire_bytes);
+  s.mean_packet_size =
+      static_cast<double>(s.wire_bytes) / static_cast<double>(s.packets);
+}
+}  // namespace
+
+TraceMetrics TraceMetrics::bind() {
+  TraceMetrics m;
+  if (obs::registry() == nullptr) return m;
+  m.packets = obs::counter_handle(metric::kTracePackets);
+  m.wire_bytes = obs::counter_handle(metric::kTraceWireBytes);
+  m.payload_bytes = obs::counter_handle(metric::kTracePayloadBytes);
+  m.c2s = obs::counter_handle(metric::kTracePacketsC2s);
+  m.s2c = obs::counter_handle(metric::kTracePacketsS2c);
+  m.syns = obs::counter_handle(metric::kTraceSyns);
+  m.first_packet = obs::gauge_handle(metric::kTraceFirstPacketNs);
+  m.last_packet = obs::gauge_handle(metric::kTraceLastPacketNs);
+  return m;
+}
+
+void TraceMetrics::record(sim::Time time, const Packet& packet, bool to_server,
+                          bool first) const {
+  packets.inc();
+  wire_bytes.inc(packet.wire_size());
+  payload_bytes.inc(packet.payload.size());
+  (to_server ? c2s : s2c).inc();
+  if (packet.tcp.has(flag::kSyn) && !packet.tcp.has(flag::kAck)) syns.inc();
+  if (first) first_packet.set(time);
+  last_packet.set(time);
+}
+
+TraceSummary summary_from_metrics(const obs::Registry& registry) {
+  TraceSummary s;
+  s.packets = registry.counter_value(metric::kTracePackets);
+  s.wire_bytes = registry.counter_value(metric::kTraceWireBytes);
+  s.payload_bytes = registry.counter_value(metric::kTracePayloadBytes);
+  s.packets_client_to_server = registry.counter_value(metric::kTracePacketsC2s);
+  s.packets_server_to_client = registry.counter_value(metric::kTracePacketsS2c);
+  s.first_packet = registry.gauge_value(metric::kTraceFirstPacketNs);
+  s.last_packet = registry.gauge_value(metric::kTraceLastPacketNs);
+  fill_ratios(s);
+  return s;
+}
 
 void PacketTrace::record(sim::Time time, const Packet& packet) {
   TraceRecord r;
@@ -18,19 +72,26 @@ void PacketTrace::record(sim::Time time, const Packet& packet) {
   r.seq = packet.tcp.seq;
   r.ack = packet.tcp.ack;
   r.payload_bytes = static_cast<std::uint32_t>(packet.payload.size());
+  metrics_.record(time, packet, /*to_server=*/packet.src == client_addr_,
+                  /*first=*/records_.empty());
   records_.push_back(r);
 }
 
 TraceSummary PacketTrace::summarize() const {
+  return summarize_records(records_, client_addr_);
+}
+
+TraceSummary summarize_records(const std::vector<TraceRecord>& records,
+                               IpAddr client_addr) {
   TraceSummary s;
-  if (records_.empty()) return s;
-  s.first_packet = records_.front().time;
-  s.last_packet = records_.back().time;
-  for (const TraceRecord& r : records_) {
+  if (records.empty()) return s;
+  s.first_packet = records.front().time;
+  s.last_packet = records.back().time;
+  for (const TraceRecord& r : records) {
     ++s.packets;
     s.wire_bytes += r.wire_size();
     s.payload_bytes += r.payload_bytes;
-    if (r.src == client_addr_) {
+    if (r.src == client_addr) {
       ++s.packets_client_to_server;
     } else {
       ++s.packets_server_to_client;
@@ -38,15 +99,13 @@ TraceSummary PacketTrace::summarize() const {
     s.first_packet = std::min(s.first_packet, r.time);
     s.last_packet = std::max(s.last_packet, r.time);
   }
-  const std::uint64_t header_bytes = s.packets * kIpTcpHeaderBytes;
-  s.overhead_percent =
-      100.0 * static_cast<double>(header_bytes) / static_cast<double>(s.wire_bytes);
-  s.mean_packet_size =
-      static_cast<double>(s.wire_bytes) / static_cast<double>(s.packets);
+  fill_ratios(s);
   return s;
 }
 
 void TraceSummarizer::record(sim::Time time, const Packet& packet) {
+  metrics_.record(time, packet, /*to_server=*/packet.dst == server_addr_,
+                  /*first=*/summary_.packets == 0);
   if (summary_.packets == 0) summary_.first_packet = time;
   summary_.last_packet = std::max(summary_.last_packet, time);
   summary_.first_packet = std::min(summary_.first_packet, time);
@@ -63,14 +122,28 @@ void TraceSummarizer::record(sim::Time time, const Packet& packet) {
   }
 }
 
+void TraceSummarizer::merge_from(const TraceSummarizer& other) {
+  if (other.summary_.packets == 0) return;
+  if (summary_.packets == 0) {
+    summary_.first_packet = other.summary_.first_packet;
+    summary_.last_packet = other.summary_.last_packet;
+  } else {
+    summary_.first_packet =
+        std::min(summary_.first_packet, other.summary_.first_packet);
+    summary_.last_packet =
+        std::max(summary_.last_packet, other.summary_.last_packet);
+  }
+  summary_.packets += other.summary_.packets;
+  summary_.wire_bytes += other.summary_.wire_bytes;
+  summary_.payload_bytes += other.summary_.payload_bytes;
+  summary_.packets_client_to_server += other.summary_.packets_client_to_server;
+  summary_.packets_server_to_client += other.summary_.packets_server_to_client;
+  syn_packets_ += other.syn_packets_;
+}
+
 TraceSummary TraceSummarizer::summarize() const {
   TraceSummary s = summary_;
-  if (s.packets == 0) return s;
-  const std::uint64_t header_bytes = s.packets * kIpTcpHeaderBytes;
-  s.overhead_percent = 100.0 * static_cast<double>(header_bytes) /
-                       static_cast<double>(s.wire_bytes);
-  s.mean_packet_size =
-      static_cast<double>(s.wire_bytes) / static_cast<double>(s.packets);
+  fill_ratios(s);
   return s;
 }
 

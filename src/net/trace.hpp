@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace hsim::net {
@@ -45,6 +46,36 @@ struct TraceSummary {
     return sim::to_seconds(last_packet - first_packet);
   }
 };
+
+/// Well-known metric names the trace recorders publish when a registry is
+/// installed (see obs/metrics.hpp). One measured trace per registry: two
+/// traces feeding the same registry sum their counts.
+namespace metric {
+inline constexpr std::string_view kTracePackets = "trace.packets";
+inline constexpr std::string_view kTraceWireBytes = "trace.wire_bytes";
+inline constexpr std::string_view kTracePayloadBytes = "trace.payload_bytes";
+inline constexpr std::string_view kTracePacketsC2s = "trace.packets_c2s";
+inline constexpr std::string_view kTracePacketsS2c = "trace.packets_s2c";
+inline constexpr std::string_view kTraceSyns = "trace.syn_packets";
+inline constexpr std::string_view kTraceFirstPacketNs = "trace.first_packet_ns";
+inline constexpr std::string_view kTraceLastPacketNs = "trace.last_packet_ns";
+}  // namespace metric
+
+/// The trace.* registry handles, resolved once against the registry installed
+/// at recorder construction time (all-null when metrics are disabled).
+struct TraceMetrics {
+  obs::CounterHandle packets, wire_bytes, payload_bytes, c2s, s2c, syns;
+  obs::GaugeHandle first_packet, last_packet;
+
+  static TraceMetrics bind();
+  void record(sim::Time time, const Packet& packet, bool to_server,
+              bool first) const;
+};
+
+/// Rebuilds a TraceSummary from the trace.* metrics of a finished run — the
+/// registry-backed path the table benches read (byte-identical to
+/// PacketTrace::summarize over the same packets).
+TraceSummary summary_from_metrics(const obs::Registry& registry);
 
 class PacketTrace {
  public:
@@ -94,6 +125,7 @@ class PacketTrace {
  private:
   IpAddr client_addr_;
   std::vector<TraceRecord> records_;
+  TraceMetrics metrics_ = TraceMetrics::bind();
 };
 
 /// Streaming trace summarizer for many-client workloads.
@@ -116,10 +148,16 @@ class TraceSummarizer {
   std::uint64_t syn_packets() const { return syn_packets_; }
   std::uint64_t packets() const { return summary_.packets; }
 
+  /// Shard aggregation: fold another summarizer's counts into this one.
+  /// Associative and commutative (asserted by metrics_property_test), so a
+  /// partitioned workload can summarize per shard and merge in any order.
+  void merge_from(const TraceSummarizer& other);
+
  private:
   IpAddr server_addr_;
   TraceSummary summary_;  // ratios filled in by summarize()
   std::uint64_t syn_packets_ = 0;
+  TraceMetrics metrics_ = TraceMetrics::bind();
 };
 
 }  // namespace hsim::net

@@ -1,0 +1,78 @@
+// Pcap-style trace export: a stable binary format plus a canonical
+// tcpdump-like text format for captured packet traces, with a structural
+// differ. The golden-trace regression suite and the hsim-trace CLI are built
+// on these three pieces:
+//
+//   - text:    one versioned header line, then one line per packet. The
+//              rendering is byte-stable for a given record sequence, so two
+//              same-seed runs produce identical files and goldens can be
+//              diffed byte-for-byte.
+//   - binary:  magic "HSTRC1\n" + u32 record count + fixed 34-byte
+//              little-endian records. Stable across platforms.
+//   - diff:    record-by-record comparison with a readable report of the
+//              first divergence (what a failing golden test prints).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/trace.hpp"
+
+namespace hsim::net {
+
+inline constexpr std::string_view kTraceTextHeader = "# hsim-trace v1";
+inline constexpr std::string_view kTraceBinaryMagic = "HSTRC1\n";
+
+/// Canonical one-line rendering of a single record (no trailing newline).
+std::string format_trace_record(const TraceRecord& r);
+
+/// Canonical text export: header line + one line per record.
+std::string trace_to_text(const std::vector<TraceRecord>& records);
+
+/// Stable binary export.
+std::vector<std::uint8_t> trace_to_binary(const std::vector<TraceRecord>& records);
+
+/// Parses the binary format. Returns false (and sets *error) on a malformed
+/// or truncated input.
+bool trace_from_binary(const std::vector<std::uint8_t>& data,
+                       std::vector<TraceRecord>* out, std::string* error);
+
+/// Parses the canonical text format (header + record lines). Lines beginning
+/// with '#' are ignored beyond the version check.
+bool trace_from_text(const std::string& text, std::vector<TraceRecord>* out,
+                     std::string* error);
+
+struct TraceDiff {
+  bool identical = true;
+  std::size_t records_a = 0;
+  std::size_t records_b = 0;
+  std::size_t differing = 0;     // mismatched positions (incl. length delta)
+  std::size_t first_diff = 0;    // index of the first divergence
+  std::string report;            // human-readable summary of the divergences
+};
+
+/// Structural record-by-record diff; `max_report_lines` bounds the report.
+TraceDiff diff_traces(const std::vector<TraceRecord>& a,
+                      const std::vector<TraceRecord>& b,
+                      std::size_t max_report_lines = 16);
+
+/// Aggregate summary over raw records, classifying direction against
+/// `client_addr` (the same computation PacketTrace::summarize performs).
+TraceSummary summarize_records(const std::vector<TraceRecord>& records,
+                               IpAddr client_addr);
+
+// ---- File helpers (used by hsim-trace and the golden suite) ---------------
+
+/// Writes `data` to `path`; returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& data);
+bool write_file(const std::string& path, const std::vector<std::uint8_t>& data);
+
+/// Reads a whole file; returns false if unreadable.
+bool read_file(const std::string& path, std::vector<std::uint8_t>* out);
+
+/// Loads a trace file in either format (sniffs the magic / header).
+bool load_trace_file(const std::string& path, std::vector<TraceRecord>* out,
+                     std::string* error);
+
+}  // namespace hsim::net

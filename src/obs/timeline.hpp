@@ -1,0 +1,74 @@
+// Per-connection event timelines: a fixed-capacity ring of annotated events
+// (state transitions, cwnd/ssthresh changes, segments sent/received, timer
+// fires) with simulated timestamps.
+//
+// The obs layer stays protocol-agnostic: events carry a kind tag plus three
+// numeric arguments whose meaning is defined by the recorder (tcp::Connection
+// documents its encoding next to tcp::format_timeline, which renders the
+// human-readable annotated trace). Timelines exist only while a Registry with
+// enable_timelines() is installed; otherwise connections hold a null pointer
+// and recording is a no-op branch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hsim::obs {
+
+enum class TlKind : std::uint8_t {
+  kStateChange,     // a = old state, b = new state
+  kSegSent,         // flags = TCP flags, a = seq, b = payload bytes
+  kSegRecvd,        // flags = TCP flags, a = seq, b = payload bytes
+  kCwndChange,      // a = cwnd bytes, b = ssthresh bytes
+  kRtoFire,         // a = backed-off RTO (ns), b = consecutive fires
+  kFastRetransmit,  // a = seq retransmitted
+  kDelayedAck,      // delayed-ACK timer fired a pure ACK
+  kNagleHold,       // a = withheld segment length
+  kRstSent,         // a = seq; flags: 1 = failure-path RST (give-up)
+  kRstRecvd,        // connection torn down by an incoming RST
+  kNote,            // free-form marker; a/b recorder-defined
+};
+
+std::string_view to_string(TlKind k);
+
+struct TlEvent {
+  sim::Time time = 0;
+  TlKind kind = TlKind::kNote;
+  std::uint8_t flags = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+class ConnTimeline {
+ public:
+  ConnTimeline(std::string label, std::size_t capacity);
+
+  void record(sim::Time time, TlKind kind, std::uint8_t flags = 0,
+              std::uint64_t a = 0, std::uint64_t b = 0);
+
+  const std::string& label() const { return label_; }
+  /// Events in chronological order (oldest retained first).
+  std::vector<TlEvent> events() const;
+  /// Total events ever recorded (>= events().size() once the ring wraps).
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const {
+    return recorded_ - static_cast<std::uint64_t>(size_);
+  }
+
+  /// Generic rendering: timestamp, kind, numeric args. Protocol layers
+  /// provide richer annotators (see tcp::format_timeline).
+  std::string dump() const;
+
+ private:
+  std::string label_;
+  std::vector<TlEvent> ring_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // next write slot
+  std::size_t size_ = 0;  // events currently retained
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace hsim::obs

@@ -4,6 +4,21 @@
 
 namespace hsim::proxy {
 
+ProxyMetrics ProxyMetrics::bind() {
+  ProxyMetrics m;
+  if (obs::registry() == nullptr) return m;
+  m.client_connections = obs::counter_handle("proxy.client_connections");
+  m.upstream_connections = obs::counter_handle("proxy.upstream_connections");
+  m.bytes_up = obs::counter_handle("proxy.bytes_relayed_up");
+  m.bytes_down = obs::counter_handle("proxy.bytes_relayed_down");
+  m.requests_forwarded = obs::counter_handle("proxy.requests_forwarded");
+  m.cache_fresh_hits = obs::counter_handle("proxy.cache_fresh_hits");
+  m.cache_revalidated_hits =
+      obs::counter_handle("proxy.cache_revalidated_hits");
+  m.cache_misses = obs::counter_handle("proxy.cache_misses");
+  return m;
+}
+
 // ---------------------------------------------------------------------------
 // TunnelProxy
 // ---------------------------------------------------------------------------
@@ -35,12 +50,14 @@ void TunnelProxy::arm_idle(const RelayPtr& relay) {
 
 void TunnelProxy::on_client(tcp::ConnectionPtr conn) {
   ++stats_.client_connections;
+  metrics_.client_connections.inc();
   auto relay = std::make_shared<Relay>();
   relay->client = conn;
   relay->idle_timer = std::make_unique<sim::Timer>(host_.event_queue());
   relays_[conn.get()] = relay;
 
   ++stats_.upstream_connections;
+  metrics_.upstream_connections.inc();
   relay->upstream =
       host_.connect(config_.origin_addr, config_.origin_port, config_.tcp);
 
@@ -120,6 +137,7 @@ void TunnelProxy::relay_up(const RelayPtr& relay) {
   if (bytes.empty()) return;
   bytes = filter_request_bytes(relay, std::move(bytes));
   stats_.bytes_relayed_up += bytes.size();
+  metrics_.bytes_up.inc(bytes.size());
   if (!relay->upstream_connected) {
     relay->pending_up.append(std::move(bytes));
     return;
@@ -132,6 +150,7 @@ void TunnelProxy::relay_down(const RelayPtr& relay) {
   const buf::Chain bytes = relay->upstream->read_all();
   if (bytes.empty()) return;
   stats_.bytes_relayed_down += bytes.size();
+  metrics_.bytes_down.inc(bytes.size());
   relay->client->send(bytes);
 }
 
@@ -178,6 +197,7 @@ void HttpProxy::strip_hop_by_hop(http::Headers& headers, ProxyStats& stats) {
 
 void HttpProxy::on_client(tcp::ConnectionPtr conn) {
   ++stats_.client_connections;
+  metrics_.client_connections.inc();
   auto state = std::make_shared<ClientConn>();
   state->conn = conn;
   state->idle_timer = std::make_unique<sim::Timer>(host_.event_queue());
@@ -235,6 +255,7 @@ void HttpProxy::respond(const ClientConnPtr& state, http::Response response) {
   response.headers.add("Via", config_.via_token);
   const buf::Chain wire = response.serialize_chain();
   stats_.bytes_relayed_down += wire.size();
+  metrics_.bytes_down.inc(wire.size());
   state->conn->send(wire);
   state->forwarding = false;
   if (state->conn->peer_closed() && state->pending.empty()) {
@@ -317,6 +338,7 @@ bool HttpProxy::try_cache(const ClientConnPtr& state,
   const auto it = cache_.find(request.target);
   if (it == cache_.end()) {
     ++stats_.cache_misses;
+    metrics_.cache_misses.inc();
     return false;
   }
   const sim::Time now = host_.event_queue().now();
@@ -345,6 +367,7 @@ bool HttpProxy::try_cache(const ClientConnPtr& state,
   if (config_.cache_fresh_ttl > 0 &&
       now - it->second.stored_at <= config_.cache_fresh_ttl) {
     ++stats_.cache_fresh_hits;
+    metrics_.cache_fresh_hits.inc();
     serve_entry(it->second, request);
     return true;
   }
@@ -356,6 +379,7 @@ bool HttpProxy::try_cache(const ClientConnPtr& state,
     conditional.headers.set("If-None-Match", it->second.etag);
   }
   std::weak_ptr<ClientConn> weak = state;
+  metrics_.upstream_connections.inc();
   fetch_upstream(
       host_, config_, stats_, std::move(conditional),
       [this, weak, target = request.target,
@@ -370,6 +394,7 @@ bool HttpProxy::try_cache(const ClientConnPtr& state,
         auto entry_it = cache_.find(target);
         if (response->status == 304 && entry_it != cache_.end()) {
           ++stats_.cache_revalidated_hits;
+          metrics_.cache_revalidated_hits.inc();
           entry_it->second.stored_at = host_.event_queue().now();
           const auto client_inm = request.headers.get("If-None-Match");
           if (client_inm && *client_inm == entry_it->second.etag) {
@@ -390,12 +415,14 @@ bool HttpProxy::try_cache(const ClientConnPtr& state,
 
 void HttpProxy::forward(const ClientConnPtr& state, http::Request request) {
   ++stats_.requests_forwarded;
+  metrics_.requests_forwarded.inc();
   strip_hop_by_hop(request.headers, stats_);
   request.headers.add("Via", config_.via_token);
 
   if (try_cache(state, request)) return;
 
   std::weak_ptr<ClientConn> weak = state;
+  metrics_.upstream_connections.inc();
   fetch_upstream(
       host_, config_, stats_, request,
       [this, weak, target = request.target,

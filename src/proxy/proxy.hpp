@@ -26,6 +26,7 @@
 #include <string>
 
 #include "http/parser.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "tcp/host.hpp"
 
@@ -47,6 +48,15 @@ struct ProxyStats {
   std::uint64_t cache_misses = 0;            // full fetch from origin
   std::uint64_t cache_stores = 0;
   std::uint64_t upstream_body_bytes = 0;     // entity bytes fetched upstream
+};
+
+/// proxy.* registry metrics, shared by TunnelProxy and HttpProxy (all-null
+/// handles when no registry is installed).
+struct ProxyMetrics {
+  obs::CounterHandle client_connections, upstream_connections, bytes_up,
+      bytes_down, requests_forwarded, cache_fresh_hits, cache_revalidated_hits,
+      cache_misses;
+  static ProxyMetrics bind();
 };
 
 struct TunnelProxyConfig {
@@ -95,6 +105,7 @@ class TunnelProxy {
   TunnelProxyConfig config_;
   net::Port port_ = 8080;
   ProxyStats stats_;
+  ProxyMetrics metrics_ = ProxyMetrics::bind();
   std::map<const tcp::Connection*, RelayPtr> relays_;
 };
 
@@ -163,6 +174,7 @@ class HttpProxy {
   HttpProxyConfig config_;
   net::Port port_ = 8080;
   ProxyStats stats_;
+  ProxyMetrics metrics_ = ProxyMetrics::bind();
   std::map<const tcp::Connection*, ClientConnPtr> clients_;
   std::map<std::string, CacheEntry> cache_;
 };

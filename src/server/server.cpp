@@ -94,8 +94,21 @@ void HttpServer::start(net::Port port) {
 
 void HttpServer::stop() { host_.stop_listening(port_); }
 
+HttpServer::Metrics HttpServer::Metrics::bind() {
+  Metrics m;
+  if (obs::registry() == nullptr) return m;
+  m.accepted = obs::counter_handle("server.connections_accepted");
+  m.requests_served = obs::counter_handle("server.requests_served");
+  m.rejected = obs::counter_handle("server.connections_rejected");
+  m.queued = obs::counter_handle("server.connections_queued");
+  m.admission_queue_depth = obs::gauge_handle("server.admission_queue_depth");
+  m.active_connections = obs::gauge_handle("server.active_connections");
+  return m;
+}
+
 void HttpServer::on_accept(tcp::ConnectionPtr conn) {
   ++stats_.connections_accepted;
+  metrics_.accepted.inc();
   const bool at_capacity =
       config_.max_concurrent_connections != 0 &&
       active_connections_ >= config_.max_concurrent_connections;
@@ -145,10 +158,13 @@ void HttpServer::on_accept(tcp::ConnectionPtr conn) {
     // AdmissionPolicy::kQueue: park the established connection; no CPU is
     // spent and no idle timer runs until a serving slot frees up.
     ++stats_.connections_queued;
+    metrics_.queued.inc();
     admission_queue_.push_back(weak);
     stats_.max_admission_queue =
         std::max<std::uint64_t>(stats_.max_admission_queue,
                                 admission_queue_.size());
+    metrics_.admission_queue_depth.set(
+        static_cast<std::int64_t>(admission_queue_.size()));
     return;
   }
   admit(state);
@@ -160,6 +176,8 @@ void HttpServer::admit(const ConnStatePtr& state) {
   stats_.max_active_connections =
       std::max<std::uint64_t>(stats_.max_active_connections,
                               active_connections_);
+  metrics_.active_connections.set(
+      static_cast<std::int64_t>(active_connections_));
   // Connection setup consumes CPU on the (single) server processor.
   cpu_free_at_ = std::max(cpu_free_at_, host_.event_queue().now()) +
                  config_.per_connection_cpu;
@@ -172,6 +190,7 @@ void HttpServer::release_slot(const ConnStatePtr& state) {
   if (!state->admitted) return;
   state->admitted = false;
   --active_connections_;
+  metrics_.active_connections.sub(1);
   admit_from_queue();
 }
 
@@ -183,6 +202,7 @@ void HttpServer::admit_from_queue() {
     }
     ConnStatePtr state = admission_queue_.front().lock();
     admission_queue_.pop_front();
+    metrics_.admission_queue_depth.sub(1);
     // Skip clients that gave up (closed/reset) while waiting.
     if (!state || state->conn->state() == tcp::State::kClosed) continue;
     admit(state);
@@ -191,6 +211,7 @@ void HttpServer::admit_from_queue() {
 
 void HttpServer::reject_with_503(tcp::ConnectionPtr conn) {
   ++stats_.connections_rejected;
+  metrics_.rejected.inc();
   http::Response res;
   res.version = http::Version::kHttp11;
   res.status = 503;
@@ -378,6 +399,7 @@ http::Response HttpServer::build_response(const http::Request& request) {
 void HttpServer::finish_request(const ConnStatePtr& state,
                                 const http::Request& request) {
   ++stats_.requests_served;
+  metrics_.requests_served.inc();
   ++state->served;
   http::Response res = build_response(request);
   switch (res.status) {

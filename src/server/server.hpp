@@ -11,6 +11,7 @@
 
 #include "http/message.hpp"
 #include "http/parser.hpp"
+#include "obs/metrics.hpp"
 #include "server/config.hpp"
 #include "server/static_site.hpp"
 #include "sim/random.hpp"
@@ -112,6 +113,15 @@ class HttpServer {
   /// the server closes its half (like a worker calling close()); the TCP
   /// machinery finishes FIN/TIME_WAIT in the background without holding it.
   std::size_t active_connections_ = 0;
+
+  /// server.* registry metrics. The two gauges mirror admission_queue_ depth
+  /// and active_connections_, so their peaks survive into the run's snapshot.
+  struct Metrics {
+    obs::CounterHandle accepted, requests_served, rejected, queued;
+    obs::GaugeHandle admission_queue_depth, active_connections;
+    static Metrics bind();
+  };
+  Metrics metrics_ = Metrics::bind();
 };
 
 }  // namespace hsim::server

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <utility>
 
 #include "tcp/host.hpp"
@@ -38,6 +39,26 @@ std::string_view to_string(ConnError e) {
   return "?";
 }
 
+Connection::Metrics Connection::Metrics::bind() {
+  Metrics m;
+  if (obs::registry() == nullptr) return m;
+  m.segments_sent = obs::counter_handle("tcp.segments_sent");
+  m.segments_received = obs::counter_handle("tcp.segments_received");
+  m.bytes_sent = obs::counter_handle("tcp.bytes_sent");
+  m.bytes_received = obs::counter_handle("tcp.bytes_received");
+  m.retransmits = obs::counter_handle("tcp.retransmits");
+  m.fast_retransmits = obs::counter_handle("tcp.fast_retransmits");
+  m.rto_fires = obs::counter_handle("tcp.rto_fires");
+  m.delayed_acks = obs::counter_handle("tcp.delayed_acks_fired");
+  m.nagle_holds = obs::counter_handle("tcp.nagle_holds");
+  m.rst_sent = obs::counter_handle("tcp.rst_sent");
+  m.rst_received = obs::counter_handle("tcp.rst_received");
+  m.time_wait_entered = obs::counter_handle("tcp.time_wait_entered");
+  m.opened = obs::counter_handle("tcp.connections_opened");
+  m.cwnd_bytes = obs::histogram_handle("tcp.cwnd_bytes");
+  return m;
+}
+
 Connection::Connection(Host& host, Key key, TcpOptions options)
     : host_(host),
       key_(key),
@@ -45,9 +66,41 @@ Connection::Connection(Host& host, Key key, TcpOptions options)
       rto_(options.initial_rto),
       rto_timer_(host.event_queue()),
       delack_timer_(host.event_queue()),
-      time_wait_timer_(host.event_queue()) {}
+      time_wait_timer_(host.event_queue()),
+      metrics_(Metrics::bind()) {
+  metrics_.opened.inc();
+  obs::Registry* reg = obs::registry();
+  if (reg != nullptr && reg->timelines_enabled()) {
+    char label[64];
+    std::snprintf(label, sizeof label, "%u:%u>%u:%u", host_.addr(),
+                  key_.local_port, key_.peer_addr, key_.peer_port);
+    timeline_ = reg->make_timeline(label);
+  }
+}
 
 Connection::~Connection() = default;
+
+void Connection::tl(obs::TlKind kind, std::uint8_t flags, std::uint64_t a,
+                    std::uint64_t b) {
+  if (timeline_ != nullptr) {
+    timeline_->record(host_.event_queue().now(), kind, flags, a, b);
+  }
+}
+
+void Connection::set_state(State s) {
+  if (s == state_) return;
+  tl(obs::TlKind::kStateChange, 0, static_cast<std::uint64_t>(state_),
+     static_cast<std::uint64_t>(s));
+  state_ = s;
+}
+
+void Connection::set_cwnd(std::uint32_t cwnd, std::uint32_t ssthresh) {
+  const bool changed = cwnd != cwnd_ || ssthresh != ssthresh_;
+  cwnd_ = cwnd;
+  ssthresh_ = ssthresh;
+  metrics_.cwnd_bytes.observe(cwnd);
+  if (changed) tl(obs::TlKind::kCwndChange, 0, cwnd, ssthresh);
+}
 
 // ---------------------------------------------------------------------------
 // Wire <-> stream offset mapping
@@ -167,10 +220,9 @@ void Connection::abort() {
 
 void Connection::start_connect() {
   iss_ = host_.rng().next_u32();
-  state_ = State::kSynSent;
+  set_state(State::kSynSent);
   syn_sent_ = true;
-  cwnd_ = options_.initial_cwnd_segments * options_.mss;
-  ssthresh_ = kInitialSsthresh;
+  set_cwnd(options_.initial_cwnd_segments * options_.mss, kInitialSsthresh);
   net::Packet p;
   p.tcp.seq = iss_;
   p.tcp.flags = net::flag::kSyn;
@@ -180,6 +232,8 @@ void Connection::start_connect() {
   p.src = host_.addr();
   p.dst = key_.peer_addr;
   ++stats_.segments_sent;
+  metrics_.segments_sent.inc();
+  tl(obs::TlKind::kSegSent, p.tcp.flags, p.tcp.seq, 0);
   host_.transmit(std::move(p));
   arm_rto();
 }
@@ -188,10 +242,9 @@ void Connection::start_accept(const net::Packet& syn) {
   iss_ = host_.rng().next_u32();
   irs_ = syn.tcp.seq;
   peer_window_ = syn.tcp.window;
-  state_ = State::kSynRcvd;
+  set_state(State::kSynRcvd);
   syn_sent_ = true;
-  cwnd_ = options_.initial_cwnd_segments * options_.mss;
-  ssthresh_ = kInitialSsthresh;
+  set_cwnd(options_.initial_cwnd_segments * options_.mss, kInitialSsthresh);
   net::Packet p;
   p.tcp.seq = iss_;
   p.tcp.ack = irs_ + 1;
@@ -202,6 +255,8 @@ void Connection::start_accept(const net::Packet& syn) {
   p.src = host_.addr();
   p.dst = key_.peer_addr;
   ++stats_.segments_sent;
+  metrics_.segments_sent.inc();
+  tl(obs::TlKind::kSegSent, p.tcp.flags, p.tcp.seq, 0);
   host_.transmit(std::move(p));
   arm_rto();
 }
@@ -237,6 +292,10 @@ void Connection::send_segment(std::uint8_t flags, Seq seq, buf::Bytes payload,
   ++stats_.segments_sent;
   stats_.bytes_sent += p.payload.size();
   if (is_retransmit) ++stats_.retransmits;
+  metrics_.segments_sent.inc();
+  metrics_.bytes_sent.inc(p.payload.size());
+  if (is_retransmit) metrics_.retransmits.inc();
+  tl(obs::TlKind::kSegSent, p.tcp.flags, p.tcp.seq, p.payload.size());
 
   // Any segment carrying an ACK satisfies a pending delayed ACK.
   if (flags & net::flag::kAck) {
@@ -253,7 +312,7 @@ void Connection::send_pure_ack() {
                buf::Bytes{}, false);
 }
 
-void Connection::send_rst(Seq seq) {
+void Connection::send_rst(Seq seq, bool failure_path) {
   net::Packet p;
   p.src = host_.addr();
   p.dst = key_.peer_addr;
@@ -262,6 +321,9 @@ void Connection::send_rst(Seq seq) {
   p.tcp.seq = seq;
   p.tcp.flags = net::flag::kRst;
   ++stats_.segments_sent;
+  metrics_.segments_sent.inc();
+  metrics_.rst_sent.inc();
+  tl(obs::TlKind::kRstSent, failure_path ? 1 : 0, seq, 0);
   host_.transmit(std::move(p));
 }
 
@@ -312,6 +374,8 @@ void Connection::try_send() {
     const bool carries_fin = last_of_avail && fin_requested_;
     if (nagle_blocks(seg, carries_fin)) {
       ++stats_.nagle_delays;
+      metrics_.nagle_holds.inc();
+      tl(obs::TlKind::kNagleHold, 0, seg, 0);
       break;
     }
 
@@ -327,8 +391,8 @@ void Connection::try_send() {
       flags |= net::flag::kFin;
       if (!fin_sent_) {
         fin_sent_ = true;
-        state_ = (state_ == State::kCloseWait) ? State::kLastAck
-                                               : State::kFinWait1;
+        set_state(state_ == State::kCloseWait ? State::kLastAck
+                                              : State::kFinWait1);
       }
     }
     if (!rtt_sample_) {
@@ -356,8 +420,7 @@ void Connection::maybe_send_fin() {
   fin_sent_ = true;
   send_segment(net::flag::kFin | net::flag::kAck, wire_seq(snd_next_),
                buf::Bytes{}, false);
-  state_ =
-      (state_ == State::kCloseWait) ? State::kLastAck : State::kFinWait1;
+  set_state(state_ == State::kCloseWait ? State::kLastAck : State::kFinWait1);
   arm_rto();
 }
 
@@ -372,6 +435,9 @@ void Connection::arm_rto() {
 void Connection::on_rto_fire() {
   ++stats_.timeouts;
   rto_ = std::min(rto_ * 2, options_.max_rto);
+  metrics_.rto_fires.inc();
+  tl(obs::TlKind::kRtoFire, 0, static_cast<std::uint64_t>(rto_),
+     consecutive_rtos_ + 1);
   rtt_sample_.reset();  // Karn: never sample retransmitted data
 
   // Give-up checks: a cap of 0 means "retry forever".
@@ -402,6 +468,9 @@ void Connection::on_rto_fire() {
     p.tcp.window = advertised_window();
     ++stats_.segments_sent;
     ++stats_.retransmits;
+    metrics_.segments_sent.inc();
+    metrics_.retransmits.inc();
+    tl(obs::TlKind::kSegSent, p.tcp.flags, p.tcp.seq, 0);
     host_.transmit(std::move(p));
     arm_rto();
     return;
@@ -418,6 +487,9 @@ void Connection::on_rto_fire() {
     p.tcp.window = advertised_window();
     ++stats_.segments_sent;
     ++stats_.retransmits;
+    metrics_.segments_sent.inc();
+    metrics_.retransmits.inc();
+    tl(obs::TlKind::kSegSent, p.tcp.flags, p.tcp.seq, 0);
     host_.transmit(std::move(p));
     arm_rto();
     return;
@@ -430,8 +502,7 @@ void Connection::on_rto_fire() {
   // one segment in slow start.
   const std::uint32_t flight =
       static_cast<std::uint32_t>(std::min<Offset>(unacked_data, cwnd_));
-  ssthresh_ = std::max(flight / 2, 2 * options_.mss);
-  cwnd_ = options_.mss;
+  set_cwnd(options_.mss, std::max(flight / 2, 2 * options_.mss));
   dup_acks_ = 0;
 
   if (unacked_data > 0) {
@@ -477,13 +548,15 @@ void Connection::on_new_data_acked(Offset newly_acked_end,
   consecutive_rtos_ = 0;  // forward progress: the path is alive
 
   // Congestion window growth.
-  if (cwnd_ < ssthresh_) {
-    cwnd_ += static_cast<std::uint32_t>(
+  std::uint32_t cwnd = cwnd_;
+  if (cwnd < ssthresh_) {
+    cwnd += static_cast<std::uint32_t>(
         std::min<std::size_t>(acked_bytes, options_.mss));
   } else {
-    cwnd_ += std::max<std::uint32_t>(
-        1, options_.mss * options_.mss / std::max<std::uint32_t>(cwnd_, 1));
+    cwnd += std::max<std::uint32_t>(
+        1, options_.mss * options_.mss / std::max<std::uint32_t>(cwnd, 1));
   }
+  set_cwnd(cwnd, ssthresh_);
   dup_acks_ = 0;
 }
 
@@ -494,11 +567,16 @@ void Connection::on_new_data_acked(Offset newly_acked_end,
 void Connection::segment_arrived(const net::Packet& packet) {
   ++stats_.segments_received;
   if (state_ == State::kClosed) return;
+  metrics_.segments_received.inc();
+  tl(obs::TlKind::kSegRecvd, packet.tcp.flags, packet.tcp.seq,
+     packet.payload.size());
 
   // RST: tear everything down. Unread received data is destroyed — this is
   // the data-loss behaviour the paper's connection-management section warns
   // about.
   if (packet.tcp.has(net::flag::kRst)) {
+    metrics_.rst_received.inc();
+    tl(obs::TlKind::kRstRecvd, 0, packet.tcp.seq, 0);
     become_closed(/*notify_reset=*/true);
     return;
   }
@@ -510,7 +588,7 @@ void Connection::segment_arrived(const net::Packet& packet) {
       irs_ = packet.tcp.seq;
       syn_acked_ = true;
       peer_window_ = packet.tcp.window;
-      state_ = State::kEstablished;
+      set_state(State::kEstablished);
       rto_timer_.cancel();
       rto_ = options_.initial_rto;
       if (srtt_ == 0) {
@@ -527,7 +605,7 @@ void Connection::segment_arrived(const net::Packet& packet) {
     if (packet.tcp.has(net::flag::kAck) && packet.tcp.ack == iss_ + 1) {
       syn_acked_ = true;
       peer_window_ = packet.tcp.window;
-      state_ = State::kEstablished;
+      set_state(State::kEstablished);
       rto_timer_.cancel();
       rto_ = options_.initial_rto;
       if (on_connected_) on_connected_();
@@ -572,10 +650,12 @@ void Connection::handle_ack(const net::Packet& packet) {
       ++dup_acks_;
       if (dup_acks_ == 3) {
         ++stats_.fast_retransmits;
+        metrics_.fast_retransmits.inc();
+        tl(obs::TlKind::kFastRetransmit, 0, wire_seq(snd_acked_), 0);
         const std::uint32_t flight = static_cast<std::uint32_t>(
             std::min<Offset>(bytes_in_flight(), cwnd_));
-        ssthresh_ = std::max(flight / 2, 2 * options_.mss);
-        cwnd_ = ssthresh_;
+        const std::uint32_t half = std::max(flight / 2, 2 * options_.mss);
+        set_cwnd(half, half);
         rtt_sample_.reset();
         const Offset unacked = snd_next_ - snd_acked_;
         const std::size_t seg =
@@ -627,8 +707,11 @@ void Connection::handle_ack(const net::Packet& packet) {
   // Close-sequence state transitions driven by our FIN being acknowledged.
   if (fin_acked_) {
     if (state_ == State::kFinWait1) {
-      state_ = peer_fin_delivered_ ? State::kTimeWait : State::kFinWait2;
-      if (state_ == State::kTimeWait) enter_time_wait();
+      if (peer_fin_delivered_) {
+        enter_time_wait();
+      } else {
+        set_state(State::kFinWait2);
+      }
     } else if (state_ == State::kClosing) {
       enter_time_wait();
     } else if (state_ == State::kLastAck) {
@@ -678,6 +761,7 @@ void Connection::accept_payload(const net::Packet& packet) {
       if (store_at == rcv_next_) {
         rcv_next_ += bytes.size();
         stats_.bytes_received += bytes.size();
+        metrics_.bytes_received.inc(bytes.size());
         recv_ready_.append(std::move(bytes));
         deliver_in_order();
       } else {
@@ -702,10 +786,13 @@ void Connection::accept_payload(const net::Packet& packet) {
     peer_fin_delivered_ = true;
     fin_just_delivered = true;
     if (state_ == State::kEstablished) {
-      state_ = State::kCloseWait;
+      set_state(State::kCloseWait);
     } else if (state_ == State::kFinWait1) {
-      state_ = fin_acked_ ? State::kTimeWait : State::kClosing;
-      if (state_ == State::kTimeWait) enter_time_wait();
+      if (fin_acked_) {
+        enter_time_wait();
+      } else {
+        set_state(State::kClosing);
+      }
     } else if (state_ == State::kFinWait2) {
       enter_time_wait();
     }
@@ -736,6 +823,7 @@ void Connection::deliver_in_order() {
     }
     const std::size_t skip = static_cast<std::size_t>(rcv_next_ - it->first);
     stats_.bytes_received += bytes.size() - skip;
+    metrics_.bytes_received.inc(bytes.size() - skip);
     rcv_next_ += bytes.size() - skip;
     recv_ready_.append(bytes.slice(skip));
     it = reassembly_.erase(it);
@@ -751,6 +839,8 @@ void Connection::schedule_ack(bool force_now) {
     delack_timer_.arm(options_.delayed_ack_timeout, [this] {
       if (ack_pending_) {
         ++stats_.delayed_acks_fired;
+        metrics_.delayed_acks.inc();
+        tl(obs::TlKind::kDelayedAck);
         send_pure_ack();
       }
     });
@@ -762,7 +852,8 @@ void Connection::schedule_ack(bool force_now) {
 // ---------------------------------------------------------------------------
 
 void Connection::enter_time_wait() {
-  state_ = State::kTimeWait;
+  set_state(State::kTimeWait);
+  metrics_.time_wait_entered.inc();
   rto_timer_.cancel();
   time_wait_timer_.arm(options_.time_wait_duration,
                        [this] { become_closed(false); });
@@ -772,8 +863,9 @@ void Connection::become_failed(ConnError error) {
   if (state_ == State::kClosed) return;
   error_ = error;
   // Best-effort RST so the peer does not linger half-open if the path heals.
-  send_rst(static_cast<Seq>(wire_seq(snd_next_) + (fin_sent_ ? 1 : 0)));
-  state_ = State::kClosed;
+  send_rst(static_cast<Seq>(wire_seq(snd_next_) + (fin_sent_ ? 1 : 0)),
+           /*failure_path=*/true);
+  set_state(State::kClosed);
   rto_timer_.cancel();
   delack_timer_.cancel();
   time_wait_timer_.cancel();
@@ -789,7 +881,7 @@ void Connection::become_failed(ConnError error) {
 
 void Connection::become_closed(bool notify_reset) {
   if (state_ == State::kClosed) return;
-  state_ = State::kClosed;
+  set_state(State::kClosed);
   rto_timer_.cancel();
   delack_timer_.cancel();
   time_wait_timer_.cancel();
@@ -806,6 +898,84 @@ void Connection::become_closed(bool notify_reset) {
   Callback cb = notify_reset ? on_reset_ : on_closed_;
   ConnectionPtr self = host_.remove_connection(key_);
   if (cb) cb();
+}
+
+// ---------------------------------------------------------------------------
+// Timeline rendering
+// ---------------------------------------------------------------------------
+
+std::string format_timeline(const obs::ConnTimeline& timeline) {
+  std::string out = "=== timeline " + timeline.label() + " ===\n";
+  char line[192];
+  for (const obs::TlEvent& e : timeline.events()) {
+    const double t = sim::to_seconds(e.time);
+    switch (e.kind) {
+      case obs::TlKind::kStateChange:
+        std::snprintf(line, sizeof line, "%10.6f  STATE    %s -> %s\n", t,
+                      std::string(to_string(static_cast<State>(e.a))).c_str(),
+                      std::string(to_string(static_cast<State>(e.b))).c_str());
+        break;
+      case obs::TlKind::kSegSent:
+        std::snprintf(line, sizeof line,
+                      "%10.6f  SEND     %-4s seq=%llu len=%llu\n", t,
+                      net::flags_to_string(e.flags).c_str(),
+                      static_cast<unsigned long long>(e.a),
+                      static_cast<unsigned long long>(e.b));
+        break;
+      case obs::TlKind::kSegRecvd:
+        std::snprintf(line, sizeof line,
+                      "%10.6f  RECV     %-4s seq=%llu len=%llu\n", t,
+                      net::flags_to_string(e.flags).c_str(),
+                      static_cast<unsigned long long>(e.a),
+                      static_cast<unsigned long long>(e.b));
+        break;
+      case obs::TlKind::kCwndChange:
+        std::snprintf(line, sizeof line,
+                      "%10.6f  CWND     cwnd=%llu ssthresh=%llu\n", t,
+                      static_cast<unsigned long long>(e.a),
+                      static_cast<unsigned long long>(e.b));
+        break;
+      case obs::TlKind::kRtoFire:
+        std::snprintf(line, sizeof line,
+                      "%10.6f  RTO-FIRE backed-off-to=%.3fs consecutive=%llu\n",
+                      t, sim::to_seconds(static_cast<sim::Time>(e.a)),
+                      static_cast<unsigned long long>(e.b));
+        break;
+      case obs::TlKind::kFastRetransmit:
+        std::snprintf(line, sizeof line, "%10.6f  FAST-RTX seq=%llu\n", t,
+                      static_cast<unsigned long long>(e.a));
+        break;
+      case obs::TlKind::kDelayedAck:
+        std::snprintf(line, sizeof line, "%10.6f  DELACK   timer fired\n", t);
+        break;
+      case obs::TlKind::kNagleHold:
+        std::snprintf(line, sizeof line, "%10.6f  NAGLE    held len=%llu\n", t,
+                      static_cast<unsigned long long>(e.a));
+        break;
+      case obs::TlKind::kRstSent:
+        std::snprintf(line, sizeof line, "%10.6f  RST-SENT seq=%llu%s\n", t,
+                      static_cast<unsigned long long>(e.a),
+                      e.flags != 0 ? " (failure give-up)" : "");
+        break;
+      case obs::TlKind::kRstRecvd:
+        std::snprintf(line, sizeof line,
+                      "%10.6f  RST-RECV seq=%llu (peer reset)\n", t,
+                      static_cast<unsigned long long>(e.a));
+        break;
+      case obs::TlKind::kNote:
+        std::snprintf(line, sizeof line, "%10.6f  NOTE     a=%llu b=%llu\n", t,
+                      static_cast<unsigned long long>(e.a),
+                      static_cast<unsigned long long>(e.b));
+        break;
+    }
+    out += line;
+  }
+  if (timeline.dropped() > 0) {
+    std::snprintf(line, sizeof line, "(%llu earlier events dropped)\n",
+                  static_cast<unsigned long long>(timeline.dropped()));
+    out += line;
+  }
+  return out;
 }
 
 }  // namespace hsim::tcp

@@ -23,6 +23,8 @@
 
 #include "buf/bytes.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "sim/event_queue.hpp"
 #include "tcp/options.hpp"
 #include "tcp/seq.hpp"
@@ -129,6 +131,10 @@ class Connection : public std::enable_shared_from_this<Connection> {
   const ConnectionStats& stats() const { return stats_; }
   std::uint32_t cwnd() const { return cwnd_; }
 
+  /// This connection's event timeline, or nullptr unless a registry with
+  /// enable_timelines() was installed when the connection was constructed.
+  const obs::ConnTimeline* timeline() const { return timeline_; }
+
   /// True once the peer's FIN has been received and delivered in order.
   bool peer_closed() const { return peer_fin_delivered_; }
   /// True if the connection was torn down by an incoming RST.
@@ -164,8 +170,16 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void send_segment(std::uint8_t flags, Seq seq, buf::Bytes payload,
                     bool is_retransmit);
   void send_pure_ack();
-  void send_rst(Seq seq);
+  void send_rst(Seq seq, bool failure_path = false);
   std::uint32_t advertised_window() const;
+
+  // Observability: state transitions and congestion-window updates are
+  // funnelled through these so the timeline and the tcp.* metrics see every
+  // change exactly once.
+  void set_state(State s);
+  void set_cwnd(std::uint32_t cwnd, std::uint32_t ssthresh);
+  void tl(obs::TlKind kind, std::uint8_t flags = 0, std::uint64_t a = 0,
+          std::uint64_t b = 0);
 
   // Output machinery. Application sends are flushed via a zero-delay event so
   // that several writes (and a shutdown) issued in the same instant coalesce
@@ -197,6 +211,17 @@ class Connection : public std::enable_shared_from_this<Connection> {
   TcpOptions options_;
   State state_ = State::kClosed;
   ConnectionStats stats_;
+
+  /// Aggregate tcp.* registry metrics (all-null handles when disabled).
+  struct Metrics {
+    obs::CounterHandle segments_sent, segments_received, bytes_sent,
+        bytes_received, retransmits, fast_retransmits, rto_fires, delayed_acks,
+        nagle_holds, rst_sent, rst_received, time_wait_entered, opened;
+    obs::HistogramHandle cwnd_bytes;
+    static Metrics bind();
+  };
+  Metrics metrics_;
+  obs::ConnTimeline* timeline_ = nullptr;  // owned by the registry
 
   // ---- Send side ----
   Seq iss_ = 0;                 // initial send sequence number
@@ -260,5 +285,10 @@ class Connection : public std::enable_shared_from_this<Connection> {
 };
 
 using ConnectionPtr = std::shared_ptr<Connection>;
+
+/// Renders a connection timeline as a human-readable annotated trace:
+/// timestamps in seconds, TCP state names, flag strings, cwnd/ssthresh in
+/// bytes. This is the TCP-aware companion to obs::ConnTimeline::dump().
+std::string format_timeline(const obs::ConnTimeline& timeline);
 
 }  // namespace hsim::tcp

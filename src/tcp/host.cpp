@@ -8,6 +8,16 @@ Host::Host(sim::EventQueue& queue, net::IpAddr addr, std::string name,
            sim::Rng rng)
     : queue_(queue), addr_(addr), name_(std::move(name)), rng_(rng) {}
 
+Host::Metrics Host::Metrics::bind() {
+  Metrics m;
+  if (obs::registry() == nullptr) return m;
+  m.syns_received = obs::counter_handle("tcp.listener.syns_received");
+  m.syns_dropped = obs::counter_handle("tcp.listener.syns_dropped");
+  m.accepted = obs::counter_handle("tcp.listener.accepted");
+  m.embryonic = obs::gauge_handle("tcp.listener.embryonic");
+  return m;
+}
+
 ConnectionPtr Host::connect(net::IpAddr peer, net::Port port,
                             TcpOptions options) {
   Connection::Key key;
@@ -55,12 +65,14 @@ void Host::deliver(net::Packet packet) {
     if (auto lit = listeners_.find(key.local_port); lit != listeners_.end()) {
       Listener& listener = lit->second;
       ++listener.stats.syns_received;
+      metrics_.syns_received.inc();
       if (listener.config.backlog != 0 &&
           listener.embryonic >= listener.config.backlog) {
         // SYN queue overflow: drop silently (no RST). The client's SYN
         // retransmission timer is what retries — a fresh SYN will arrive
         // here again and be re-admitted once the backlog drains.
         ++listener.stats.syns_dropped;
+        metrics_.syns_dropped.inc();
         return;
       }
       auto conn = std::make_shared<Connection>(*this, key, listener.options);
@@ -68,6 +80,9 @@ void Host::deliver(net::Packet packet) {
       ++total_created_;
       max_open_ = std::max(max_open_, connections_.size());
       ++listener.embryonic;
+      listener.stats.embryonic_peak = std::max<std::uint64_t>(
+          listener.stats.embryonic_peak, listener.embryonic);
+      metrics_.embryonic.add(1);
       embryonic_[key] = key.local_port;
       // Look the listener up again at handshake-completion time: it may have
       // been removed (stop_listening) while the handshake was in flight.
@@ -78,9 +93,11 @@ void Host::deliver(net::Packet packet) {
         // Handshake complete: the connection leaves the backlog.
         if (auto emb = embryonic_.find(c->key()); emb != embryonic_.end()) {
           embryonic_.erase(emb);
+          metrics_.embryonic.sub(1);
           if (auto found = listeners_.find(port); found != listeners_.end()) {
             --found->second.embryonic;
             ++found->second.stats.accepted;
+            metrics_.accepted.inc();
           }
         }
         if (auto found = listeners_.find(port); found != listeners_.end() &&
@@ -134,6 +151,7 @@ ConnectionPtr Host::remove_connection(const Connection::Key& key) {
                                                  lit->second.embryonic > 0) {
       --lit->second.embryonic;
     }
+    metrics_.embryonic.sub(1);
     embryonic_.erase(emb);
   }
   return conn;

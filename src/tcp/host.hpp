@@ -33,6 +33,11 @@ struct ListenerStats {
   std::uint64_t syns_received = 0;  // initial SYNs reaching this port
   std::uint64_t syns_dropped = 0;   // silently discarded (backlog full)
   std::uint64_t accepted = 0;       // handshakes completed
+  /// High-water mark of simultaneously embryonic handshakes. Unlike the live
+  /// `Listener::embryonic` level (which has returned to zero by the time a run
+  /// finishes), the peak is aggregatable across listeners and runs; it is also
+  /// published as the peak of the `tcp.listener.embryonic` registry gauge.
+  std::uint64_t embryonic_peak = 0;
 };
 
 class Host : public net::PacketSink {
@@ -104,6 +109,14 @@ class Host : public net::PacketSink {
   net::Port next_ephemeral_ = 10000;
   std::uint64_t total_created_ = 0;
   std::size_t max_open_ = 0;
+
+  /// Aggregate listener metrics, summed over every listener on every host.
+  struct Metrics {
+    obs::CounterHandle syns_received, syns_dropped, accepted;
+    obs::GaugeHandle embryonic;
+    static Metrics bind();
+  };
+  Metrics metrics_ = Metrics::bind();
 };
 
 }  // namespace hsim::tcp

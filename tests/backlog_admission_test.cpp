@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "http/parser.hpp"
+#include "obs/metrics.hpp"
 #include "server/server.hpp"
 #include "server/static_site.hpp"
 #include "tcp_test_util.hpp"
@@ -96,6 +97,60 @@ TEST(ListenBacklog, ZeroBacklogIsUnlimited) {
   EXPECT_EQ(r.listener.syns_received, kClients);
   EXPECT_EQ(r.wire_syns, kClients);  // no retransmissions needed
   EXPECT_EQ(r.wire_rsts, 0u);
+}
+
+TEST(ListenBacklog, RegistryAggregatesListenerCounters) {
+  // ListenerStats is a per-listener struct; the tcp.listener.* registry
+  // metrics are the aggregatable view of the same accounting (summable
+  // counters plus an embryonic-depth gauge with a peak).
+  obs::Registry reg;
+  obs::ScopedRegistry scoped(&reg);
+  const BurstResult r = run_syn_burst(/*backlog=*/2, /*clients=*/8);
+
+  EXPECT_EQ(reg.counter_value("tcp.listener.syns_received"),
+            r.listener.syns_received);
+  EXPECT_EQ(reg.counter_value("tcp.listener.syns_dropped"),
+            r.listener.syns_dropped);
+  EXPECT_EQ(reg.counter_value("tcp.listener.accepted"), r.listener.accepted);
+
+  const obs::Snapshot s = reg.snapshot();
+  // All embryonic connections were accepted or torn down by the end.
+  EXPECT_EQ(s.gauge("tcp.listener.embryonic"), 0);
+  // The burst filled the backlog: both the gauge's high-water mark and the
+  // (aggregatable) ListenerStats::embryonic_peak must record the full depth.
+  EXPECT_EQ(r.listener.embryonic_peak, 2u);
+  ASSERT_TRUE(s.gauge_peaks.count("tcp.listener.embryonic"));
+  EXPECT_EQ(s.gauge_peaks.at("tcp.listener.embryonic"),
+            static_cast<std::int64_t>(r.listener.embryonic_peak));
+}
+
+TEST(ListenBacklog, ListenerCountersMergeAcrossShards) {
+  // Two independent runs land in two shard registries; merging folds the
+  // counters by summation and the embryonic peaks by max — the shape a
+  // sharded workload driver needs to report fleet-wide listener stats.
+  obs::Registry shard_a, shard_b;
+  BurstResult ra, rb;
+  {
+    obs::ScopedRegistry scoped(&shard_a);
+    ra = run_syn_burst(/*backlog=*/2, /*clients=*/8);
+  }
+  {
+    obs::ScopedRegistry scoped(&shard_b);
+    rb = run_syn_burst(/*backlog=*/0, /*clients=*/4);
+  }
+  obs::Registry merged;
+  merged.merge_from(shard_a);
+  merged.merge_from(shard_b);
+  EXPECT_EQ(merged.counter_value("tcp.listener.syns_received"),
+            ra.listener.syns_received + rb.listener.syns_received);
+  EXPECT_EQ(merged.counter_value("tcp.listener.syns_dropped"),
+            ra.listener.syns_dropped + rb.listener.syns_dropped);
+  EXPECT_EQ(merged.counter_value("tcp.listener.accepted"),
+            ra.listener.accepted + rb.listener.accepted);
+  const obs::Snapshot s = merged.snapshot();
+  EXPECT_EQ(s.gauge_peaks.at("tcp.listener.embryonic"),
+            static_cast<std::int64_t>(std::max(ra.listener.embryonic_peak,
+                                               rb.listener.embryonic_peak)));
 }
 
 // ---------------------------------------------------------------------------

@@ -1,11 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "tcp_test_util.hpp"
 
 namespace hsim {
 namespace {
 
 using namespace testutil;
+using obs::TlEvent;
+using obs::TlKind;
 using tcp::ConnectionPtr;
 using tcp::State;
 using tcp::TcpOptions;
@@ -207,6 +214,240 @@ TEST(TcpCloseTest, DataAfterFinIsRejectedBySendApi) {
     EXPECT_EQ(conn->send("too late"), 0u);
   });
   net.queue.run_until(sim::seconds(60));
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection timeline coverage of the close handshake. With a timeline-
+// enabled registry installed, each connection records every state change,
+// FIN/ACK segment and RST with its simulated timestamp; these tests assert
+// the full handshake shows up, in order, for all four close orderings.
+// ---------------------------------------------------------------------------
+
+/// Index of the first state transition to `to`, or npos.
+std::size_t index_of_transition(const std::vector<TlEvent>& events, State to) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].kind == TlKind::kStateChange &&
+        static_cast<State>(events[i].b) == to) {
+      return i;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+/// Index of the first sent/received segment carrying `flag`, or npos.
+std::size_t index_of_segment(const std::vector<TlEvent>& events, TlKind kind,
+                             std::uint8_t flag) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].kind == kind && (events[i].flags & flag) != 0) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+TEST(TcpCloseTest, TimelineRecordsClientInitiatedClose) {
+  obs::Registry reg;
+  reg.enable_timelines();
+  obs::ScopedRegistry scoped(&reg);
+  TestNet net;
+  net.server.listen(
+      80,
+      [&](ConnectionPtr c) {
+        c->set_on_peer_fin([raw = c.get()] { raw->shutdown_send(); });
+      },
+      TcpOptions{});
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  conn->set_on_connected([&] { conn->shutdown_send(); });
+  net.queue.run_until(sim::seconds(120));
+  ASSERT_EQ(conn->state(), State::kClosed);
+
+  const obs::ConnTimeline* client_tl = reg.find_timeline("1:10000>2:80");
+  const obs::ConnTimeline* server_tl = reg.find_timeline("2:80>1:10000");
+  ASSERT_NE(client_tl, nullptr);
+  ASSERT_NE(server_tl, nullptr);
+
+  // Initiator walks FIN_WAIT_1 -> FIN_WAIT_2 -> TIME_WAIT -> CLOSED, with its
+  // FIN on the wire before the transition out of FIN_WAIT_1 completes.
+  const auto ce = client_tl->events();
+  const std::size_t fin_sent = index_of_segment(ce, TlKind::kSegSent, net::flag::kFin);
+  const std::size_t fw1 = index_of_transition(ce, State::kFinWait1);
+  const std::size_t fw2 = index_of_transition(ce, State::kFinWait2);
+  const std::size_t tw = index_of_transition(ce, State::kTimeWait);
+  const std::size_t closed = index_of_transition(ce, State::kClosed);
+  const std::size_t peer_fin =
+      index_of_segment(ce, TlKind::kSegRecvd, net::flag::kFin);
+  ASSERT_NE(fin_sent, kNpos);
+  ASSERT_NE(fw1, kNpos);
+  ASSERT_NE(fw2, kNpos);
+  ASSERT_NE(tw, kNpos);
+  ASSERT_NE(closed, kNpos);
+  ASSERT_NE(peer_fin, kNpos);
+  EXPECT_LT(fw1, fw2);
+  EXPECT_LT(fw2, peer_fin);  // FIN_WAIT_2 entered on the ACK, before peer FIN
+  EXPECT_LT(peer_fin, tw);   // peer's FIN drives the TIME_WAIT entry
+  EXPECT_LT(tw, closed);
+  EXPECT_EQ(reg.counter_value("tcp.time_wait_entered"), 1u);
+
+  // Responder walks CLOSE_WAIT -> LAST_ACK -> CLOSED, FIN received first.
+  const auto se = server_tl->events();
+  const std::size_t s_peer_fin =
+      index_of_segment(se, TlKind::kSegRecvd, net::flag::kFin);
+  const std::size_t cw = index_of_transition(se, State::kCloseWait);
+  const std::size_t la = index_of_transition(se, State::kLastAck);
+  const std::size_t s_closed = index_of_transition(se, State::kClosed);
+  ASSERT_NE(s_peer_fin, kNpos);
+  ASSERT_NE(cw, kNpos);
+  ASSERT_NE(la, kNpos);
+  ASSERT_NE(s_closed, kNpos);
+  EXPECT_LT(s_peer_fin, la);
+  EXPECT_LT(cw, la);
+  EXPECT_LT(la, s_closed);
+}
+
+TEST(TcpCloseTest, TimelineRecordsServerInitiatedClose) {
+  obs::Registry reg;
+  reg.enable_timelines();
+  obs::ScopedRegistry scoped(&reg);
+  TestNet net;
+  ConnectionPtr server_conn;
+  net.server.listen(80, [&](ConnectionPtr c) { server_conn = c; },
+                    TcpOptions{});
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  conn->set_on_peer_fin([&] { conn->shutdown_send(); });
+  net.queue.run_until(sim::milliseconds(200));
+  ASSERT_NE(server_conn, nullptr);
+  server_conn->shutdown_send();
+  net.queue.run_until(sim::seconds(120));
+
+  // Mirror image of the client-initiated case: the server is the one that
+  // passes through FIN_WAIT and TIME_WAIT.
+  const obs::ConnTimeline* server_tl = reg.find_timeline("2:80>1:10000");
+  const obs::ConnTimeline* client_tl = reg.find_timeline("1:10000>2:80");
+  ASSERT_NE(server_tl, nullptr);
+  ASSERT_NE(client_tl, nullptr);
+  const auto se = server_tl->events();
+  EXPECT_NE(index_of_transition(se, State::kFinWait1), kNpos);
+  EXPECT_NE(index_of_transition(se, State::kTimeWait), kNpos);
+  const auto ce = client_tl->events();
+  const std::size_t cw = index_of_transition(ce, State::kCloseWait);
+  const std::size_t la = index_of_transition(ce, State::kLastAck);
+  ASSERT_NE(cw, kNpos);
+  ASSERT_NE(la, kNpos);
+  EXPECT_LT(cw, la);
+  EXPECT_EQ(reg.counter_value("tcp.time_wait_entered"), 1u);
+}
+
+TEST(TcpCloseTest, TimelineRecordsSimultaneousClose) {
+  obs::Registry reg;
+  reg.enable_timelines();
+  obs::ScopedRegistry scoped(&reg);
+  TestNet net(net::ChannelConfig::symmetric(0, sim::milliseconds(40)));
+  ConnectionPtr server_conn;
+  net.server.listen(80, [&](ConnectionPtr c) { server_conn = c; },
+                    TcpOptions{});
+  TcpOptions opts;
+  opts.time_wait_duration = sim::seconds(1);
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, opts);
+  net.queue.run();
+  ASSERT_NE(server_conn, nullptr);
+  conn->shutdown_send();
+  server_conn->shutdown_send();
+  net.queue.run_until(sim::seconds(120));
+
+  // FINs crossed in flight: both ends see the peer FIN while in FIN_WAIT_1,
+  // so both pass through CLOSING (never FIN_WAIT_2) and both enter TIME_WAIT.
+  for (const char* needle : {"1:10000>2:80", "2:80>1:10000"}) {
+    const obs::ConnTimeline* tl = reg.find_timeline(needle);
+    ASSERT_NE(tl, nullptr) << needle;
+    const auto ev = tl->events();
+    const std::size_t fw1 = index_of_transition(ev, State::kFinWait1);
+    const std::size_t closing = index_of_transition(ev, State::kClosing);
+    const std::size_t tw = index_of_transition(ev, State::kTimeWait);
+    ASSERT_NE(fw1, kNpos) << needle;
+    ASSERT_NE(closing, kNpos) << needle;
+    ASSERT_NE(tw, kNpos) << needle;
+    EXPECT_LT(fw1, closing) << needle;
+    EXPECT_LT(closing, tw) << needle;
+    EXPECT_EQ(index_of_transition(ev, State::kFinWait2), kNpos) << needle;
+  }
+  EXPECT_EQ(reg.counter_value("tcp.time_wait_entered"), 2u);
+}
+
+TEST(TcpCloseTest, TimelineAttributesDeliberateRst) {
+  obs::Registry reg;
+  reg.enable_timelines();
+  obs::ScopedRegistry scoped(&reg);
+  TestNet net;
+  net.server.listen(80, [](ConnectionPtr) {}, TcpOptions{});
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, TcpOptions{});
+  conn->set_on_connected([&] { conn->abort(); });
+  net.queue.run();
+
+  // The aborting side records RST-SENT with the deliberate (non-failure)
+  // attribution; the victim records RST-RECV and no FIN exchange at all.
+  const obs::ConnTimeline* client_tl = reg.find_timeline("1:10000>2:80");
+  ASSERT_NE(client_tl, nullptr);
+  const auto ce = client_tl->events();
+  ASSERT_NE(index_of_transition(ce, State::kClosed), kNpos);
+  bool saw_rst_sent = false;
+  for (const TlEvent& e : ce) {
+    if (e.kind == TlKind::kRstSent) {
+      saw_rst_sent = true;
+      EXPECT_EQ(e.flags, 0u) << "abort() is a deliberate RST, not a failure";
+    }
+    EXPECT_FALSE(e.kind == TlKind::kSegSent &&
+                 (e.flags & net::flag::kFin) != 0)
+        << "no FIN should accompany an abort";
+  }
+  EXPECT_TRUE(saw_rst_sent);
+
+  const obs::ConnTimeline* server_tl = reg.find_timeline("2:80>1:10000");
+  ASSERT_NE(server_tl, nullptr);
+  const auto se = server_tl->events();
+  bool saw_rst_recvd = false;
+  for (const TlEvent& e : se) saw_rst_recvd |= e.kind == TlKind::kRstRecvd;
+  EXPECT_TRUE(saw_rst_recvd);
+  EXPECT_EQ(reg.counter_value("tcp.rst_sent"), 1u);
+  EXPECT_EQ(reg.counter_value("tcp.rst_received"), 1u);
+}
+
+TEST(TcpCloseTest, TimelineAttributesFailurePathRst) {
+  obs::Registry reg;
+  reg.enable_timelines();
+  obs::ScopedRegistry scoped(&reg);
+  // Link goes down for good shortly after establishment: data retransmits
+  // exhaust and the sender gives up with a failure-path RST.
+  net::ChannelConfig cfg =
+      net::ChannelConfig::symmetric(0, sim::milliseconds(10));
+  cfg.a_to_b.outages.push_back({sim::milliseconds(100), sim::seconds(3600)});
+  cfg.b_to_a.outages.push_back({sim::milliseconds(100), sim::seconds(3600)});
+  TestNet net(cfg);
+  net.server.listen(80, [](ConnectionPtr) {}, TcpOptions{});
+  TcpOptions opts;
+  opts.max_data_retransmits = 3;
+  ConnectionPtr conn = net.client.connect(kServerAddr, 80, opts);
+  bool failed = false;
+  conn->set_on_failed([&] { failed = true; });
+  net.queue.schedule_at(sim::milliseconds(200), [&] {
+    if (conn->state() == State::kEstablished) conn->send("doomed");
+  });
+  net.queue.run_until(sim::seconds(600));
+  ASSERT_TRUE(failed);
+
+  const obs::ConnTimeline* client_tl = reg.find_timeline("1:10000>2:80");
+  ASSERT_NE(client_tl, nullptr);
+  bool saw_failure_rst = false;
+  std::size_t rto_fires = 0;
+  for (const TlEvent& e : client_tl->events()) {
+    if (e.kind == TlKind::kRstSent) {
+      EXPECT_EQ(e.flags, 1u) << "give-up RST must carry the failure flag";
+      saw_failure_rst = true;
+    }
+    if (e.kind == TlKind::kRtoFire) ++rto_fires;
+  }
+  EXPECT_TRUE(saw_failure_rst);
+  EXPECT_GE(rto_fires, 3u);
+  EXPECT_EQ(reg.counter_value("tcp.rto_fires"), rto_fires);
 }
 
 TEST(TcpCloseTest, TimeWaitExpiresAndReleasesConnection) {

@@ -1,0 +1,144 @@
+// hsim-trace: capture, inspect and compare packet traces.
+//
+//   hsim-trace run <table4|table6> [--seed N] [--binary] -o FILE
+//       Run a golden scenario and write the client-side trace to FILE
+//       (canonical text by default, stable binary with --binary).
+//   hsim-trace text FILE
+//       Print a trace file (either format) as canonical text.
+//   hsim-trace summarize FILE [--client ADDR]
+//       Print the paper's aggregate numbers (Pa, Bytes, %ov, ...) for a
+//       trace file. ADDR defaults to 1, the harness's client address.
+//   hsim-trace diff A B
+//       Structural record-by-record comparison. Exit 0 when identical,
+//       1 when the traces differ, 2 on usage/I-O errors.
+//
+// Two runs of the same scenario with the same seed produce byte-identical
+// traces; `hsim-trace diff` of such a pair reports zero differences.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/scenarios.hpp"
+#include "net/trace_io.hpp"
+
+namespace {
+
+using namespace hsim;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hsim-trace run <table4|table6> [--seed N] [--binary] -o FILE\n"
+               "       hsim-trace text FILE\n"
+               "       hsim-trace summarize FILE [--client ADDR]\n"
+               "       hsim-trace diff A B\n");
+  return 2;
+}
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "hsim-trace: %s\n", message.c_str());
+  return 2;
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  harness::ExperimentSpec spec;
+  if (!harness::golden_spec_by_name(args[0], &spec)) {
+    return fail("unknown scenario '" + args[0] + "' (try: table4, table6)");
+  }
+  std::string out_path;
+  bool binary = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--seed" && i + 1 < args.size()) {
+      spec.seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--binary") {
+      binary = true;
+    } else if (args[i] == "-o" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (out_path.empty()) return usage();
+
+  const std::vector<net::TraceRecord> records =
+      harness::capture_trace(spec, harness::shared_site());
+  const bool ok = binary
+                      ? net::write_file(out_path, net::trace_to_binary(records))
+                      : net::write_file(out_path, net::trace_to_text(records));
+  if (!ok) return fail("cannot write " + out_path);
+  std::printf("%s: %zu records (%s, seed %llu) -> %s\n", args[0].c_str(),
+              records.size(), binary ? "binary" : "text",
+              static_cast<unsigned long long>(spec.seed), out_path.c_str());
+  return 0;
+}
+
+int cmd_text(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  std::vector<net::TraceRecord> records;
+  std::string error;
+  if (!net::load_trace_file(args[0], &records, &error)) return fail(error);
+  std::fputs(net::trace_to_text(records).c_str(), stdout);
+  return 0;
+}
+
+int cmd_summarize(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  net::IpAddr client_addr = 1;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--client" && i + 1 < args.size()) {
+      client_addr = static_cast<net::IpAddr>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+    } else {
+      return usage();
+    }
+  }
+  std::vector<net::TraceRecord> records;
+  std::string error;
+  if (!net::load_trace_file(args[0], &records, &error)) return fail(error);
+  const net::TraceSummary s = net::summarize_records(records, client_addr);
+  std::printf("records            %zu\n", records.size());
+  std::printf("packets            %llu\n",
+              static_cast<unsigned long long>(s.packets));
+  std::printf("wire bytes         %llu\n",
+              static_cast<unsigned long long>(s.wire_bytes));
+  std::printf("payload bytes      %llu\n",
+              static_cast<unsigned long long>(s.payload_bytes));
+  std::printf("packets c->s       %llu\n",
+              static_cast<unsigned long long>(s.packets_client_to_server));
+  std::printf("packets s->c       %llu\n",
+              static_cast<unsigned long long>(s.packets_server_to_client));
+  std::printf("overhead           %.2f%%\n", s.overhead_percent);
+  std::printf("mean packet size   %.1f\n", s.mean_packet_size);
+  std::printf("elapsed            %.6f s\n", s.elapsed_seconds());
+  return 0;
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  std::vector<net::TraceRecord> a, b;
+  std::string error;
+  if (!net::load_trace_file(args[0], &a, &error)) return fail(error);
+  if (!net::load_trace_file(args[1], &b, &error)) return fail(error);
+  const net::TraceDiff diff = net::diff_traces(a, b);
+  if (diff.identical) {
+    std::printf("identical: %zu records\n", a.size());
+    return 0;
+  }
+  std::fputs(diff.report.c_str(), stdout);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "run") return cmd_run(args);
+  if (command == "text") return cmd_text(args);
+  if (command == "summarize") return cmd_summarize(args);
+  if (command == "diff") return cmd_diff(args);
+  return usage();
+}
