@@ -8,6 +8,7 @@
 #include "harness/chaos.hpp"
 #include "net/link.hpp"
 #include "server/static_site.hpp"
+#include "topo/topology.hpp"
 
 namespace hsim::harness {
 
@@ -120,64 +121,116 @@ WorkloadResult run_workload(const WorkloadConfig& config,
   sim::EventQueue queue;
   queue.reserve(64 + 16 * static_cast<std::size_t>(n));
 
-  // ---- Shared side: server host, bottleneck links, aggregation points ----
+  const bool dumbbell = config.topology == TopologyKind::kDumbbell;
+
+  // ---- Shared side: server host, bottleneck, aggregation points ----
   sim::Rng server_rng(derive_seed(config.master_seed, kServerSeedSalt));
   tcp::Host server_host(queue, kServerAddr, "server", server_rng.fork());
-
-  net::LinkConfig bn_cfg;
-  bn_cfg.bandwidth_bps = config.bottleneck_bandwidth_bps;
-  bn_cfg.propagation_delay = config.bottleneck_delay;
-  bn_cfg.queue_limit_packets = config.bottleneck_queue_packets;
-  net::Link bottleneck_up(queue, bn_cfg, server_rng.fork());    // clients -> server
-  net::Link bottleneck_down(queue, bn_cfg, server_rng.fork());  // server -> clients
 
   net::TraceSummarizer bottleneck_trace(kServerAddr);
   const auto tap = [&bottleneck_trace, &queue](const net::Packet& p) {
     bottleneck_trace.record(queue.now(), p);
   };
-  bottleneck_up.set_tap(tap);
-  bottleneck_down.set_tap(tap);
 
-  Funnel funnel;
-  funnel.bottleneck = &bottleneck_up;
-  Fanout fanout;
-  bottleneck_up.set_sink(&server_host);
-  bottleneck_down.set_sink(&fanout);
-  server_host.attach_uplink(&bottleneck_down);
-
-  server::HttpServer server(server_host,
-                            server::StaticSite::from_microscape(site),
-                            config.server, server_rng.fork());
-  server.start(80);
-
-  // ---- Per-client side: host, access links, robot ----
   const net::ChannelConfig access = config.access.channel_config();
   std::vector<std::unique_ptr<tcp::Host>> hosts;
-  std::vector<std::unique_ptr<net::Link>> links;  // owns up+down per client
+  std::vector<std::unique_ptr<net::Link>> links;  // star: owns up+down per client
   std::vector<std::unique_ptr<client::Robot>> robots;
   hosts.reserve(n);
-  links.reserve(2 * static_cast<std::size_t>(n));
   robots.reserve(n);
 
   client::ClientConfig client_template = config.client;
   client_template.tcp.recv_buffer = std::min(
       client_template.tcp.recv_buffer, config.access.client_recv_buffer);
 
-  for (unsigned i = 0; i < n; ++i) {
-    sim::Rng crng(derive_seed(config.master_seed, kClientSeedSalt + i));
-    auto host = std::make_unique<tcp::Host>(
-        queue, client_addr(i), "client" + std::to_string(i), crng.fork());
-    auto up = std::make_unique<net::Link>(queue, access.a_to_b, crng.fork());
-    auto down = std::make_unique<net::Link>(queue, access.b_to_a, crng.fork());
-    up->set_sink(&funnel);
-    down->set_sink(host.get());
-    fanout.routes[client_addr(i)] = down.get();
-    host->attach_uplink(up.get());
-    robots.push_back(std::make_unique<client::Robot>(*host, kServerAddr, 80,
-                                                     client_template));
-    hosts.push_back(std::move(host));
-    links.push_back(std::move(up));
-    links.push_back(std::move(down));
+  // Star wiring (legacy path — everything here, including the server_rng and
+  // per-client rng fork order, must stay byte-exact with pre-topology builds).
+  std::unique_ptr<net::Link> bottleneck_up;    // clients -> server
+  std::unique_ptr<net::Link> bottleneck_down;  // server -> clients
+  Funnel funnel;
+  Fanout fanout;
+  // Dumbbell wiring (routers + queue disciplines, topo subsystem).
+  topo::Topology topo;
+  std::unique_ptr<server::HttpServer> server;
+
+  if (!dumbbell) {
+    net::LinkConfig bn_cfg;
+    bn_cfg.bandwidth_bps = config.bottleneck_bandwidth_bps;
+    bn_cfg.propagation_delay = config.bottleneck_delay;
+    bn_cfg.queue_limit_packets = config.bottleneck_queue_packets;
+    bottleneck_up =
+        std::make_unique<net::Link>(queue, bn_cfg, server_rng.fork());
+    bottleneck_down =
+        std::make_unique<net::Link>(queue, bn_cfg, server_rng.fork());
+    bottleneck_up->set_tap(tap);
+    bottleneck_down->set_tap(tap);
+
+    funnel.bottleneck = bottleneck_up.get();
+    bottleneck_up->set_sink(&server_host);
+    bottleneck_down->set_sink(&fanout);
+    server_host.attach_uplink(bottleneck_down.get());
+
+    server = std::make_unique<server::HttpServer>(
+        server_host, server::StaticSite::from_microscape(site), config.server,
+        server_rng.fork());
+    server->start(80);
+
+    // Per-client side: host, access links, robot.
+    links.reserve(2 * static_cast<std::size_t>(n));
+    for (unsigned i = 0; i < n; ++i) {
+      sim::Rng crng(derive_seed(config.master_seed, kClientSeedSalt + i));
+      auto host = std::make_unique<tcp::Host>(
+          queue, client_addr(i), "client" + std::to_string(i), crng.fork());
+      auto up = std::make_unique<net::Link>(queue, access.a_to_b, crng.fork());
+      auto down =
+          std::make_unique<net::Link>(queue, access.b_to_a, crng.fork());
+      up->set_sink(&funnel);
+      down->set_sink(host.get());
+      fanout.routes[client_addr(i)] = down.get();
+      host->attach_uplink(up.get());
+      robots.push_back(std::make_unique<client::Robot>(*host, kServerAddr, 80,
+                                                       client_template));
+      hosts.push_back(std::move(host));
+      links.push_back(std::move(up));
+      links.push_back(std::move(down));
+    }
+  } else {
+    // Client hosts first (same per-client seed scheme as the star path; the
+    // access links are built by the topology from its own kTopoSeedSalt
+    // stream instead of the per-client streams).
+    std::vector<tcp::Host*> client_hosts;
+    client_hosts.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+      sim::Rng crng(derive_seed(config.master_seed, kClientSeedSalt + i));
+      hosts.push_back(std::make_unique<tcp::Host>(
+          queue, client_addr(i), "client" + std::to_string(i), crng.fork()));
+      client_hosts.push_back(hosts.back().get());
+    }
+
+    topo::BottleneckSpec spec;
+    spec.bandwidth_bps = config.bottleneck_bandwidth_bps;
+    spec.delay = config.bottleneck_delay;
+    spec.queue = config.bottleneck_queue;
+    // One knob governs the physical packet budget in both topologies.
+    spec.queue.drop_tail.limit_packets = config.bottleneck_queue_packets;
+    spec.queue.red.limit_packets = config.bottleneck_queue_packets;
+
+    topo::TopologyBuilder builder(
+        queue, sim::Rng(derive_seed(config.master_seed, kTopoSeedSalt)));
+    topo = builder.dumbbell(client_hosts, &server_host, access, spec);
+    topo.link("bn.up")->set_tap(tap);
+    topo.link("bn.down")->set_tap(tap);
+    if (config.hop_trace) topo.set_hop_trace(config.hop_trace);
+
+    server = std::make_unique<server::HttpServer>(
+        server_host, server::StaticSite::from_microscape(site), config.server,
+        server_rng.fork());
+    server->start(80);
+
+    for (unsigned i = 0; i < n; ++i) {
+      robots.push_back(std::make_unique<client::Robot>(
+          *hosts[i], kServerAddr, 80, client_template));
+    }
   }
 
   // ---- Arrival process ----
@@ -232,9 +285,26 @@ WorkloadResult run_workload(const WorkloadConfig& config,
   // per packet, and summary_from_metrics rebuilds the identical summary.
   result.bottleneck = net::summary_from_metrics(registry);
   result.bottleneck_syns = registry.counter_value("trace.syn_packets");
-  result.bottleneck_queue_drops = bottleneck_up.stats().packets_dropped_queue +
-                                  bottleneck_down.stats().packets_dropped_queue;
-  result.server = server.stats();
+  result.tcp_retransmits = registry.counter_value("tcp.retransmits");
+  if (!dumbbell) {
+    result.bottleneck_queue_drops =
+        bottleneck_up->stats().packets_dropped_queue +
+        bottleneck_down->stats().packets_dropped_queue;
+  } else {
+    // All bottleneck buffering lives in the queue disciplines (the links'
+    // internal queues are back-pressured and never drop, but count them
+    // anyway so a regression there can't hide).
+    result.bottleneck_queue_drops =
+        topo.queue_drops() +
+        topo.link("bn.up")->stats().packets_dropped_queue +
+        topo.link("bn.down")->stats().packets_dropped_queue;
+    for (const topo::QueueDisc* q : topo.queues()) {
+      if (q->label().rfind("bn.", 0) != 0) continue;  // fan-out queues: silent
+      result.queues.push_back(
+          QueueSummary{q->label(), std::string(q->kind()), q->stats()});
+    }
+  }
+  result.server = server->stats();
   if (const tcp::ListenerStats* ls = server_host.listener_stats(80)) {
     result.listener = *ls;
   }

@@ -3,16 +3,32 @@
 // The paper measured one robot against one server; its conclusions are about
 // what happens when *everyone* switches to HTTP/1.1. This driver instantiates
 // N independent clients — each with its own tcp::Host, access link and Rng
-// stream derived from a master seed — behind one shared bottleneck link into
-// a single server, starts them with a Poisson or fixed-interval arrival
-// process, and collects per-client completion times, failure attribution and
-// the aggregate packet summary at the bottleneck. Everything is deterministic
-// for a given master seed: two runs produce identical statistics.
+// stream derived from a master seed — in front of a single server, starts
+// them with a Poisson or fixed-interval arrival process, and collects
+// per-client completion times, failure attribution and the aggregate packet
+// summary at the bottleneck. Everything is deterministic for a given master
+// seed: two runs produce identical statistics.
 //
-//   client 0 ── access link ──┐
-//   client 1 ── access link ──┼── bottleneck link ── server
-//   ...                       │   (tap: TraceSummarizer)
-//   client N ── access link ──┘
+// Two topologies are supported:
+//
+//   kStar (legacy, byte-exact with pre-topology builds): a funnel/fan-out
+//   pair aggregates the per-client access links onto one bottleneck link
+//   pair whose queueing is the link's own drop-tail.
+//
+//     client 0 ── access link ──┐
+//     client 1 ── access link ──┼── bottleneck link ── server
+//     ...                       │   (tap: TraceSummarizer)
+//     client N ── access link ──┘
+//
+//   kDumbbell (topo subsystem): two routers bracket a shared bottleneck
+//   link pair carrying a pluggable queue discipline (DropTail budgets or
+//   RED) per direction, so N clients genuinely contend — see
+//   topo/topology.hpp. Per-queue depth/drop/latency stats surface in the
+//   run's registry (topo.queue.*) and in WorkloadResult::queues.
+//
+//     client 0 ── access ──┐                    ┌── server
+//     client 1 ── access ──┤ gate ══ qdisc ══ core
+//     client N ── access ──┘    bottleneck pair
 #pragma once
 
 #include <cstdint>
@@ -27,12 +43,18 @@
 #include "server/config.hpp"
 #include "server/server.hpp"
 #include "tcp/host.hpp"
+#include "topo/queue_disc.hpp"
 
 namespace hsim::harness {
 
 enum class ArrivalProcess {
   kFixedInterval,  // client i starts at exactly i * mean_interarrival
   kPoisson,        // exponential inter-arrival gaps with the given mean
+};
+
+enum class TopologyKind {
+  kStar,      // legacy funnel/fan-out; byte-exact with pre-topology builds
+  kDumbbell,  // routers + queue disciplines around a shared bottleneck
 };
 
 struct WorkloadConfig {
@@ -43,10 +65,26 @@ struct WorkloadConfig {
   /// Per-client access network (bandwidth/RTT/queue of the client's own leg).
   NetworkProfile access = lan_profile();
 
+  /// Which shape carries the traffic. kStar keeps the legacy funnel path
+  /// (byte-exact with pre-topology builds); kDumbbell routes every client
+  /// through a shared router/queue-discipline bottleneck (topo subsystem).
+  TopologyKind topology = TopologyKind::kStar;
+
   /// The shared bottleneck between the aggregation point and the server.
   std::int64_t bottleneck_bandwidth_bps = 10'000'000;
   sim::Time bottleneck_delay = sim::milliseconds(10);
   std::size_t bottleneck_queue_packets = 256;
+
+  /// Dumbbell only: the per-direction bottleneck queue discipline (kind,
+  /// byte budget, RED parameters). The *packet* budget always comes from
+  /// bottleneck_queue_packets above, so the one knob governs the physical
+  /// buffer in both topologies.
+  topo::QueueConfig bottleneck_queue;
+
+  /// Dumbbell only: when set, every packet crossing a router is recorded
+  /// here with the router id and the egress queue depth at enqueue
+  /// (multi-hop trace; intended for small N — it keeps every record).
+  net::PacketTrace* hop_trace = nullptr;
 
   server::ServerConfig server;
   client::ClientConfig client;
@@ -81,6 +119,14 @@ struct ClientOutcome {
   double page_seconds() const { return stats.elapsed_seconds(); }
 };
 
+/// One bottleneck queue's identity and counters, copied out of the topology
+/// before teardown (dumbbell runs only).
+struct QueueSummary {
+  std::string label;  // e.g. "bn.up"
+  std::string kind;   // "DropTail" / "RED"
+  topo::QueueStats stats;
+};
+
 struct WorkloadResult {
   std::vector<ClientOutcome> clients;
 
@@ -91,7 +137,14 @@ struct WorkloadResult {
   /// Aggregate packet summary at the shared bottleneck (both directions).
   net::TraceSummary bottleneck;
   std::uint64_t bottleneck_syns = 0;        // client SYNs crossing it
-  std::uint64_t bottleneck_queue_drops = 0; // drop-tail losses, both directions
+  std::uint64_t bottleneck_queue_drops = 0; // queue losses, both directions
+
+  /// Total TCP retransmissions across every host (registry tcp.retransmits).
+  std::uint64_t tcp_retransmits = 0;
+
+  /// Dumbbell runs: the bottleneck queue disciplines' counters ("bn.up",
+  /// "bn.down"). Empty for star runs.
+  std::vector<QueueSummary> queues;
 
   server::ServerStats server;
   tcp::ListenerStats listener;              // backlog accounting at the server
@@ -120,6 +173,9 @@ std::uint64_t derive_seed(std::uint64_t master, std::uint64_t salt);
 inline constexpr std::uint64_t kArrivalSeedSalt = 0xA881;
 inline constexpr std::uint64_t kServerSeedSalt = 0x5E12;
 inline constexpr std::uint64_t kClientSeedSalt = 0xC000;
+/// Dumbbell topology stream (router-egress links, RED drop draws). A
+/// separate salt keeps the star path's draw order untouched.
+inline constexpr std::uint64_t kTopoSeedSalt = 0x70B0;
 
 WorkloadResult run_workload(const WorkloadConfig& config,
                             const content::MicroscapeSite& site);

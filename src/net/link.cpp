@@ -91,6 +91,7 @@ void Link::start_next_transmission() {
   }
   if (tx_queue_.empty()) {
     transmitting_ = false;
+    if (on_idle_) on_idle_();
     return;
   }
   transmitting_ = true;

@@ -148,6 +148,18 @@ class Link {
   /// burst loss).
   void transmit(Packet packet);
 
+  /// True while the transmitter is clocking a packet onto the wire.
+  bool transmitting() const { return transmitting_; }
+
+  /// Optional hook fired whenever the transmitter goes idle (its internal
+  /// queue drained). A topo::Router uses this as back-pressure: it keeps
+  /// packets in its own queue discipline and feeds the link exactly one
+  /// packet at a time, so the link's internal drop-tail queue never fills
+  /// and all queueing policy lives in the discipline. The callback may call
+  /// transmit() reentrantly.
+  using IdleFn = std::function<void()>;
+  void set_on_idle(IdleFn fn) { on_idle_ = std::move(fn); }
+
   /// True if an outage window covers `at`.
   bool is_down(sim::Time at) const;
 
@@ -164,6 +176,7 @@ class Link {
   sim::Rng rng_;
   PacketSink* sink_ = nullptr;
   TapFn tap_;
+  IdleFn on_idle_;
   PayloadSizer sizer_;
   std::deque<Packet> tx_queue_;
   bool transmitting_ = false;

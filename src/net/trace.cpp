@@ -61,7 +61,8 @@ TraceSummary summary_from_metrics(const obs::Registry& registry) {
   return s;
 }
 
-void PacketTrace::record(sim::Time time, const Packet& packet) {
+namespace {
+TraceRecord make_record(sim::Time time, const Packet& packet) {
   TraceRecord r;
   r.time = time;
   r.src = packet.src;
@@ -72,8 +73,21 @@ void PacketTrace::record(sim::Time time, const Packet& packet) {
   r.seq = packet.tcp.seq;
   r.ack = packet.tcp.ack;
   r.payload_bytes = static_cast<std::uint32_t>(packet.payload.size());
+  return r;
+}
+}  // namespace
+
+void PacketTrace::record(sim::Time time, const Packet& packet) {
   metrics_.record(time, packet, /*to_server=*/packet.src == client_addr_,
                   /*first=*/records_.empty());
+  records_.push_back(make_record(time, packet));
+}
+
+void PacketTrace::record_hop(sim::Time time, const Packet& packet,
+                             std::int32_t router, std::uint32_t queue_depth) {
+  TraceRecord r = make_record(time, packet);
+  r.hop_router = router;
+  r.hop_queue_depth = queue_depth;
   records_.push_back(r);
 }
 

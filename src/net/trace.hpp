@@ -27,6 +27,14 @@ struct TraceRecord {
   std::uint32_t ack = 0;
   std::uint32_t payload_bytes = 0;
 
+  /// Multi-hop capture (topo::Router taps): the router that recorded this
+  /// packet, or -1 for a host-edge / single-link capture, plus the egress
+  /// queue depth (packets already queued ahead of it) at enqueue time. A
+  /// trace mixing hops records the same packet once per router it crosses.
+  std::int32_t hop_router = -1;
+  std::uint32_t hop_queue_depth = 0;
+
+  bool has_hop() const { return hop_router >= 0; }
   std::size_t wire_size() const { return kIpTcpHeaderBytes + payload_bytes; }
 };
 
@@ -85,6 +93,15 @@ class PacketTrace {
   void set_client_addr(IpAddr addr) { client_addr_ = addr; }
 
   void record(sim::Time time, const Packet& packet);
+
+  /// Records a packet observed inside the network at `router`'s egress queue
+  /// (depth = packets ahead of it at enqueue). Unlike record(), this does NOT
+  /// feed the trace.* registry metrics: a multi-hop trace sees the same
+  /// packet several times, and the registry-backed summary must keep counting
+  /// each packet once (at the measured link's tap).
+  void record_hop(sim::Time time, const Packet& packet, std::int32_t router,
+                  std::uint32_t queue_depth);
+
   void clear() { records_.clear(); }
 
   const std::vector<TraceRecord>& records() const { return records_; }

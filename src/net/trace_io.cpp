@@ -1,9 +1,11 @@
 #include "net/trace_io.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <map>
 
 namespace hsim::net {
 
@@ -40,33 +42,53 @@ std::uint64_t get_u64(const std::uint8_t* p) {
 
 /// time(8) src(4) dst(4) sport(2) dport(2) flags(1) pad(1) seq(4) ack(4) len(4)
 constexpr std::size_t kBinaryRecordBytes = 34;
+/// v2 appends hop_router(i4) hop_queue_depth(4).
+constexpr std::size_t kBinaryRecordBytesV2 = 42;
 
 bool records_equal(const TraceRecord& a, const TraceRecord& b) {
   return a.time == b.time && a.src == b.src && a.dst == b.dst &&
          a.src_port == b.src_port && a.dst_port == b.dst_port &&
          a.flags == b.flags && a.seq == b.seq && a.ack == b.ack &&
-         a.payload_bytes == b.payload_bytes;
+         a.payload_bytes == b.payload_bytes && a.hop_router == b.hop_router &&
+         a.hop_queue_depth == b.hop_queue_depth;
 }
 
 }  // namespace
 
-std::string format_trace_record(const TraceRecord& r) {
+bool trace_has_hops(const std::vector<TraceRecord>& records) {
+  for (const TraceRecord& r : records) {
+    if (r.has_hop()) return true;
+  }
+  return false;
+}
+
+std::string format_trace_record(const TraceRecord& r, bool with_hop) {
   // Nine decimals = exact nanoseconds: the text format must round-trip
   // losslessly (golden traces are parsed back for structural diffing).
-  char line[160];
-  std::snprintf(line, sizeof line,
-                "%13.9f  %u:%u > %u:%u  %-4s seq=%u ack=%u len=%u",
-                sim::to_seconds(r.time), r.src, r.src_port, r.dst, r.dst_port,
-                flags_to_string(r.flags).c_str(), r.seq, r.ack,
-                r.payload_bytes);
+  char line[192];
+  int n = std::snprintf(line, sizeof line,
+                        "%13.9f  %u:%u > %u:%u  %-4s seq=%u ack=%u len=%u",
+                        sim::to_seconds(r.time), r.src, r.src_port, r.dst,
+                        r.dst_port, flags_to_string(r.flags).c_str(), r.seq,
+                        r.ack, r.payload_bytes);
+  if (with_hop && n > 0 && static_cast<std::size_t>(n) < sizeof line) {
+    if (r.has_hop()) {
+      std::snprintf(line + n, sizeof line - static_cast<std::size_t>(n),
+                    "  hop=%d:%u", r.hop_router, r.hop_queue_depth);
+    } else {
+      std::snprintf(line + n, sizeof line - static_cast<std::size_t>(n),
+                    "  hop=-");
+    }
+  }
   return line;
 }
 
 std::string trace_to_text(const std::vector<TraceRecord>& records) {
-  std::string out(kTraceTextHeader);
+  const bool hops = trace_has_hops(records);
+  std::string out(hops ? kTraceTextHeaderV2 : kTraceTextHeader);
   out += '\n';
   for (const TraceRecord& r : records) {
-    out += format_trace_record(r);
+    out += format_trace_record(r, hops);
     out += '\n';
   }
   return out;
@@ -74,10 +96,13 @@ std::string trace_to_text(const std::vector<TraceRecord>& records) {
 
 std::vector<std::uint8_t> trace_to_binary(
     const std::vector<TraceRecord>& records) {
+  const bool hops = trace_has_hops(records);
+  const std::string_view magic = hops ? kTraceBinaryMagicV2 : kTraceBinaryMagic;
+  const std::size_t record_bytes =
+      hops ? kBinaryRecordBytesV2 : kBinaryRecordBytes;
   std::vector<std::uint8_t> out;
-  out.reserve(kTraceBinaryMagic.size() + 4 +
-              records.size() * kBinaryRecordBytes);
-  out.insert(out.end(), kTraceBinaryMagic.begin(), kTraceBinaryMagic.end());
+  out.reserve(magic.size() + 4 + records.size() * record_bytes);
+  out.insert(out.end(), magic.begin(), magic.end());
   put_u32(out, static_cast<std::uint32_t>(records.size()));
   for (const TraceRecord& r : records) {
     put_u64(out, static_cast<std::uint64_t>(r.time));
@@ -90,6 +115,10 @@ std::vector<std::uint8_t> trace_to_binary(
     put_u32(out, r.seq);
     put_u32(out, r.ack);
     put_u32(out, r.payload_bytes);
+    if (hops) {
+      put_u32(out, static_cast<std::uint32_t>(r.hop_router));
+      put_u32(out, r.hop_queue_depth);
+    }
   }
   return out;
 }
@@ -98,21 +127,29 @@ bool trace_from_binary(const std::vector<std::uint8_t>& data,
                        std::vector<TraceRecord>* out, std::string* error) {
   out->clear();
   const std::size_t magic_len = kTraceBinaryMagic.size();
-  if (data.size() < magic_len + 4 ||
-      std::memcmp(data.data(), kTraceBinaryMagic.data(), magic_len) != 0) {
+  bool v2 = false;
+  if (data.size() >= kTraceBinaryMagicV2.size() &&
+      std::memcmp(data.data(), kTraceBinaryMagicV2.data(),
+                  kTraceBinaryMagicV2.size()) == 0) {
+    v2 = true;
+  } else if (data.size() < magic_len + 4 ||
+             std::memcmp(data.data(), kTraceBinaryMagic.data(), magic_len) !=
+                 0) {
     if (error != nullptr) *error = "not an hsim binary trace (bad magic)";
     return false;
   }
+  const std::size_t record_bytes =
+      v2 ? kBinaryRecordBytesV2 : kBinaryRecordBytes;
   const std::uint32_t count = get_u32(data.data() + magic_len);
-  const std::size_t need = magic_len + 4 +
-                           static_cast<std::size_t>(count) * kBinaryRecordBytes;
+  const std::size_t need =
+      magic_len + 4 + static_cast<std::size_t>(count) * record_bytes;
   if (data.size() < need) {
     if (error != nullptr) *error = "truncated trace file";
     return false;
   }
   out->reserve(count);
   const std::uint8_t* p = data.data() + magic_len + 4;
-  for (std::uint32_t i = 0; i < count; ++i, p += kBinaryRecordBytes) {
+  for (std::uint32_t i = 0; i < count; ++i, p += record_bytes) {
     TraceRecord r;
     r.time = static_cast<sim::Time>(get_u64(p));
     r.src = get_u32(p + 8);
@@ -123,6 +160,10 @@ bool trace_from_binary(const std::vector<std::uint8_t>& data,
     r.seq = get_u32(p + 22);
     r.ack = get_u32(p + 26);
     r.payload_bytes = get_u32(p + 30);
+    if (v2) {
+      r.hop_router = static_cast<std::int32_t>(get_u32(p + 34));
+      r.hop_queue_depth = get_u32(p + 38);
+    }
     out->push_back(r);
   }
   return true;
@@ -140,7 +181,10 @@ bool trace_from_text(const std::string& text, std::vector<TraceRecord>* out,
     pos = eol + 1;
     if (line.empty()) continue;
     if (line[0] == '#') {
-      if (line.rfind(kTraceTextHeader, 0) == 0) saw_header = true;
+      if (line.rfind(kTraceTextHeader, 0) == 0 ||
+          line.rfind(kTraceTextHeaderV2, 0) == 0) {
+        saw_header = true;
+      }
       continue;
     }
     double seconds = 0.0;
@@ -179,6 +223,17 @@ bool trace_from_text(const std::string& text, std::vector<TraceRecord>* out,
         default: break;
       }
     }
+    // Optional v2 hop column: "hop=-" (host edge) or "hop=<router>:<depth>".
+    if (const std::size_t hop_at = line.find(" hop=");
+        hop_at != std::string::npos) {
+      int router = -1;
+      unsigned depth = 0;
+      if (std::sscanf(line.c_str() + hop_at, " hop=%d:%u", &router, &depth) ==
+          2) {
+        r.hop_router = router;
+        r.hop_queue_depth = depth;
+      }
+    }
     out->push_back(r);
   }
   if (!saw_header) {
@@ -194,6 +249,7 @@ TraceDiff diff_traces(const std::vector<TraceRecord>& a,
   TraceDiff d;
   d.records_a = a.size();
   d.records_b = b.size();
+  const bool hops = trace_has_hops(a) || trace_has_hops(b);
   const std::size_t common = std::min(a.size(), b.size());
   std::size_t reported = 0;
   char head[96];
@@ -207,8 +263,8 @@ TraceDiff diff_traces(const std::vector<TraceRecord>& a,
     if (reported < max_report_lines) {
       std::snprintf(head, sizeof head, "record %zu differs:\n", i);
       d.report += head;
-      d.report += "  a: " + format_trace_record(a[i]) + "\n";
-      d.report += "  b: " + format_trace_record(b[i]) + "\n";
+      d.report += "  a: " + format_trace_record(a[i], hops) + "\n";
+      d.report += "  b: " + format_trace_record(b[i], hops) + "\n";
       ++reported;
     }
   }
@@ -230,7 +286,7 @@ TraceDiff diff_traces(const std::vector<TraceRecord>& a,
          i < longer.size() && reported < max_report_lines; ++i, ++reported) {
       d.report += "  ";
       d.report += tag;
-      d.report += " only: " + format_trace_record(longer[i]) + "\n";
+      d.report += " only: " + format_trace_record(longer[i], hops) + "\n";
     }
   }
   if (!d.identical && d.differing > reported) {
@@ -239,6 +295,34 @@ TraceDiff diff_traces(const std::vector<TraceRecord>& a,
     d.report += head;
   }
   return d;
+}
+
+std::vector<HopSummary> summarize_by_hop(
+    const std::vector<TraceRecord>& records, IpAddr client_addr) {
+  // Group preserving ascending hop order (-1 host-edge first). A std::map
+  // keyed by hop id gives the deterministic ordering summarize output needs.
+  std::map<std::int32_t, std::vector<TraceRecord>> groups;
+  std::map<std::int32_t, std::pair<std::uint64_t, std::uint32_t>> depths;
+  for (const TraceRecord& r : records) {
+    groups[r.hop_router].push_back(r);
+    auto& [sum, max] = depths[r.hop_router];
+    sum += r.hop_queue_depth;
+    max = std::max(max, r.hop_queue_depth);
+  }
+  std::vector<HopSummary> out;
+  out.reserve(groups.size());
+  for (const auto& [hop, recs] : groups) {
+    HopSummary h;
+    h.hop_router = hop;
+    h.summary = summarize_records(recs, client_addr);
+    const auto& [sum, max] = depths[hop];
+    h.mean_queue_depth =
+        recs.empty() ? 0.0
+                     : static_cast<double>(sum) / static_cast<double>(recs.size());
+    h.max_queue_depth = max;
+    out.push_back(std::move(h));
+  }
+  return out;
 }
 
 bool write_file(const std::string& path, const std::string& data) {
@@ -278,11 +362,14 @@ bool load_trace_file(const std::string& path, std::vector<TraceRecord>* out,
     if (error != nullptr) *error = "cannot read " + path;
     return false;
   }
-  if (data.size() >= kTraceBinaryMagic.size() &&
-      std::memcmp(data.data(), kTraceBinaryMagic.data(),
-                  kTraceBinaryMagic.size()) == 0) {
-    return trace_from_binary(data, out, error);
-  }
+  const bool binary =
+      (data.size() >= kTraceBinaryMagic.size() &&
+       std::memcmp(data.data(), kTraceBinaryMagic.data(),
+                   kTraceBinaryMagic.size()) == 0) ||
+      (data.size() >= kTraceBinaryMagicV2.size() &&
+       std::memcmp(data.data(), kTraceBinaryMagicV2.data(),
+                   kTraceBinaryMagicV2.size()) == 0);
+  if (binary) return trace_from_binary(data, out, error);
   return trace_from_text(std::string(data.begin(), data.end()), out, error);
 }
 

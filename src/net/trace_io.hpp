@@ -6,9 +6,15 @@
 //   - text:    one versioned header line, then one line per packet. The
 //              rendering is byte-stable for a given record sequence, so two
 //              same-seed runs produce identical files and goldens can be
-//              diffed byte-for-byte.
+//              diffed byte-for-byte. Traces carrying multi-hop information
+//              (topo::Router captures) use the v2 header and append a
+//              per-hop column (`hop=<router>:<queue depth>`, or `hop=-` for
+//              host-edge records); hopless traces keep the v1 rendering
+//              byte-identical to what pre-topology builds produced.
 //   - binary:  magic "HSTRC1\n" + u32 record count + fixed 34-byte
-//              little-endian records. Stable across platforms.
+//              little-endian records; multi-hop traces use "HSTRC2\n" with
+//              42-byte records (34 + i32 router + u32 queue depth). Both
+//              stable across platforms; readers accept either.
 //   - diff:    record-by-record comparison with a readable report of the
 //              first divergence (what a failing golden test prints).
 #pragma once
@@ -22,10 +28,17 @@
 namespace hsim::net {
 
 inline constexpr std::string_view kTraceTextHeader = "# hsim-trace v1";
+inline constexpr std::string_view kTraceTextHeaderV2 = "# hsim-trace v2";
 inline constexpr std::string_view kTraceBinaryMagic = "HSTRC1\n";
+inline constexpr std::string_view kTraceBinaryMagicV2 = "HSTRC2\n";
+
+/// True if any record carries multi-hop (router) information, which selects
+/// the v2 file formats.
+bool trace_has_hops(const std::vector<TraceRecord>& records);
 
 /// Canonical one-line rendering of a single record (no trailing newline).
-std::string format_trace_record(const TraceRecord& r);
+/// `with_hop` appends the v2 hop column; v1 files never render it.
+std::string format_trace_record(const TraceRecord& r, bool with_hop = false);
 
 /// Canonical text export: header line + one line per record.
 std::string trace_to_text(const std::vector<TraceRecord>& records);
@@ -61,6 +74,22 @@ TraceDiff diff_traces(const std::vector<TraceRecord>& a,
 /// `client_addr` (the same computation PacketTrace::summarize performs).
 TraceSummary summarize_records(const std::vector<TraceRecord>& records,
                                IpAddr client_addr);
+
+/// Per-hop aggregate for multi-hop traces. A packet crossing two routers is
+/// recorded at each, so a flat summary would double-count it; grouping by
+/// the recording hop keeps each group a faithful single-observation-point
+/// summary, plus the queue-depth statistics only routers can observe.
+struct HopSummary {
+  std::int32_t hop_router = -1;  // -1: host-edge records (no router)
+  TraceSummary summary;
+  double mean_queue_depth = 0.0;   // over this hop's records, in packets
+  std::uint32_t max_queue_depth = 0;
+};
+
+/// Groups records by recording hop (ascending router id; host-edge records,
+/// if any, first) and summarizes each group independently.
+std::vector<HopSummary> summarize_by_hop(const std::vector<TraceRecord>& records,
+                                         IpAddr client_addr);
 
 // ---- File helpers (used by hsim-trace and the golden suite) ---------------
 

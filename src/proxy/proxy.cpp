@@ -16,6 +16,9 @@ ProxyMetrics ProxyMetrics::bind() {
   m.cache_revalidated_hits =
       obs::counter_handle("proxy.cache_revalidated_hits");
   m.cache_misses = obs::counter_handle("proxy.cache_misses");
+  m.cache_stores = obs::counter_handle("proxy.cache_stores");
+  m.upstream_body_bytes = obs::counter_handle("proxy.upstream_body_bytes");
+  m.idle_hangups = obs::counter_handle("proxy.idle_hangups");
   return m;
 }
 
@@ -41,6 +44,7 @@ void TunnelProxy::arm_idle(const RelayPtr& relay) {
   relay->idle_timer->arm(config_.idle_timeout, [this, weak] {
     if (auto r = weak.lock()) {
       ++stats_.idle_hangups;
+      metrics_.idle_hangups.inc();
       if (r->client) r->client->abort();
       if (r->upstream) r->upstream->abort();
       relays_.erase(r->client.get());
@@ -230,6 +234,7 @@ void HttpProxy::on_client(tcp::ConnectionPtr conn) {
     state->idle_timer->arm(config_.idle_timeout, [this, weak] {
       if (auto s = weak.lock()) {
         ++stats_.idle_hangups;
+        metrics_.idle_hangups.inc();
         s->conn->shutdown_send();
       }
     });
@@ -328,6 +333,7 @@ void HttpProxy::store_in_cache(const std::string& target,
   entry.stored_at = host_.event_queue().now();
   cache_[target] = std::move(entry);
   ++stats_.cache_stores;
+  metrics_.cache_stores.inc();
 }
 
 bool HttpProxy::try_cache(const ClientConnPtr& state,
@@ -407,6 +413,7 @@ bool HttpProxy::try_cache(const ClientConnPtr& state,
           return;
         }
         stats_.upstream_body_bytes += response->body.size();
+        metrics_.upstream_body_bytes.inc(response->body.size());
         if (response->status == 200) store_in_cache(target, *response);
         respond(s, std::move(*response));
       });
@@ -436,6 +443,7 @@ void HttpProxy::forward(const ClientConnPtr& state, http::Request request) {
           return;
         }
         stats_.upstream_body_bytes += response->body.size();
+        metrics_.upstream_body_bytes.inc(response->body.size());
         if (config_.enable_cache && method == http::Method::kGet &&
             response->status == 200) {
           store_in_cache(target, *response);

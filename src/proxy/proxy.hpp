@@ -55,7 +55,7 @@ struct ProxyStats {
 struct ProxyMetrics {
   obs::CounterHandle client_connections, upstream_connections, bytes_up,
       bytes_down, requests_forwarded, cache_fresh_hits, cache_revalidated_hits,
-      cache_misses;
+      cache_misses, cache_stores, upstream_body_bytes, idle_hangups;
   static ProxyMetrics bind();
 };
 

@@ -1,0 +1,76 @@
+#include "topo/router.hpp"
+
+#include <utility>
+
+namespace hsim::topo {
+
+Router::Metrics Router::Metrics::bind() {
+  Metrics m;
+  if (obs::registry() == nullptr) return m;
+  m.forwarded = obs::counter_handle("topo.router.forwarded");
+  m.dropped_queue = obs::counter_handle("topo.router.dropped_queue");
+  m.dropped_no_route = obs::counter_handle("topo.router.dropped_no_route");
+  return m;
+}
+
+Router::Router(sim::EventQueue& queue, std::int32_t id, std::string name)
+    : queue_(queue), id_(id), name_(std::move(name)) {}
+
+std::size_t Router::add_egress(net::Link* link,
+                               std::unique_ptr<QueueDisc> disc) {
+  const std::size_t index = egresses_.size();
+  egresses_.push_back({link, std::move(disc)});
+  // Back-pressure: when the transmitter drains, clock out the next packet.
+  link->set_on_idle([this, index] { pump(index); });
+  return index;
+}
+
+void Router::add_route(net::IpAddr dst, std::size_t egress) {
+  routes_[dst] = egress;
+}
+
+std::size_t Router::route_for(net::IpAddr dst) const {
+  if (const auto it = routes_.find(dst); it != routes_.end()) {
+    return it->second;
+  }
+  return default_route_;
+}
+
+void Router::deliver(net::Packet packet) {
+  const std::size_t index = route_for(packet.dst);
+  if (index == kNoRoute) {
+    ++stats_.dropped_no_route;
+    metrics_.dropped_no_route.inc();
+    return;
+  }
+  Egress& egress = egresses_[index];
+  const std::uint32_t depth_at_enqueue =
+      static_cast<std::uint32_t>(egress.disc->depth_packets());
+  net::Packet snapshot;
+  if (hop_trace_ != nullptr) snapshot = packet;  // cheap: payload is refcounted
+  const DropReason reason =
+      egress.disc->enqueue(std::move(packet), queue_.now());
+  if (reason != DropReason::kAccepted) {
+    ++stats_.dropped_queue;
+    metrics_.dropped_queue.inc();
+    return;
+  }
+  ++stats_.forwarded;
+  metrics_.forwarded.inc();
+  if (hop_trace_ != nullptr) {
+    hop_trace_->record_hop(queue_.now(), snapshot, id_, depth_at_enqueue);
+  }
+  pump(index);
+}
+
+void Router::pump(std::size_t index) {
+  Egress& egress = egresses_[index];
+  // transmit() may decline to start a transmission (fault-injection loss),
+  // leaving the link idle — keep feeding until it is actually busy or the
+  // discipline runs dry.
+  while (!egress.disc->empty() && !egress.link->transmitting()) {
+    egress.link->transmit(egress.disc->dequeue(queue_.now()));
+  }
+}
+
+}  // namespace hsim::topo

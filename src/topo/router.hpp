@@ -1,0 +1,95 @@
+// A store-and-forward router node.
+//
+// A Router is a net::PacketSink that forwards arriving packets onto one of
+// its egress ports via a static forwarding table (exact destination match,
+// with an optional default route). Each egress pairs a net::Link — the
+// physical transmitter — with a pluggable QueueDisc that owns all buffering
+// policy: the router enqueues into the discipline and clocks exactly one
+// packet at a time into the link, using Link::set_on_idle as back-pressure,
+// so the link's internal queue never holds more than the packet being
+// serialised and every queue/drop decision is the discipline's.
+//
+// Routers are the simulator's multi-hop observation points: an attached
+// PacketTrace records each forwarded packet with this router's id and the
+// egress queue depth it found at enqueue (the v2 trace formats' hop column).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "net/trace.hpp"
+#include "obs/metrics.hpp"
+#include "sim/event_queue.hpp"
+#include "topo/queue_disc.hpp"
+
+namespace hsim::topo {
+
+struct RouterStats {
+  std::uint64_t forwarded = 0;         // accepted onto an egress queue
+  std::uint64_t dropped_queue = 0;     // refused by a queue discipline
+  std::uint64_t dropped_no_route = 0;  // no table entry and no default route
+};
+
+class Router : public net::PacketSink {
+ public:
+  static constexpr std::size_t kNoRoute = std::numeric_limits<std::size_t>::max();
+
+  Router(sim::EventQueue& queue, std::int32_t id, std::string name);
+
+  /// Registers an egress port; the router does not own the link. Returns the
+  /// egress index used by add_route.
+  std::size_t add_egress(net::Link* link, std::unique_ptr<QueueDisc> disc);
+
+  /// Exact-match route: packets for `dst` leave through egress `egress`.
+  void add_route(net::IpAddr dst, std::size_t egress);
+  /// Fallback egress for destinations with no exact match.
+  void set_default_route(std::size_t egress) { default_route_ = egress; }
+
+  /// Multi-hop capture: every forwarded packet is recorded with this
+  /// router's id and the queue depth found at enqueue.
+  void set_hop_trace(net::PacketTrace* trace) { hop_trace_ = trace; }
+
+  // PacketSink: a packet arrived from one of the ingress links.
+  void deliver(net::Packet packet) override;
+
+  std::int32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  std::size_t egress_count() const { return egresses_.size(); }
+  const QueueDisc& egress_queue(std::size_t i) const { return *egresses_[i].disc; }
+  net::Link* egress_link(std::size_t i) const { return egresses_[i].link; }
+  const RouterStats& stats() const { return stats_; }
+
+ private:
+  struct Egress {
+    net::Link* link = nullptr;
+    std::unique_ptr<QueueDisc> disc;
+  };
+
+  std::size_t route_for(net::IpAddr dst) const;
+  /// Feeds the egress link while it is idle and the discipline has packets.
+  void pump(std::size_t egress);
+
+  sim::EventQueue& queue_;
+  std::int32_t id_;
+  std::string name_;
+  std::vector<Egress> egresses_;
+  std::map<net::IpAddr, std::size_t> routes_;
+  std::size_t default_route_ = kNoRoute;
+  net::PacketTrace* hop_trace_ = nullptr;
+  RouterStats stats_;
+
+  /// Aggregate topo.router.* metrics, summed over every router.
+  struct Metrics {
+    obs::CounterHandle forwarded, dropped_queue, dropped_no_route;
+    static Metrics bind();
+  };
+  Metrics metrics_ = Metrics::bind();
+};
+
+}  // namespace hsim::topo

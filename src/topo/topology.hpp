@@ -1,0 +1,137 @@
+// Named multi-hop topologies composed from hosts, routers and links.
+//
+// The builder wires caller-owned tcp::Hosts into router/link graphs and
+// returns a Topology that owns the routers, links and queue disciplines.
+// Three canonical shapes cover the many-client experiments:
+//
+//   star — contention-free reference: one hub router with a dedicated duplex
+//   access channel per client and per server, every egress queue unlimited.
+//   N clients never compete for bandwidth (each leg is private), which is
+//   exactly the PR-3 behaviour the dumbbell exists to correct.
+//
+//       client0 ── access ──┐
+//       client1 ── access ──┤ hub ── access ── server
+//       clientN ── access ──┘
+//
+//   dumbbell — the contention shape: per-client access legs into a "gate"
+//   router, one shared bottleneck link pair (each direction carrying the
+//   configured queue discipline) to a "core" router, and a host-attachment
+//   leg to the server. Every byte of every client crosses the same two
+//   bottleneck queues, so N clients genuinely share the capacity.
+//
+//       client0 ── access ──┐                      ┌── attach ── server
+//       client1 ── access ──┤ gate ══ bottleneck ══ core
+//       clientN ── access ──┘   (qdisc each way)
+//
+//   shared_bottleneck — the minimal N-behind-one-link shape: client access
+//   legs into one router whose single disciplined egress is the bottleneck
+//   into the server; the return path is the server's own bottleneck link
+//   fanning out at the router. (Only the client→server direction carries a
+//   queue discipline — use the dumbbell when both directions matter.)
+//
+// All randomness (RED drop streams, link jitter) forks off the one rng the
+// builder is given, so a topology is reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/link.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "tcp/host.hpp"
+#include "topo/queue_disc.hpp"
+#include "topo/router.hpp"
+
+namespace hsim::topo {
+
+/// Bottleneck link pair parameters (applied per direction).
+struct BottleneckSpec {
+  std::int64_t bandwidth_bps = 10'000'000;
+  sim::Time delay = sim::milliseconds(10);
+  QueueConfig queue;
+};
+
+/// Owns the routers, links and queue disciplines a builder wired up; hosts
+/// stay caller-owned. Links and routers are reachable by name:
+///   links:   "client<i>.up" / "client<i>.down", "bn.up" / "bn.down",
+///            "server.up" / "server.down"
+///   routers: "hub" (star), "gate" / "core" (dumbbell, shared_bottleneck)
+class Topology {
+ public:
+  Router* router(std::string_view name) const;
+  net::Link* link(std::string_view name) const;
+
+  const std::vector<std::unique_ptr<Router>>& routers() const {
+    return routers_;
+  }
+
+  /// Every queue discipline in the topology (router egress order), for
+  /// stats collection.
+  std::vector<const QueueDisc*> queues() const;
+
+  /// Total packets dropped by queue disciplines, all routers.
+  std::uint64_t queue_drops() const;
+
+  /// Attaches a multi-hop trace to every router.
+  void set_hop_trace(net::PacketTrace* trace);
+
+ private:
+  friend class TopologyBuilder;
+
+  net::Link* add_link(const std::string& name, sim::EventQueue& queue,
+                      const net::LinkConfig& config, sim::Rng rng);
+  Router* add_router(const std::string& name, sim::EventQueue& queue);
+
+  std::vector<std::unique_ptr<net::Link>> links_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::map<std::string, net::Link*, std::less<>> links_by_name_;
+  std::map<std::string, Router*, std::less<>> routers_by_name_;
+  std::int32_t next_router_id_ = 1;  // 0 is reserved; -1 means "no hop"
+};
+
+class TopologyBuilder {
+ public:
+  TopologyBuilder(sim::EventQueue& queue, sim::Rng rng)
+      : queue_(queue), rng_(rng) {}
+
+  /// Contention-free star (see file comment). Every egress queue is an
+  /// unlimited DropTail: the hub never drops, all loss behaviour stays in
+  /// the access links' own models.
+  Topology star(const std::vector<tcp::Host*>& clients, tcp::Host* server,
+                const net::ChannelConfig& access);
+
+  /// Shared dumbbell bottleneck (see file comment). `access` shapes each
+  /// client's private legs; `bottleneck` shapes the shared pair, including
+  /// the per-direction queue discipline.
+  Topology dumbbell(const std::vector<tcp::Host*>& clients, tcp::Host* server,
+                    const net::ChannelConfig& access,
+                    const BottleneckSpec& bottleneck);
+
+  /// N clients directly behind one disciplined bottleneck into the server.
+  Topology shared_bottleneck(const std::vector<tcp::Host*>& clients,
+                             tcp::Host* server,
+                             const net::ChannelConfig& access,
+                             const BottleneckSpec& bottleneck);
+
+ private:
+  /// Wires client i's duplex access legs: uplink into `ingress`, downlink
+  /// out of egress `i`-th port of `fanout` (routes added by caller).
+  void wire_client_legs(Topology& topo, const std::vector<tcp::Host*>& clients,
+                        const net::ChannelConfig& access, Router* ingress,
+                        Router* fanout);
+
+  sim::EventQueue& queue_;
+  sim::Rng rng_;
+};
+
+/// An unlimited DropTail for host-attachment and fan-out egresses whose
+/// queueing should be invisible.
+std::unique_ptr<QueueDisc> unlimited_queue(std::string label);
+
+}  // namespace hsim::topo

@@ -6,12 +6,20 @@
 // except their RNG streams, so their page times should cluster: Jain's
 // fairness index (Σx)²/(n·Σx²) must stay above a threshold. On failure the
 // full per-client spread is printed for debuggability.
+//
+// Two topologies are exercised: the legacy star (private access legs) and
+// the dumbbell, where all clients genuinely contend for one shared DropTail
+// bottleneck queue. A failing dumbbell run additionally writes the full
+// multi-hop packet trace next to the test binary (CI uploads it as an
+// artifact), so unfair runs can be diagnosed packet by packet.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
 
 #include "harness/experiment.hpp"
 #include "harness/workload.hpp"
+#include "net/trace_io.hpp"
 
 namespace hsim {
 namespace {
@@ -67,6 +75,45 @@ TEST(Fairness, SymmetricPersistentClientsShareTheBottleneckFairly) {
   const double jain = r.jain_fairness_index();
   EXPECT_GE(jain, 0.90) << "Jain's index " << jain << " below threshold\n"
                         << spread_report(r);
+}
+
+TEST(Fairness, SymmetricClientsBehindSharedDropTailBottleneckAreFair) {
+  // The dumbbell version of the property: here the clients do not merely
+  // share a funnel — every packet crosses the same two DropTail queues, so
+  // an unfair discipline (or a TCP pathology like lockout) would directly
+  // skew the page-time spread.
+  const unsigned kClients = 16;
+  harness::WorkloadConfig cfg = symmetric_config(kClients);
+  cfg.topology = harness::TopologyKind::kDumbbell;
+  cfg.bottleneck_queue.kind = topo::QueueDiscKind::kDropTail;
+  net::PacketTrace hop_trace(/*client_addr=*/1);
+  cfg.hop_trace = &hop_trace;
+
+  const harness::WorkloadResult r =
+      harness::run_workload(cfg, harness::shared_site());
+
+  const double jain = r.jain_fairness_index();
+  const bool ok = r.completed() == kClients && jain >= 0.85;
+  if (!ok) {
+    // Write the multi-hop trace for the CI artifact uploader: every packet
+    // at every router, with the bottleneck queue depth it found.
+    const char* path = "fairness_dumbbell.failing.trace";
+    if (net::write_file(path, net::trace_to_text(hop_trace.records()))) {
+      std::fprintf(stderr, "fairness: wrote failing-case trace to %s (%zu records)\n",
+                   path, hop_trace.records().size());
+    }
+  }
+  ASSERT_EQ(r.completed(), kClients) << spread_report(r);
+  EXPECT_GE(jain, 0.85) << "Jain's index " << jain
+                        << " below threshold behind shared DropTail queue\n"
+                        << spread_report(r);
+  // The property must not hold vacuously: the shared queues really carried
+  // every client's packets.
+  ASSERT_EQ(r.queues.size(), 2u);
+  for (const harness::QueueSummary& q : r.queues) {
+    EXPECT_EQ(q.kind, "droptail") << q.label;
+    EXPECT_GT(q.stats.enqueued_packets, 0u) << q.label;
+  }
 }
 
 TEST(Fairness, FairnessHoldsAcrossSeeds) {

@@ -1,0 +1,228 @@
+// Queue-discipline and router properties (topo subsystem).
+//
+// Three contracts pinned here:
+//   - DropTail never holds more than its packet/byte budgets, whatever the
+//     arrival/departure interleaving (property test over a seeded random
+//     workload).
+//   - RED's drop pattern is a pure function of (config, seed, arrival
+//     sequence): two same-seed instances driven identically produce the
+//     identical accept/drop sequence.
+//   - Conservation: packets offered to a router egress reconcile exactly
+//     with the queue discipline's counters and the link-level delivery
+//     counts — nothing is created, lost or double-counted between the
+//     discipline, the link and the far-end sink.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "topo/queue_disc.hpp"
+#include "topo/router.hpp"
+
+namespace hsim {
+namespace {
+
+net::Packet make_packet(net::IpAddr dst, std::size_t payload_bytes) {
+  net::Packet p;
+  p.src = 1;
+  p.dst = dst;
+  p.payload = buf::Bytes(std::string(payload_bytes, 'x'));
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// DropTail budgets
+// ---------------------------------------------------------------------------
+
+TEST(DropTail, NeverExceedsPacketBudget) {
+  topo::DropTail q("t", topo::DropTailConfig{/*limit_packets=*/16,
+                                             /*limit_bytes=*/0});
+  std::uint64_t accepted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (q.enqueue(make_packet(9, 100), /*now=*/i) ==
+        topo::DropReason::kAccepted) {
+      ++accepted;
+    }
+    EXPECT_LE(q.depth_packets(), 16u);
+  }
+  EXPECT_EQ(accepted, 16u);
+  EXPECT_EQ(q.stats().dropped_overflow, 84u);
+  EXPECT_EQ(q.stats().offered_packets, 100u);
+}
+
+TEST(DropTail, NeverExceedsByteBudgetProperty) {
+  // Random packet sizes and random interleaved dequeues: the byte budget
+  // must hold at every step, and the packet FIFO order must be preserved.
+  constexpr std::size_t kByteBudget = 4096;
+  topo::DropTail q("t", topo::DropTailConfig{/*limit_packets=*/0,
+                                             /*limit_bytes=*/kByteBudget});
+  sim::Rng rng(7);
+  sim::Time now = 0;
+  std::uint64_t enq = 0, deq = 0;
+  for (int step = 0; step < 5000; ++step) {
+    ++now;
+    if (rng.uniform_real(0.0, 1.0) < 0.6) {
+      const auto payload = static_cast<std::size_t>(rng.uniform(0, 1500));
+      if (q.enqueue(make_packet(9, payload), now) ==
+          topo::DropReason::kAccepted) {
+        ++enq;
+      }
+    } else if (!q.empty()) {
+      q.dequeue(now);
+      ++deq;
+    }
+    ASSERT_LE(q.depth_bytes(), kByteBudget);
+  }
+  EXPECT_EQ(q.stats().enqueued_packets, enq);
+  EXPECT_EQ(q.stats().dequeued_packets, deq);
+  EXPECT_GT(q.stats().dropped_overflow, 0u);  // the budget actually bit
+  EXPECT_EQ(q.stats().offered_packets,
+            q.stats().enqueued_packets + q.stats().dropped());
+}
+
+// ---------------------------------------------------------------------------
+// RED determinism
+// ---------------------------------------------------------------------------
+
+std::vector<topo::DropReason> drive_red(std::uint64_t seed) {
+  topo::RedConfig cfg;
+  cfg.min_threshold = 4.0;
+  cfg.max_threshold = 12.0;
+  cfg.max_drop_probability = 0.2;
+  cfg.weight = 0.2;  // fast-moving average so the test stays short
+  cfg.limit_packets = 32;
+  topo::Red q("r", cfg, sim::Rng(seed));
+
+  // Deterministic arrival pattern that holds the queue around the RED band:
+  // bursts of 3 arrivals, one departure.
+  std::vector<topo::DropReason> out;
+  sim::Time now = 0;
+  for (int step = 0; step < 400; ++step) {
+    ++now;
+    for (int a = 0; a < 3; ++a) {
+      out.push_back(q.enqueue(make_packet(9, 512), now));
+    }
+    if (!q.empty()) q.dequeue(now);
+    if (!q.empty()) q.dequeue(now);
+  }
+  return out;
+}
+
+TEST(Red, SameSeedSameDropPattern) {
+  const std::vector<topo::DropReason> a = drive_red(1234);
+  const std::vector<topo::DropReason> b = drive_red(1234);
+  EXPECT_EQ(a, b);
+
+  // Not vacuous: the pattern must contain accepts AND early drops.
+  int early = 0, accepted = 0;
+  for (topo::DropReason r : a) {
+    early += r == topo::DropReason::kEarly;
+    accepted += r == topo::DropReason::kAccepted;
+  }
+  EXPECT_GT(early, 0);
+  EXPECT_GT(accepted, 0);
+}
+
+TEST(Red, DifferentSeedsDivergeSomewhere) {
+  // Two seeds chosen so the uniform draws differ; the accept/drop sequences
+  // must not be identical (they share the deterministic skeleton but the
+  // early-drop coin flips differ).
+  EXPECT_NE(drive_red(1), drive_red(999));
+}
+
+TEST(Red, HardBudgetAlwaysEnforced) {
+  topo::RedConfig cfg;
+  cfg.min_threshold = 1000.0;  // early drops effectively disabled
+  cfg.max_threshold = 2000.0;
+  cfg.limit_packets = 8;
+  topo::Red q("r", cfg, sim::Rng(5));
+  for (int i = 0; i < 50; ++i) {
+    q.enqueue(make_packet(9, 64), i);
+    ASSERT_LE(q.depth_packets(), 8u);
+  }
+  EXPECT_EQ(q.stats().enqueued_packets, 8u);
+  EXPECT_EQ(q.stats().dropped_overflow, 42u);
+}
+
+// ---------------------------------------------------------------------------
+// Conservation through Router + QueueDisc + Link
+// ---------------------------------------------------------------------------
+
+struct CountingSink : net::PacketSink {
+  std::uint64_t packets = 0;
+  std::uint64_t wire_bytes = 0;
+  void deliver(net::Packet p) override {
+    ++packets;
+    wire_bytes += p.wire_size();
+  }
+};
+
+TEST(Router, DropCountersReconcileWithLinkDelivery) {
+  sim::EventQueue queue;
+  net::LinkConfig link_cfg;
+  link_cfg.bandwidth_bps = 1'000'000;
+  link_cfg.propagation_delay = sim::milliseconds(1);
+  link_cfg.queue_limit_packets = 4;  // back-pressure keeps this from mattering
+  net::Link link(queue, link_cfg, sim::Rng(3));
+  CountingSink sink;
+  link.set_sink(&sink);
+
+  topo::Router router(queue, /*id=*/1, "r1");
+  const std::size_t egress = router.add_egress(
+      &link, std::make_unique<topo::DropTail>(
+                 "t", topo::DropTailConfig{/*limit_packets=*/10,
+                                           /*limit_bytes=*/0}));
+  router.add_route(/*dst=*/9, egress);
+
+  // Offer a burst far exceeding the queue budget, then let it drain.
+  constexpr unsigned kOffered = 64;
+  for (unsigned i = 0; i < kOffered; ++i) {
+    router.deliver(make_packet(9, 1000));
+  }
+  queue.run_until(sim::seconds(10));
+
+  const topo::QueueStats& qs = router.egress_queue(egress).stats();
+  EXPECT_EQ(qs.offered_packets, kOffered);
+  EXPECT_EQ(qs.enqueued_packets + qs.dropped(), kOffered);
+  EXPECT_GT(qs.dropped_overflow, 0u);
+  // Everything the discipline admitted was dequeued and crossed the link:
+  EXPECT_EQ(qs.dequeued_packets, qs.enqueued_packets);
+  EXPECT_EQ(link.stats().packets_sent, qs.dequeued_packets);
+  EXPECT_EQ(link.stats().packets_dropped_queue, 0u);  // back-pressure held
+  EXPECT_EQ(sink.packets, qs.dequeued_packets);
+  // Router-level attribution matches the discipline's.
+  EXPECT_EQ(router.stats().forwarded, qs.enqueued_packets);
+  EXPECT_EQ(router.stats().dropped_queue, qs.dropped());
+}
+
+TEST(Router, NoRouteDropsAreCounted) {
+  sim::EventQueue queue;
+  net::Link link(queue, net::LinkConfig{}, sim::Rng(4));
+  CountingSink sink;
+  link.set_sink(&sink);
+  topo::Router router(queue, 1, "r1");
+  const std::size_t egress = router.add_egress(
+      &link, std::make_unique<topo::DropTail>(
+                 "t", topo::DropTailConfig{/*limit_packets=*/0,
+                                           /*limit_bytes=*/0}));
+  router.add_route(9, egress);
+
+  router.deliver(make_packet(9, 10));   // routed
+  router.deliver(make_packet(77, 10));  // no route, no default
+  queue.run_until(sim::seconds(1));
+  EXPECT_EQ(router.stats().forwarded, 1u);
+  EXPECT_EQ(router.stats().dropped_no_route, 1u);
+  EXPECT_EQ(sink.packets, 1u);
+
+  router.set_default_route(egress);
+  router.deliver(make_packet(77, 10));  // now follows the default
+  queue.run_until(sim::seconds(2));
+  EXPECT_EQ(router.stats().dropped_no_route, 1u);
+  EXPECT_EQ(sink.packets, 2u);
+}
+
+}  // namespace
+}  // namespace hsim

@@ -3,11 +3,18 @@
 //   hsim-trace run <table4|table6> [--seed N] [--binary] -o FILE
 //       Run a golden scenario and write the client-side trace to FILE
 //       (canonical text by default, stable binary with --binary).
+//   hsim-trace run dumbbell [--seed N] [--clients N] [--binary] -o FILE
+//       Run a small shared-bottleneck dumbbell workload with a multi-hop
+//       trace attached to every router; the resulting file uses the v2
+//       format with a per-hop column (router id + queue depth at enqueue).
 //   hsim-trace text FILE
-//       Print a trace file (either format) as canonical text.
+//       Print a trace file (either format) as canonical text; multi-hop
+//       traces gain a trailing hop=<router>:<depth> column.
 //   hsim-trace summarize FILE [--client ADDR]
 //       Print the paper's aggregate numbers (Pa, Bytes, %ov, ...) for a
 //       trace file. ADDR defaults to 1, the harness's client address.
+//       Multi-hop traces additionally get a per-hop table (one row per
+//       recording router, with mean/max egress queue depth).
 //   hsim-trace diff A B
 //       Structural record-by-record comparison. Exit 0 when identical,
 //       1 when the traces differ, 2 on usage/I-O errors.
@@ -21,6 +28,7 @@
 #include <vector>
 
 #include "harness/scenarios.hpp"
+#include "harness/workload.hpp"
 #include "net/trace_io.hpp"
 
 namespace {
@@ -30,6 +38,7 @@ using namespace hsim;
 int usage() {
   std::fprintf(stderr,
                "usage: hsim-trace run <table4|table6> [--seed N] [--binary] -o FILE\n"
+               "       hsim-trace run dumbbell [--seed N] [--clients N] [--binary] -o FILE\n"
                "       hsim-trace text FILE\n"
                "       hsim-trace summarize FILE [--client ADDR]\n"
                "       hsim-trace diff A B\n");
@@ -41,17 +50,50 @@ int fail(const std::string& message) {
   return 2;
 }
 
+int write_records(const std::string& scenario,
+                  const std::vector<net::TraceRecord>& records,
+                  const std::string& out_path, bool binary,
+                  unsigned long long seed) {
+  const bool ok = binary
+                      ? net::write_file(out_path, net::trace_to_binary(records))
+                      : net::write_file(out_path, net::trace_to_text(records));
+  if (!ok) return fail("cannot write " + out_path);
+  std::printf("%s: %zu records (%s, seed %llu) -> %s\n", scenario.c_str(),
+              records.size(), binary ? "binary" : "text", seed,
+              out_path.c_str());
+  return 0;
+}
+
+/// A small dumbbell workload with a multi-hop trace on every router: each
+/// packet appears once per router crossed, tagged with the router id and the
+/// egress queue depth it found at enqueue.
+int cmd_run_dumbbell(const std::vector<std::string>& args,
+                     const std::string& out_path, bool binary,
+                     std::uint64_t seed, unsigned clients) {
+  harness::WorkloadConfig config;
+  config.num_clients = clients;
+  config.master_seed = seed;
+  config.topology = harness::TopologyKind::kDumbbell;
+  net::PacketTrace hop_trace(/*client_addr=*/1);  // direction anchor: server
+  config.hop_trace = &hop_trace;
+  harness::run_workload(config, harness::shared_site());
+  (void)args;
+  return write_records("dumbbell", hop_trace.records(), out_path, binary,
+                       static_cast<unsigned long long>(seed));
+}
+
 int cmd_run(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
-  harness::ExperimentSpec spec;
-  if (!harness::golden_spec_by_name(args[0], &spec)) {
-    return fail("unknown scenario '" + args[0] + "' (try: table4, table6)");
-  }
   std::string out_path;
   bool binary = false;
+  std::uint64_t seed = 1;
+  unsigned clients = 4;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--seed" && i + 1 < args.size()) {
-      spec.seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+      seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--clients" && i + 1 < args.size()) {
+      clients = static_cast<unsigned>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
     } else if (args[i] == "--binary") {
       binary = true;
     } else if (args[i] == "-o" && i + 1 < args.size()) {
@@ -62,16 +104,19 @@ int cmd_run(const std::vector<std::string>& args) {
   }
   if (out_path.empty()) return usage();
 
+  if (args[0] == "dumbbell") {
+    return cmd_run_dumbbell(args, out_path, binary, seed, clients);
+  }
+  harness::ExperimentSpec spec;
+  if (!harness::golden_spec_by_name(args[0], &spec)) {
+    return fail("unknown scenario '" + args[0] +
+                "' (try: table4, table6, dumbbell)");
+  }
+  spec.seed = seed;
   const std::vector<net::TraceRecord> records =
       harness::capture_trace(spec, harness::shared_site());
-  const bool ok = binary
-                      ? net::write_file(out_path, net::trace_to_binary(records))
-                      : net::write_file(out_path, net::trace_to_text(records));
-  if (!ok) return fail("cannot write " + out_path);
-  std::printf("%s: %zu records (%s, seed %llu) -> %s\n", args[0].c_str(),
-              records.size(), binary ? "binary" : "text",
-              static_cast<unsigned long long>(spec.seed), out_path.c_str());
-  return 0;
+  return write_records(args[0], records, out_path, binary,
+                       static_cast<unsigned long long>(spec.seed));
 }
 
 int cmd_text(const std::vector<std::string>& args) {
@@ -112,6 +157,28 @@ int cmd_summarize(const std::vector<std::string>& args) {
   std::printf("overhead           %.2f%%\n", s.overhead_percent);
   std::printf("mean packet size   %.1f\n", s.mean_packet_size);
   std::printf("elapsed            %.6f s\n", s.elapsed_seconds());
+  if (net::trace_has_hops(records)) {
+    std::printf("\nper-hop (multi-hop trace):\n");
+    std::printf("%-8s %10s %12s %10s %10s %9s %8s\n", "hop", "packets",
+                "wire-bytes", "c->s", "s->c", "mean-q", "max-q");
+    for (const net::HopSummary& h : net::summarize_by_hop(records,
+                                                          client_addr)) {
+      char hop_name[16];
+      if (h.hop_router < 0) {
+        std::snprintf(hop_name, sizeof hop_name, "edge");
+      } else {
+        std::snprintf(hop_name, sizeof hop_name, "r%d", h.hop_router);
+      }
+      std::printf("%-8s %10llu %12llu %10llu %10llu %9.2f %8u\n", hop_name,
+                  static_cast<unsigned long long>(h.summary.packets),
+                  static_cast<unsigned long long>(h.summary.wire_bytes),
+                  static_cast<unsigned long long>(
+                      h.summary.packets_client_to_server),
+                  static_cast<unsigned long long>(
+                      h.summary.packets_server_to_client),
+                  h.mean_queue_depth, h.max_queue_depth);
+    }
+  }
   return 0;
 }
 
