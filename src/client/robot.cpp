@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 #include "content/microscape.hpp"
 #include "http/date.hpp"
@@ -16,6 +17,7 @@ std::string_view to_string(FailureKind kind) {
     case FailureKind::kPageDeadline: return "page-deadline";
     case FailureKind::kServerError: return "server-error";
     case FailureKind::kConnectionLost: return "connection-lost";
+    case FailureKind::kRetryBudgetExhausted: return "retry-budget-exhausted";
   }
   return "?";
 }
@@ -50,7 +52,8 @@ Robot::Robot(tcp::Host& host, net::IpAddr server_addr, net::Port server_port,
       server_port_(server_port),
       config_(std::move(config)),
       retry_timer_(host.event_queue()),
-      page_timer_(host.event_queue()) {}
+      page_timer_(host.event_queue()),
+      retry_rng_(config_.retry_jitter_seed) {}
 
 Robot::~Robot() {
   for (const LanePtr& lane : lanes_) {
@@ -82,6 +85,7 @@ void Robot::begin(DoneCallback done) {
   html_raw_consumed_ = 0;
   refs_discovered_ = 0;
   inflater_.reset();
+  retry_tokens_ = config_.retry_budget;
   retry_timer_.cancel();
   page_timer_.cancel();
   if (config_.page_deadline > 0) {
@@ -461,9 +465,23 @@ void Robot::handle_response(const LanePtr& lane, const PendingRequest& pending,
     ++retry.attempts;
     if (retry.attempts >= config_.max_attempts) {
       fail_request(retry, FailureKind::kServerError);
+    } else if (!consume_retry_token()) {
+      fail_request(retry, FailureKind::kRetryBudgetExhausted);
     } else {
-      retry.not_before =
-          host_.event_queue().now() + backoff_delay(retry.attempts);
+      sim::Time delay = backoff_delay(retry.attempts);
+      // An overloaded upstream (or a tripped proxy breaker) tells us when
+      // to come back; honoring it beats hammering the shared bottleneck.
+      if (const auto ra = response.headers.get("Retry-After")) {
+        const long secs = std::strtol(std::string(*ra).c_str(), nullptr, 10);
+        if (secs > 0) {
+          const sim::Time hinted = sim::seconds(secs);
+          if (hinted > delay) {
+            delay = hinted;
+            ++stats_.retry_after_honored;
+          }
+        }
+      }
+      retry.not_before = host_.event_queue().now() + delay;
       queue_.push_back(std::move(retry));
     }
     maybe_finish();
@@ -481,6 +499,7 @@ void Robot::handle_response(const LanePtr& lane, const PendingRequest& pending,
   } else {
     ++stats_.responses_error;
   }
+  if (response.status < 400) refund_retry_token();
 
   const bool deflated =
       response.headers.has_token("Content-Encoding", "deflate");
@@ -552,11 +571,37 @@ void Robot::handle_response(const LanePtr& lane, const PendingRequest& pending,
   if (!finished_) pump();
 }
 
-sim::Time Robot::backoff_delay(unsigned attempts) const {
+sim::Time Robot::backoff_delay(unsigned attempts) {
   if (config_.retry_backoff <= 0 || attempts == 0) return 0;
   const unsigned shift = std::min(attempts - 1, 6u);
-  const sim::Time delay = config_.retry_backoff << shift;
+  sim::Time delay = config_.retry_backoff << shift;
+  if (config_.retry_jitter > 0.0) {
+    // De-phase clients hit by the same shared fault: without jitter, every
+    // victim of a bottleneck flap re-issues on the same tick and the retry
+    // wave re-congests the link the moment it heals.
+    delay = static_cast<sim::Time>(static_cast<double>(delay) *
+                                   retry_rng_.jitter(config_.retry_jitter));
+  }
   return std::min(delay, config_.retry_backoff_cap);
+}
+
+bool Robot::consume_retry_token() {
+  if (config_.retry_budget == 0) return true;
+  if (retry_tokens_ == 0) {
+    ++stats_.retry_budget_exhausted;
+    return false;
+  }
+  --retry_tokens_;
+  ++stats_.retry_tokens_consumed;
+  return true;
+}
+
+void Robot::refund_retry_token() {
+  if (config_.retry_budget == 0) return;
+  if (retry_tokens_ < config_.retry_budget) {
+    ++retry_tokens_;
+    ++stats_.retry_tokens_refunded;
+  }
 }
 
 void Robot::arm_request_deadline(const LanePtr& lane) {
@@ -622,6 +667,10 @@ void Robot::on_lane_closed(const LanePtr& lane, LaneClose cause) {
             break;
         }
         fail_request(req, kind);
+        continue;
+      }
+      if (!consume_retry_token()) {
+        fail_request(req, FailureKind::kRetryBudgetExhausted);
         continue;
       }
       if (cause == LaneClose::kReset) {

@@ -28,6 +28,7 @@
 #include "http/parser.hpp"
 #include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/random.hpp"
 #include "tcp/host.hpp"
 
 namespace hsim::client {
@@ -50,6 +51,7 @@ enum class FailureKind {
   kPageDeadline,      // whole-page deadline expired
   kServerError,       // 5xx responses persisted through every retry
   kConnectionLost,    // connection kept closing/resetting under us
+  kRetryBudgetExhausted,  // retry token bucket ran dry (anti-storm hard stop)
 };
 std::string_view to_string(FailureKind kind);
 
@@ -130,6 +132,23 @@ struct ClientConfig {
   /// default: the paper's robot treated errors as terminal.
   bool retry_server_errors = false;
 
+  // ---- Anti-storm recovery -----------------------------------------------
+  /// Per-visit retry token bucket: every charged retry (head-of-lane
+  /// recovery or 5xx re-issue) consumes one token; each successful response
+  /// refunds one (never past the budget). A retry attempted with an empty
+  /// bucket hard-stops the request with kRetryBudgetExhausted instead of
+  /// joining a synchronized retry storm. 0 = unlimited (budget disabled).
+  unsigned retry_budget = 0;
+
+  /// Multiplicative jitter on backoff_delay(): each wait is scaled by
+  /// U[1-j, 1+j] drawn from this client's own seeded stream, de-phasing
+  /// clients whose connections were killed by the same shared fault.
+  /// 0 = deterministic exponential backoff (the legacy behaviour).
+  double retry_jitter = 0.0;
+  /// Seed for the jitter stream; give each client a distinct value (the
+  /// harness derives one per client from the master seed).
+  std::uint64_t retry_jitter_seed = 0;
+
   bool wants_deflate() const {
     return mode == ProtocolMode::kHttp11PipelinedCompressed;
   }
@@ -168,6 +187,13 @@ struct RobotStats {
   std::size_t transport_failures = 0;     // established-connection give-ups
   std::size_t request_deadlines_fired = 0;
   bool page_deadline_hit = false;
+  // Retry-budget bookkeeping (all zero when ClientConfig::retry_budget == 0).
+  std::size_t retry_tokens_consumed = 0;
+  std::size_t retry_tokens_refunded = 0;
+  std::size_t retry_budget_exhausted = 0;  // retries refused on empty bucket
+  /// 503 responses whose Retry-After delayed the re-issue beyond the
+  /// client's own backoff.
+  std::size_t retry_after_honored = 0;
   /// One entry per permanently-failed request, with the responsible fault.
   std::vector<RequestFailure> failures;
 
@@ -257,7 +283,13 @@ class Robot {
   void on_lane_closed(const LanePtr& lane, LaneClose cause);
   void handle_response(const LanePtr& lane, const PendingRequest& pending,
                        http::Response response);
-  sim::Time backoff_delay(unsigned attempts) const;
+  sim::Time backoff_delay(unsigned attempts);
+  /// Takes one retry token (true = retry may proceed). With the budget
+  /// disabled always true; on an empty bucket counts the exhaustion and
+  /// returns false.
+  bool consume_retry_token();
+  /// Returns one token on success, never exceeding the configured budget.
+  void refund_retry_token();
   void arm_request_deadline(const LanePtr& lane);
   void fail_request(const PendingRequest& request, FailureKind kind);
   void on_page_deadline();
@@ -276,6 +308,10 @@ class Robot {
   /// Wakes pump() once the head-of-queue retry backoff elapses.
   sim::Timer retry_timer_;
   sim::Timer page_timer_;
+  /// Retry tokens remaining this visit (see ClientConfig::retry_budget).
+  unsigned retry_tokens_ = 0;
+  /// Per-client backoff jitter stream (see ClientConfig::retry_jitter).
+  sim::Rng retry_rng_;
 
   std::deque<PendingRequest> queue_;  // not yet assigned to a lane
   std::vector<LanePtr> lanes_;

@@ -130,7 +130,7 @@ bool cache_matches_site(const client::Cache& cache,
 
 ChaosOutcome run_chaos(ChaosFault fault, client::ProtocolMode mode,
                        const content::MicroscapeSite& site,
-                       std::uint64_t seed) {
+                       std::uint64_t seed, TopologyKind topology) {
   ExperimentSpec spec;
   spec.network = wan_profile();
   spec.client = robot_config(mode);
@@ -139,10 +139,41 @@ ChaosOutcome run_chaos(ChaosFault fault, client::ProtocolMode mode,
   apply_chaos(fault, spec);
 
   ChaosOutcome outcome;
-  spec.inspect_robot = [&](client::Robot& robot) {
-    outcome.byte_exact = cache_matches_site(robot.cache(), site);
-  };
-  outcome.result = run_once(spec, site);
+  if (topology == TopologyKind::kStar) {
+    spec.inspect_robot = [&](client::Robot& robot) {
+      outcome.byte_exact = cache_matches_site(robot.cache(), site);
+    };
+    outcome.result = run_once(spec, site);
+    return outcome;
+  }
+
+  // Topology substrate: the same armed client and faulted configuration, but
+  // the single retrieval crosses routers and queue disciplines. Channel
+  // mutations land on the client's access leg; server faults ride through
+  // unchanged.
+  WorkloadConfig wc;
+  wc.num_clients = 1;
+  wc.arrivals = ArrivalProcess::kFixedInterval;
+  wc.topology = topology;
+  wc.access = wan_profile();
+  wc.mutate_access = spec.mutate_channel;
+  wc.server = spec.server;
+  wc.client = spec.client;
+  wc.master_seed = seed;
+  wc.verify_cache = true;
+  // The armed page deadline bounds the retrieval; keep the workload horizon
+  // comfortably past it so the verdict is the robot's, not the harness's.
+  wc.horizon = sim::seconds(300);
+  WorkloadResult wr = run_workload(wc, site);
+
+  const ClientOutcome& client = wr.clients.at(0);
+  outcome.byte_exact = client.byte_exact;
+  outcome.result.trace = wr.bottleneck;
+  outcome.result.robot = client.stats;
+  outcome.result.server = wr.server;
+  outcome.result.metrics = std::move(wr.metrics);
+  outcome.result.page_started = client.stats.started;
+  outcome.result.page_finished = client.stats.finished;
   return outcome;
 }
 

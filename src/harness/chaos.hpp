@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/workload.hpp"
 
 namespace hsim::harness {
 
@@ -51,8 +52,15 @@ struct ChaosOutcome {
 
 /// Runs one first-visit retrieval of `site` under `fault` with protocol
 /// `mode` on the WAN profile. Deterministic for a given seed.
+///
+/// `topology` selects the substrate: kStar is the legacy single-channel
+/// run_once path (byte-exact with earlier builds); kDumbbell and
+/// kDumbbellRedundant drive the same fault regime through the router /
+/// queue-discipline topologies, with the channel mutation applied to the
+/// client's access leg. Every regime terminates on every substrate.
 ChaosOutcome run_chaos(ChaosFault fault, client::ProtocolMode mode,
                        const content::MicroscapeSite& site,
-                       std::uint64_t seed = 1);
+                       std::uint64_t seed = 1,
+                       TopologyKind topology = TopologyKind::kStar);
 
 }  // namespace hsim::harness

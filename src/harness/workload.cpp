@@ -121,7 +121,15 @@ WorkloadResult run_workload(const WorkloadConfig& config,
   sim::EventQueue queue;
   queue.reserve(64 + 16 * static_cast<std::size_t>(n));
 
-  const bool dumbbell = config.topology == TopologyKind::kDumbbell;
+  const bool redundant = config.topology == TopologyKind::kDumbbellRedundant;
+  const bool dumbbell = config.topology != TopologyKind::kStar;
+  // Bottleneck link names depend on the shape; the redundant dumbbell has a
+  // primary pair (bnA) and a backup pair (bnB), all of which get the trace tap
+  // so conservation and the summary hold across failovers.
+  const std::vector<std::string> bn_links =
+      redundant
+          ? std::vector<std::string>{"bnA.up", "bnA.down", "bnB.up", "bnB.down"}
+          : std::vector<std::string>{"bn.up", "bn.down"};
 
   // ---- Shared side: server host, bottleneck, aggregation points ----
   sim::Rng server_rng(derive_seed(config.master_seed, kServerSeedSalt));
@@ -132,7 +140,8 @@ WorkloadResult run_workload(const WorkloadConfig& config,
     bottleneck_trace.record(queue.now(), p);
   };
 
-  const net::ChannelConfig access = config.access.channel_config();
+  net::ChannelConfig access = config.access.channel_config();
+  if (config.mutate_access) config.mutate_access(access);
   std::vector<std::unique_ptr<tcp::Host>> hosts;
   std::vector<std::unique_ptr<net::Link>> links;  // star: owns up+down per client
   std::vector<std::unique_ptr<client::Robot>> robots;
@@ -142,6 +151,16 @@ WorkloadResult run_workload(const WorkloadConfig& config,
   client::ClientConfig client_template = config.client;
   client_template.tcp.recv_buffer = std::min(
       client_template.tcp.recv_buffer, config.access.client_recv_buffer);
+  // De-synchronised backoff: each client's retry jitter draws from its own
+  // splitmix64 stream, so a fleet never stampedes in lock-step. The seed is
+  // a plain config value (no rng draw), leaving legacy draw order untouched.
+  const auto client_config_for = [&](unsigned i) {
+    client::ClientConfig cc = client_template;
+    if (cc.retry_jitter > 0.0 && cc.retry_jitter_seed == 0) {
+      cc.retry_jitter_seed = derive_seed(config.master_seed, kRetrySeedSalt + i);
+    }
+    return cc;
+  };
 
   // Star wiring (legacy path — everything here, including the server_rng and
   // per-client rng fork order, must stay byte-exact with pre-topology builds).
@@ -189,7 +208,7 @@ WorkloadResult run_workload(const WorkloadConfig& config,
       fanout.routes[client_addr(i)] = down.get();
       host->attach_uplink(up.get());
       robots.push_back(std::make_unique<client::Robot>(*host, kServerAddr, 80,
-                                                       client_template));
+                                                       client_config_for(i)));
       hosts.push_back(std::move(host));
       links.push_back(std::move(up));
       links.push_back(std::move(down));
@@ -214,13 +233,16 @@ WorkloadResult run_workload(const WorkloadConfig& config,
     // One knob governs the physical packet budget in both topologies.
     spec.queue.drop_tail.limit_packets = config.bottleneck_queue_packets;
     spec.queue.red.limit_packets = config.bottleneck_queue_packets;
+    spec.mutate_link = config.mutate_bottleneck;
 
     topo::TopologyBuilder builder(
         queue, sim::Rng(derive_seed(config.master_seed, kTopoSeedSalt)));
-    topo = builder.dumbbell(client_hosts, &server_host, access, spec);
-    topo.link("bn.up")->set_tap(tap);
-    topo.link("bn.down")->set_tap(tap);
+    topo = redundant ? builder.dumbbell_redundant(client_hosts, &server_host,
+                                                  access, spec, config.failover)
+                     : builder.dumbbell(client_hosts, &server_host, access, spec);
+    for (const std::string& name : bn_links) topo.link(name)->set_tap(tap);
     if (config.hop_trace) topo.set_hop_trace(config.hop_trace);
+    if (config.on_topology) config.on_topology(topo, queue);
 
     server = std::make_unique<server::HttpServer>(
         server_host, server::StaticSite::from_microscape(site), config.server,
@@ -229,7 +251,7 @@ WorkloadResult run_workload(const WorkloadConfig& config,
 
     for (unsigned i = 0; i < n; ++i) {
       robots.push_back(std::make_unique<client::Robot>(
-          *hosts[i], kServerAddr, 80, client_template));
+          *hosts[i], kServerAddr, 80, client_config_for(i)));
     }
   }
 
@@ -254,6 +276,13 @@ WorkloadResult run_workload(const WorkloadConfig& config,
       robots[i]->start_first_visit(config.root,
                                    [&resolved, i] { resolved[i] = 1; });
     });
+  }
+
+  if (config.epoch > 0 && config.on_epoch) {
+    for (sim::Time te = config.epoch; te <= config.horizon;
+         te += config.epoch) {
+      queue.schedule_at(te, [&config] { config.on_epoch(); });
+    }
   }
 
   queue.run_until(config.horizon);
@@ -294,12 +323,13 @@ WorkloadResult run_workload(const WorkloadConfig& config,
     // All bottleneck buffering lives in the queue disciplines (the links'
     // internal queues are back-pressured and never drop, but count them
     // anyway so a regression there can't hide).
-    result.bottleneck_queue_drops =
-        topo.queue_drops() +
-        topo.link("bn.up")->stats().packets_dropped_queue +
-        topo.link("bn.down")->stats().packets_dropped_queue;
+    result.bottleneck_queue_drops = topo.queue_drops();
+    for (const std::string& name : bn_links) {
+      result.bottleneck_queue_drops +=
+          topo.link(name)->stats().packets_dropped_queue;
+    }
     for (const topo::QueueDisc* q : topo.queues()) {
-      if (q->label().rfind("bn.", 0) != 0) continue;  // fan-out queues: silent
+      if (q->label().rfind("bn", 0) != 0) continue;  // fan-out queues: silent
       result.queues.push_back(
           QueueSummary{q->label(), std::string(q->kind()), q->stats()});
     }

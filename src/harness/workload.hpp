@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,7 @@
 #include "server/server.hpp"
 #include "tcp/host.hpp"
 #include "topo/queue_disc.hpp"
+#include "topo/topology.hpp"
 
 namespace hsim::harness {
 
@@ -55,6 +57,9 @@ enum class ArrivalProcess {
 enum class TopologyKind {
   kStar,      // legacy funnel/fan-out; byte-exact with pre-topology builds
   kDumbbell,  // routers + queue disciplines around a shared bottleneck
+  /// Dumbbell with a redundant bottleneck pair and deterministic
+  /// forwarding-table failover (topo::TopologyBuilder::dumbbell_redundant).
+  kDumbbellRedundant,
 };
 
 struct WorkloadConfig {
@@ -64,6 +69,12 @@ struct WorkloadConfig {
 
   /// Per-client access network (bandwidth/RTT/queue of the client's own leg).
   NetworkProfile access = lan_profile();
+
+  /// Optional edit of the access channel after the profile produced it but
+  /// before any link is built — the same fault-injection hook as
+  /// ExperimentSpec::mutate_channel, so every chaos regime can ride any
+  /// topology. Null = profile used as-is (the legacy byte-exact path).
+  std::function<void(net::ChannelConfig&)> mutate_access;
 
   /// Which shape carries the traffic. kStar keeps the legacy funnel path
   /// (byte-exact with pre-topology builds); kDumbbell routes every client
@@ -80,6 +91,27 @@ struct WorkloadConfig {
   /// bottleneck_queue_packets above, so the one knob governs the physical
   /// buffer in both topologies.
   topo::QueueConfig bottleneck_queue;
+
+  /// Dumbbell only: edit of the bottleneck link config(s) before the links
+  /// are built (topo::BottleneckSpec::mutate_link) — how fault timelines arm
+  /// outage windows on the shared link. In the redundant dumbbell this hits
+  /// the primary pair only.
+  std::function<void(net::LinkConfig&)> mutate_bottleneck;
+
+  /// kDumbbellRedundant only: failover detection delay.
+  topo::FailoverSpec failover;
+
+  /// Dumbbell shapes only: called with the freshly-built topology and the
+  /// event queue before any client starts. Fault timelines use it to grab
+  /// router pointers and schedule crashes / wedges; oracles to capture the
+  /// structures they will walk.
+  std::function<void(topo::Topology&, sim::EventQueue&)> on_topology;
+
+  /// When both are set, on_epoch fires every `epoch` of simulated time up to
+  /// the horizon (first firing at t = epoch). The soak harness runs its
+  /// invariant oracles here.
+  sim::Time epoch = 0;
+  std::function<void()> on_epoch;
 
   /// Dumbbell only: when set, every packet crossing a router is recorded
   /// here with the router id and the egress queue depth at enqueue
@@ -176,6 +208,9 @@ inline constexpr std::uint64_t kClientSeedSalt = 0xC000;
 /// Dumbbell topology stream (router-egress links, RED drop draws). A
 /// separate salt keeps the star path's draw order untouched.
 inline constexpr std::uint64_t kTopoSeedSalt = 0x70B0;
+/// Per-client retry-jitter stream (client i gets salt + i). Only consulted
+/// when ClientConfig::retry_jitter > 0, so it is invisible to legacy runs.
+inline constexpr std::uint64_t kRetrySeedSalt = 0x4E77;
 
 WorkloadResult run_workload(const WorkloadConfig& config,
                             const content::MicroscapeSite& site);

@@ -1,6 +1,8 @@
 #include "net/link.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace hsim::net {
@@ -17,8 +19,35 @@ std::vector<OutageWindow> make_flaps(sim::Time first_down, sim::Time down_for,
   return windows;
 }
 
+void normalize_outages(std::vector<OutageWindow>& windows) {
+  std::sort(windows.begin(), windows.end(),
+            [](const OutageWindow& a, const OutageWindow& b) {
+              return a.down_at < b.down_at;
+            });
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const OutageWindow& w = windows[i];
+    if (w.up_at <= w.down_at) {
+      throw std::invalid_argument(
+          "LinkConfig::outages: empty outage window [" +
+          std::to_string(w.down_at) + ", " + std::to_string(w.up_at) + ")");
+    }
+    if (i > 0 && w.down_at < windows[i - 1].up_at) {
+      throw std::invalid_argument(
+          "LinkConfig::outages: overlapping outage windows [" +
+          std::to_string(windows[i - 1].down_at) + ", " +
+          std::to_string(windows[i - 1].up_at) + ") and [" +
+          std::to_string(w.down_at) + ", " + std::to_string(w.up_at) + ")");
+    }
+  }
+}
+
 Link::Link(sim::EventQueue& queue, LinkConfig config, sim::Rng rng)
-    : queue_(queue), config_(std::move(config)), rng_(rng) {}
+    : queue_(queue), config_(std::move(config)), rng_(rng) {
+  normalize_outages(config_.outages);
+  if (!config_.label.empty()) {
+    label_metrics_ = LabelMetrics::bind(config_.label);
+  }
+}
 
 Link::Metrics Link::Metrics::bind() {
   Metrics m;
@@ -29,6 +58,21 @@ Link::Metrics Link::Metrics::bind() {
   m.dropped_faults = obs::counter_handle("net.link.dropped_faults");
   m.duplicated = obs::counter_handle("net.link.duplicated");
   m.reordered = obs::counter_handle("net.link.reordered");
+  return m;
+}
+
+Link::LabelMetrics Link::LabelMetrics::bind(const std::string& label) {
+  LabelMetrics m;
+  if (obs::registry() == nullptr) return m;
+  const std::string base = "net.link." + label + ".";
+  m.packets_sent = obs::counter_handle(base + "packets_sent");
+  m.dropped_queue = obs::counter_handle(base + "dropped_queue");
+  m.dropped_random = obs::counter_handle(base + "dropped_random");
+  m.dropped_burst = obs::counter_handle(base + "dropped_burst");
+  m.dropped_outage = obs::counter_handle(base + "dropped_outage");
+  m.corrupted = obs::counter_handle(base + "corrupted");
+  m.duplicated = obs::counter_handle(base + "duplicated");
+  m.reordered = obs::counter_handle(base + "reordered");
   return m;
 }
 
@@ -50,6 +94,7 @@ bool Link::loss_model_drops() {
       rng_.chance(config_.random_drop_probability)) {
     ++stats_.packets_dropped_random;
     metrics_.dropped_faults.inc();
+    label_metrics_.dropped_random.inc();
     return true;
   }
   if (config_.gilbert_elliott.enabled) {
@@ -64,6 +109,7 @@ bool Link::loss_model_drops() {
     if (p > 0.0 && rng_.chance(p)) {
       ++stats_.packets_dropped_burst;
       metrics_.dropped_faults.inc();
+      label_metrics_.dropped_burst.inc();
       return true;
     }
   }
@@ -75,6 +121,7 @@ void Link::transmit(Packet packet) {
   if (tx_queue_.size() >= config_.queue_limit_packets) {
     ++stats_.packets_dropped_queue;
     metrics_.dropped_queue.inc();
+    label_metrics_.dropped_queue.inc();
     return;
   }
   tx_queue_.push_back(std::move(packet));
@@ -88,6 +135,7 @@ void Link::start_next_transmission() {
     tx_queue_.pop_front();
     ++stats_.packets_dropped_outage;
     metrics_.dropped_faults.inc();
+    label_metrics_.dropped_outage.inc();
   }
   if (tx_queue_.empty()) {
     transmitting_ = false;
@@ -103,6 +151,7 @@ void Link::start_next_transmission() {
   stats_.bytes_sent += packet.wire_size();
   metrics_.packets_sent.inc();
   metrics_.wire_bytes.inc(packet.wire_size());
+  label_metrics_.packets_sent.inc();
 
   // The modem model may shrink (or for incompressible data slightly grow) the
   // number of payload bytes that actually cross the physical medium.
@@ -133,6 +182,7 @@ void Link::start_next_transmission() {
     delivery += config_.reorder_extra_delay;
     ++stats_.packets_reordered;
     metrics_.reordered.inc();
+    label_metrics_.reordered.inc();
   } else {
     // Links never reorder on their own: a jittered packet may not overtake
     // its predecessor.
@@ -147,12 +197,14 @@ void Link::start_next_transmission() {
     queue_.schedule_at(delivery, [this] {
       ++stats_.packets_corrupted;
       metrics_.dropped_faults.inc();
+      label_metrics_.corrupted.inc();
     });
     return;
   }
   if (duplicated) {
     ++stats_.packets_duplicated;
     metrics_.duplicated.inc();
+    label_metrics_.duplicated.inc();
     queue_.schedule_at(delivery, [this, p = packet]() mutable {
       if (sink_ != nullptr) sink_->deliver(std::move(p));
     });

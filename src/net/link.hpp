@@ -76,6 +76,14 @@ struct OutageWindow {
 std::vector<OutageWindow> make_flaps(sim::Time first_down, sim::Time down_for,
                                      sim::Time up_for, unsigned count);
 
+/// Sorts `windows` by start time and validates the schedule: every window
+/// must be non-empty (down_at < up_at) and no two windows may overlap.
+/// Throws std::invalid_argument naming the offending window(s) otherwise.
+/// Link's constructor applies this to LinkConfig::outages, so a malformed
+/// outage schedule fails loudly at wiring time instead of silently double-
+/// counting drops mid-run.
+void normalize_outages(std::vector<OutageWindow>& windows);
+
 struct LinkConfig {
   /// Bits per second; 0 means infinite (no serialisation delay).
   std::int64_t bandwidth_bps = 0;
@@ -104,8 +112,16 @@ struct LinkConfig {
   /// Probability a packet is corrupted in flight: it consumes wire time but
   /// the receiver discards it (failed checksum), so it is never delivered.
   double corrupt_probability = 0.0;
-  /// Scheduled link outages (see OutageWindow). Windows may not overlap.
+  /// Scheduled link outages (see OutageWindow). Sorted and validated at link
+  /// construction by normalize_outages(): overlapping or empty windows are
+  /// rejected with std::invalid_argument.
   std::vector<OutageWindow> outages;
+  /// Optional identity for per-link registry metrics. When non-empty, the
+  /// link publishes `net.link.<label>.*` counters (sent/drop partition by
+  /// cause, duplication, reordering) alongside the aggregate `net.link.*`
+  /// family, so soak oracles and trace tooling can attribute loss to an
+  /// individual link. Empty (the default) keeps the registry untouched.
+  std::string label;
 };
 
 struct LinkStats {
@@ -163,6 +179,11 @@ class Link {
   /// True if an outage window covers `at`.
   bool is_down(sim::Time at) const;
 
+  /// Packets accepted but not yet clocked onto the wire. Conservation
+  /// oracles need this: dequeues from an upstream discipline equal
+  /// packets_sent + drops + this in-transmitter backlog at any instant.
+  std::size_t queued_packets() const { return tx_queue_.size(); }
+
   const LinkStats& stats() const { return stats_; }
   const LinkConfig& config() const { return config_; }
 
@@ -194,6 +215,17 @@ class Link {
     static Metrics bind();
   };
   Metrics metrics_ = Metrics::bind();
+
+  /// Per-link net.link.<label>.* metrics, bound only when config_.label is
+  /// set. Unlike the aggregate family this keeps the drop partition by
+  /// cause, so a soak oracle can tell an outage loss from a burst loss on
+  /// one specific link.
+  struct LabelMetrics {
+    obs::CounterHandle packets_sent, dropped_queue, dropped_random,
+        dropped_burst, dropped_outage, corrupted, duplicated, reordered;
+    static LabelMetrics bind(const std::string& label);
+  };
+  LabelMetrics label_metrics_;
 };
 
 }  // namespace hsim::net

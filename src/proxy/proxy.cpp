@@ -19,6 +19,9 @@ ProxyMetrics ProxyMetrics::bind() {
   m.cache_stores = obs::counter_handle("proxy.cache_stores");
   m.upstream_body_bytes = obs::counter_handle("proxy.upstream_body_bytes");
   m.idle_hangups = obs::counter_handle("proxy.idle_hangups");
+  m.breaker_trips = obs::counter_handle("proxy.breaker_trips");
+  m.breaker_rejections = obs::counter_handle("proxy.breaker_rejections");
+  m.breaker_probes = obs::counter_handle("proxy.breaker_probes");
   return m;
 }
 
@@ -303,14 +306,18 @@ void fetch_upstream(tcp::Host& host, const HttpProxyConfig& config,
           }
         }
       });
-  upstream->set_on_peer_fin([parser, shared_handler] {
+  upstream->set_on_peer_fin([upstream = upstream.get(), parser,
+                             shared_handler] {
+    parser->feed(upstream->read_all());
     parser->on_connection_closed();
-    if (auto response = parser->next()) {
-      if (*shared_handler) {
-        auto h = std::move(*shared_handler);
-        *shared_handler = nullptr;
-        h(std::move(*response));
-      }
+    auto response = parser->next();
+    if (*shared_handler) {
+      auto h = std::move(*shared_handler);
+      *shared_handler = nullptr;
+      // Close without a complete response is an upstream failure, not a
+      // silent hang — the handler must always resolve.
+      h(response ? std::optional<http::Response>(std::move(*response))
+                 : std::nullopt);
     }
   });
   upstream->set_on_reset([shared_handler] {
@@ -380,6 +387,11 @@ bool HttpProxy::try_cache(const ClientConnPtr& state,
 
   // Stale: revalidate upstream with our validator (the cheap HTTP/1.1
   // conditional GET the paper expects caches to use extensively).
+  if (!breaker_allows()) {
+    // Open circuit: a stale copy beats hammering a struggling origin.
+    serve_entry(it->second, request);
+    return true;
+  }
   http::Request conditional = request;
   if (!it->second.etag.empty()) {
     conditional.headers.set("If-None-Match", it->second.etag);
@@ -390,6 +402,7 @@ bool HttpProxy::try_cache(const ClientConnPtr& state,
       host_, config_, stats_, std::move(conditional),
       [this, weak, target = request.target,
        request](std::optional<http::Response> response) {
+        breaker_record(response.has_value() && response->status < 500);
         auto s = weak.lock();
         if (!s) return;
         if (!response) {
@@ -420,6 +433,70 @@ bool HttpProxy::try_cache(const ClientConnPtr& state,
   return true;
 }
 
+bool HttpProxy::breaker_allows() {
+  if (!config_.breaker.enabled) return true;
+  const sim::Time now = host_.event_queue().now();
+  if (breaker_state_ == BreakerState::kOpen &&
+      now - breaker_opened_at_ >= config_.breaker.open_duration) {
+    breaker_state_ = BreakerState::kHalfOpen;
+  }
+  switch (breaker_state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      return false;
+    case BreakerState::kHalfOpen:
+      if (breaker_probe_in_flight_) return false;
+      breaker_probe_in_flight_ = true;
+      ++stats_.breaker_probes;
+      metrics_.breaker_probes.inc();
+      return true;
+  }
+  return true;
+}
+
+void HttpProxy::breaker_record(bool success) {
+  if (!config_.breaker.enabled) return;
+  breaker_probe_in_flight_ = false;
+  if (success) {
+    breaker_failures_ = 0;
+    breaker_state_ = BreakerState::kClosed;
+    return;
+  }
+  if (breaker_state_ == BreakerState::kHalfOpen) {
+    // Failed probe: straight back to open for another full window.
+    breaker_state_ = BreakerState::kOpen;
+    breaker_opened_at_ = host_.event_queue().now();
+    ++stats_.breaker_trips;
+    metrics_.breaker_trips.inc();
+    return;
+  }
+  if (breaker_state_ == BreakerState::kClosed &&
+      ++breaker_failures_ >= config_.breaker.failure_threshold) {
+    breaker_state_ = BreakerState::kOpen;
+    breaker_opened_at_ = host_.event_queue().now();
+    ++stats_.breaker_trips;
+    metrics_.breaker_trips.inc();
+  }
+}
+
+void HttpProxy::reject_open_circuit(const ClientConnPtr& state,
+                                    const http::Request& request) {
+  ++stats_.breaker_rejections;
+  metrics_.breaker_rejections.inc();
+  http::Response response;
+  response.version = request.version;
+  response.status = 503;
+  response.reason = std::string(http::default_reason(503));
+  if (config_.breaker.retry_after > 0) {
+    response.headers.add(
+        "Retry-After",
+        std::to_string(config_.breaker.retry_after / 1'000'000'000));
+  }
+  response.headers.add("Content-Length", "0");
+  respond(state, std::move(response));
+}
+
 void HttpProxy::forward(const ClientConnPtr& state, http::Request request) {
   ++stats_.requests_forwarded;
   metrics_.requests_forwarded.inc();
@@ -427,6 +504,10 @@ void HttpProxy::forward(const ClientConnPtr& state, http::Request request) {
   request.headers.add("Via", config_.via_token);
 
   if (try_cache(state, request)) return;
+  if (!breaker_allows()) {
+    reject_open_circuit(state, request);
+    return;
+  }
 
   std::weak_ptr<ClientConn> weak = state;
   metrics_.upstream_connections.inc();
@@ -434,6 +515,7 @@ void HttpProxy::forward(const ClientConnPtr& state, http::Request request) {
       host_, config_, stats_, request,
       [this, weak, target = request.target,
        method = request.method](std::optional<http::Response> response) {
+        breaker_record(response.has_value() && response->status < 500);
         auto s = weak.lock();
         if (!s) return;
         if (!response) {

@@ -48,6 +48,11 @@ struct ProxyStats {
   std::uint64_t cache_misses = 0;            // full fetch from origin
   std::uint64_t cache_stores = 0;
   std::uint64_t upstream_body_bytes = 0;     // entity bytes fetched upstream
+
+  // Circuit breaker counters (HttpProxy only; zero when disabled).
+  std::uint64_t breaker_trips = 0;       // closed/half-open -> open
+  std::uint64_t breaker_rejections = 0;  // requests answered 503 locally
+  std::uint64_t breaker_probes = 0;      // half-open trial requests
 };
 
 /// proxy.* registry metrics, shared by TunnelProxy and HttpProxy (all-null
@@ -55,8 +60,23 @@ struct ProxyStats {
 struct ProxyMetrics {
   obs::CounterHandle client_connections, upstream_connections, bytes_up,
       bytes_down, requests_forwarded, cache_fresh_hits, cache_revalidated_hits,
-      cache_misses, cache_stores, upstream_body_bytes, idle_hangups;
+      cache_misses, cache_stores, upstream_body_bytes, idle_hangups,
+      breaker_trips, breaker_rejections, breaker_probes;
   static ProxyMetrics bind();
+};
+
+/// Consecutive-failure circuit breaker for HttpProxy's upstream fetches.
+/// Closed: requests flow, counting consecutive failures (reset or 5xx).
+/// Open (after failure_threshold in a row): requests are answered locally
+/// with `503 Retry-After`, shielding a struggling origin from the retry
+/// storm. After open_duration one half-open probe is let through; success
+/// closes the breaker, failure reopens it for another open_duration.
+struct CircuitBreakerConfig {
+  bool enabled = false;
+  unsigned failure_threshold = 3;
+  sim::Time open_duration = sim::seconds(5);
+  /// Retry-After hint attached to breaker 503s (0 = no header).
+  sim::Time retry_after = sim::seconds(5);
 };
 
 struct TunnelProxyConfig {
@@ -128,6 +148,9 @@ struct HttpProxyConfig {
   /// How long an entry is served without revalidation (0 = always
   /// revalidate — the "extensive validation" regime).
   sim::Time cache_fresh_ttl = 0;
+
+  /// Upstream circuit breaker (disabled by default).
+  CircuitBreakerConfig breaker;
 };
 
 /// Message-aware HTTP/1.0 proxy: parses requests and responses, strips
@@ -159,6 +182,8 @@ class HttpProxy {
     sim::Time stored_at = 0;
   };
 
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
   void on_client(tcp::ConnectionPtr conn);
   void pump(const ClientConnPtr& state);
   void forward(const ClientConnPtr& state, http::Request request);
@@ -170,6 +195,15 @@ class HttpProxy {
   static void strip_hop_by_hop(http::Headers& headers,
                                ProxyStats& stats);
 
+  /// May this request go upstream now? Advances open -> half-open on the
+  /// clock and claims the half-open probe slot.
+  bool breaker_allows();
+  /// Feed the breaker an upstream outcome (reset/5xx = failure).
+  void breaker_record(bool success);
+  /// Locally-built `503 Retry-After` for a rejected request.
+  void reject_open_circuit(const ClientConnPtr& state,
+                           const http::Request& request);
+
   tcp::Host& host_;
   HttpProxyConfig config_;
   net::Port port_ = 8080;
@@ -177,6 +211,11 @@ class HttpProxy {
   ProxyMetrics metrics_ = ProxyMetrics::bind();
   std::map<const tcp::Connection*, ClientConnPtr> clients_;
   std::map<std::string, CacheEntry> cache_;
+
+  BreakerState breaker_state_ = BreakerState::kClosed;
+  unsigned breaker_failures_ = 0;  // consecutive upstream failures
+  sim::Time breaker_opened_at_ = 0;
+  bool breaker_probe_in_flight_ = false;
 };
 
 }  // namespace hsim::proxy

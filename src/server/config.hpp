@@ -113,6 +113,12 @@ struct ServerConfig {
   /// Policy for connections beyond max_concurrent_connections.
   AdmissionPolicy admission_policy = AdmissionPolicy::kQueue;
 
+  /// When rejecting with 503, advertise this back-off hint in a Retry-After
+  /// header (whole seconds; 0 = no header, the legacy byte-exact framing).
+  /// Clients that honor it spread their re-issues instead of stampeding the
+  /// instant a slot frees.
+  sim::Time overload_retry_after = 0;
+
   /// Extra response headers (header verbosity differs across servers; this
   /// affects the byte counts in the tables).
   bool verbose_headers = false;

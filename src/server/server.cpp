@@ -220,6 +220,11 @@ void HttpServer::reject_with_503(tcp::ConnectionPtr conn) {
                               http::sim_to_unix(host_.event_queue().now())));
   res.headers.add("Server", config_.server_name);
   res.headers.add("Connection", "close");
+  if (config_.overload_retry_after > 0) {
+    res.headers.add("Retry-After",
+                    std::to_string(config_.overload_retry_after /
+                                   1'000'000'000));
+  }
   res.headers.add("Content-Length", "0");
   conn->send(res.serialize_chain());
   conn->shutdown_send();

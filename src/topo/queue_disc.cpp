@@ -61,6 +61,17 @@ net::Packet QueueDisc::dequeue(sim::Time now) {
   return std::move(entry.packet);
 }
 
+std::size_t QueueDisc::flush_all() {
+  const std::size_t flushed = fifo_.size();
+  fifo_.clear();
+  depth_bytes_ = 0;
+  stats_.dropped_flushed += flushed;
+  metrics_.dropped.inc(flushed);
+  metrics_.depth_packets.set(0);
+  metrics_.depth_bytes.set(0);
+  return flushed;
+}
+
 // ---------------------------------------------------------------------------
 // DropTail
 // ---------------------------------------------------------------------------

@@ -52,9 +52,15 @@ struct QueueStats {
   std::uint64_t dropped_overflow = 0;
   std::uint64_t dropped_early = 0;
   std::uint64_t dropped_forced = 0;
+  /// Packets discarded in-queue by flush_all() (router crash); these were
+  /// *enqueued* first, so conservation reads
+  /// enqueued == dequeued + dropped_flushed + depth.
+  std::uint64_t dropped_flushed = 0;
   std::size_t peak_depth_packets = 0;
   std::size_t peak_depth_bytes = 0;
 
+  /// Admission drops (packets refused at enqueue). Flushed packets are not
+  /// included: they were accepted and later destroyed.
   std::uint64_t dropped() const {
     return dropped_overflow + dropped_early + dropped_forced;
   }
@@ -75,6 +81,10 @@ class QueueDisc {
   /// Pops the head packet (precondition: !empty()). `now` stamps the
   /// queue-wait histogram.
   net::Packet dequeue(sim::Time now);
+
+  /// Destroys every queued packet (a crashing router loses its buffers),
+  /// counting each into dropped_flushed. Returns the number flushed.
+  std::size_t flush_all();
 
   bool empty() const { return fifo_.empty(); }
   std::size_t depth_packets() const { return fifo_.size(); }

@@ -34,6 +34,10 @@ struct RouterStats {
   std::uint64_t forwarded = 0;         // accepted onto an egress queue
   std::uint64_t dropped_queue = 0;     // refused by a queue discipline
   std::uint64_t dropped_no_route = 0;  // no table entry and no default route
+  std::uint64_t dropped_crashed = 0;   // arrived while the router was down
+  std::uint64_t crash_flushed = 0;     // queued packets lost to a crash
+  std::uint64_t failovers = 0;         // primary → backup route switches
+  std::uint64_t failbacks = 0;         // backup → primary route switches
 };
 
 class Router : public net::PacketSink {
@@ -55,6 +59,40 @@ class Router : public net::PacketSink {
   /// router's id and the queue depth found at enqueue.
   void set_hop_trace(net::PacketTrace* trace) { hop_trace_ = trace; }
 
+  // ---- Fault injection ----------------------------------------------------
+
+  /// Crashes the router: forwarding halts (arrivals are dropped with
+  /// attribution in dropped_crashed) and every packet buffered in an egress
+  /// discipline is destroyed (counted in crash_flushed and the discipline's
+  /// dropped_flushed). Idempotent while already crashed.
+  void crash();
+  /// Brings a crashed router back: forwarding resumes with empty buffers.
+  void restart();
+  bool crashed() const { return crashed_; }
+  /// Schedules a crash() at `down_at` and the matching restart() at `up_at`
+  /// on the router's event queue.
+  void schedule_crash(sim::Time down_at, sim::Time up_at);
+
+  /// Wedges an egress: its discipline keeps accepting packets but the router
+  /// stops clocking them into the link, so the queue fills and overflows.
+  /// Unwedging resumes pumping immediately.
+  void set_egress_wedged(std::size_t egress, bool wedged);
+  bool egress_wedged(std::size_t egress) const {
+    return egresses_[egress].wedged;
+  }
+
+  /// Deterministic forwarding-table failover: while the primary egress link
+  /// has been observed down for at least `detection_delay`, packets routed
+  /// to `primary` leave through `backup` instead; once the primary has been
+  /// observed healthy again for `detection_delay`, traffic fails back.
+  /// Detection is traffic-clocked (the state machine advances as packets
+  /// arrive), so with no traffic there is no detection — as with real
+  /// hello-based protocols, and exactly reproducible from the packet
+  /// sequence. Packets arriving inside the detection window still go to the
+  /// down primary (and are lost there) — that loss is the detection cost.
+  void set_failover(std::size_t primary, std::size_t backup,
+                    sim::Time detection_delay);
+
   // PacketSink: a packet arrived from one of the ingress links.
   void deliver(net::Packet packet) override;
 
@@ -69,9 +107,25 @@ class Router : public net::PacketSink {
   struct Egress {
     net::Link* link = nullptr;
     std::unique_ptr<QueueDisc> disc;
+    bool wedged = false;
+  };
+
+  /// Primary→backup reroute state; see set_failover.
+  struct Failover {
+    std::size_t primary = kNoRoute;
+    std::size_t backup = kNoRoute;
+    sim::Time detection_delay = 0;
+    bool using_backup = false;
+    bool down_observed = false;  // down_since/up_since valid flags
+    bool up_observed = false;
+    sim::Time down_since = 0;
+    sim::Time up_since = 0;
   };
 
   std::size_t route_for(net::IpAddr dst) const;
+  /// Applies the failover state machine to a routed egress, advancing
+  /// detection clocks as a side effect.
+  std::size_t resolve_failover(std::size_t egress);
   /// Feeds the egress link while it is idle and the discipline has packets.
   void pump(std::size_t egress);
 
@@ -82,11 +136,14 @@ class Router : public net::PacketSink {
   std::map<net::IpAddr, std::size_t> routes_;
   std::size_t default_route_ = kNoRoute;
   net::PacketTrace* hop_trace_ = nullptr;
+  bool crashed_ = false;
+  std::vector<Failover> failovers_;
   RouterStats stats_;
 
   /// Aggregate topo.router.* metrics, summed over every router.
   struct Metrics {
-    obs::CounterHandle forwarded, dropped_queue, dropped_no_route;
+    obs::CounterHandle forwarded, dropped_queue, dropped_no_route,
+        dropped_crashed, crash_flushed, failovers, failbacks;
     static Metrics bind();
   };
   Metrics metrics_ = Metrics::bind();

@@ -70,7 +70,11 @@ void Topology::set_hop_trace(net::PacketTrace* trace) {
 
 net::Link* Topology::add_link(const std::string& name, sim::EventQueue& queue,
                               const net::LinkConfig& config, sim::Rng rng) {
-  links_.push_back(std::make_unique<net::Link>(queue, config, rng));
+  // Every topology link is registry-visible under its topology name, so the
+  // drop partition is attributable per link at every layer.
+  net::LinkConfig labeled = config;
+  labeled.label = name;
+  links_.push_back(std::make_unique<net::Link>(queue, labeled, rng));
   net::Link* link = links_.back().get();
   links_by_name_[name] = link;
   return link;
@@ -139,7 +143,8 @@ Topology TopologyBuilder::dumbbell(const std::vector<tcp::Host*>& clients,
   Router* gate = topo.add_router("gate", queue_);
   Router* core = topo.add_router("core", queue_);
 
-  const net::LinkConfig bn_cfg = bottleneck_link_config(bottleneck);
+  net::LinkConfig bn_cfg = bottleneck_link_config(bottleneck);
+  if (bottleneck.mutate_link) bottleneck.mutate_link(bn_cfg);
   net::Link* bn_up = topo.add_link("bn.up", queue_, bn_cfg, rng_.fork());
   net::Link* bn_down = topo.add_link("bn.down", queue_, bn_cfg, rng_.fork());
   bn_up->set_sink(core);
@@ -156,6 +161,60 @@ Topology TopologyBuilder::dumbbell(const std::vector<tcp::Host*>& clients,
 
   // Server attachment: an infinite-capacity leg so the core has a Link to
   // clock against; the bottleneck serialisation happened one hop earlier.
+  net::Link* server_up =
+      topo.add_link("server.up", queue_, attach_link_config(), rng_.fork());
+  net::Link* server_down =
+      topo.add_link("server.down", queue_, attach_link_config(), rng_.fork());
+  server_up->set_sink(core);
+  server_down->set_sink(server);
+  server->attach_uplink(server_up);
+  const std::size_t to_server =
+      core->add_egress(server_down, unlimited_queue("core.server"));
+  core->add_route(server->addr(), to_server);
+
+  wire_client_legs(topo, clients, access, gate, gate);
+  return topo;
+}
+
+Topology TopologyBuilder::dumbbell_redundant(
+    const std::vector<tcp::Host*>& clients, tcp::Host* server,
+    const net::ChannelConfig& access, const BottleneckSpec& bottleneck,
+    const FailoverSpec& failover) {
+  Topology topo;
+  Router* gate = topo.add_router("gate", queue_);
+  Router* core = topo.add_router("core", queue_);
+
+  // Primary pair carries the injected faults; the backup pair stays clean so
+  // the failover has somewhere sane to land.
+  net::LinkConfig primary_cfg = bottleneck_link_config(bottleneck);
+  if (bottleneck.mutate_link) bottleneck.mutate_link(primary_cfg);
+  const net::LinkConfig backup_cfg = bottleneck_link_config(bottleneck);
+
+  net::Link* bna_up = topo.add_link("bnA.up", queue_, primary_cfg, rng_.fork());
+  net::Link* bna_down =
+      topo.add_link("bnA.down", queue_, primary_cfg, rng_.fork());
+  net::Link* bnb_up = topo.add_link("bnB.up", queue_, backup_cfg, rng_.fork());
+  net::Link* bnb_down =
+      topo.add_link("bnB.down", queue_, backup_cfg, rng_.fork());
+  bna_up->set_sink(core);
+  bnb_up->set_sink(core);
+  bna_down->set_sink(gate);
+  bnb_down->set_sink(gate);
+
+  const std::size_t gate_primary = gate->add_egress(
+      bna_up, make_queue_disc(bottleneck.queue, "bnA.up", rng_.fork()));
+  const std::size_t gate_backup = gate->add_egress(
+      bnb_up, make_queue_disc(bottleneck.queue, "bnB.up", rng_.fork()));
+  gate->add_route(server->addr(), gate_primary);
+  gate->set_failover(gate_primary, gate_backup, failover.detection_delay);
+
+  const std::size_t core_primary = core->add_egress(
+      bna_down, make_queue_disc(bottleneck.queue, "bnA.down", rng_.fork()));
+  const std::size_t core_backup = core->add_egress(
+      bnb_down, make_queue_disc(bottleneck.queue, "bnB.down", rng_.fork()));
+  core->set_default_route(core_primary);
+  core->set_failover(core_primary, core_backup, failover.detection_delay);
+
   net::Link* server_up =
       topo.add_link("server.up", queue_, attach_link_config(), rng_.fork());
   net::Link* server_down =

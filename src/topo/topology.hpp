@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -55,6 +56,19 @@ struct BottleneckSpec {
   std::int64_t bandwidth_bps = 10'000'000;
   sim::Time delay = sim::milliseconds(10);
   QueueConfig queue;
+  /// Optional edit of the bottleneck link configs just before the links are
+  /// built (both directions; in dumbbell_redundant only the *primary* pair).
+  /// This is how fault timelines arm outage windows / loss models on the
+  /// shared link without touching the access legs. Null = unmodified.
+  std::function<void(net::LinkConfig&)> mutate_link;
+};
+
+/// Redundant-bottleneck failover parameters (see dumbbell_redundant).
+struct FailoverSpec {
+  /// How long a router must observe the primary bottleneck link down before
+  /// rerouting onto the backup, and healthy again before failing back.
+  /// Detection is traffic-clocked (see Router::set_failover).
+  sim::Time detection_delay = sim::milliseconds(50);
 };
 
 /// Owns the routers, links and queue disciplines a builder wired up; hosts
@@ -69,6 +83,12 @@ class Topology {
 
   const std::vector<std::unique_ptr<Router>>& routers() const {
     return routers_;
+  }
+
+  /// Every link with its name, for conservation oracles that must account
+  /// for packets at each layer of each hop.
+  const std::map<std::string, net::Link*, std::less<>>& links_by_name() const {
+    return links_by_name_;
   }
 
   /// Every queue discipline in the topology (router egress order), for
@@ -118,6 +138,20 @@ class TopologyBuilder {
                              tcp::Host* server,
                              const net::ChannelConfig& access,
                              const BottleneckSpec& bottleneck);
+
+  /// Dumbbell with a redundant bottleneck: the shape of dumbbell(), plus a
+  /// second (backup) bottleneck pair between gate and core. Both directions
+  /// route over the primary pair ("bnA.up"/"bnA.down") until the owning
+  /// router observes it down for failover.detection_delay, then fail over to
+  /// the backup pair ("bnB.up"/"bnB.down"), failing back symmetrically once
+  /// the primary is healthy again. bottleneck.mutate_link applies to the
+  /// primary pair only, so injected outages exercise the failover path while
+  /// the backup stays clean.
+  Topology dumbbell_redundant(const std::vector<tcp::Host*>& clients,
+                              tcp::Host* server,
+                              const net::ChannelConfig& access,
+                              const BottleneckSpec& bottleneck,
+                              const FailoverSpec& failover);
 
  private:
   /// Wires client i's duplex access legs: uplink into `ingress`, downlink

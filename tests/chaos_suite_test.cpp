@@ -153,6 +153,127 @@ TEST(ChaosDeterminism, SameSeedReproducesTheRun) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Dumbbell topology: the same fault regimes with routed forwarding and a
+// shared bottleneck between the client and the server.
+// ---------------------------------------------------------------------------
+
+class ChaosDumbbell
+    : public ::testing::TestWithParam<std::tuple<ChaosFault, ProtocolMode>> {};
+
+TEST_P(ChaosDumbbell, ResolvesByteExactOrCleanlyAttributedThroughRouters) {
+  const auto [fault, mode] = GetParam();
+  const harness::ChaosOutcome outcome =
+      harness::run_chaos(fault, mode, harness::shared_site(), kSeed,
+                         harness::TopologyKind::kDumbbell);
+  const client::RobotStats& robot = outcome.result.robot;
+
+  // The contract is unchanged by the topology: resolve, never hang.
+  ASSERT_GT(robot.finished, robot.started)
+      << to_string(fault) << " / " << to_string(mode);
+
+  if (robot.complete) {
+    EXPECT_TRUE(outcome.byte_exact)
+        << to_string(fault) << " / " << to_string(mode);
+    EXPECT_EQ(robot.requests_failed, 0u);
+    EXPECT_TRUE(robot.failures.empty());
+  } else {
+    EXPECT_GT(robot.requests_failed, 0u);
+    EXPECT_EQ(robot.requests_failed, robot.failures.size());
+    for (const client::RequestFailure& failure : robot.failures) {
+      EXPECT_FALSE(failure.target.empty());
+      EXPECT_LE(failure.attempts, 8u);  // apply_chaos's max_attempts
+      EXPECT_FALSE(std::string(to_string(failure.kind)).empty());
+    }
+  }
+
+  const server::ServerStats& server = outcome.result.server;
+  switch (fault) {
+    case ChaosFault::kServerStall:
+      EXPECT_GE(server.stalls_injected, 1u);
+      break;
+    case ChaosFault::kPrematureClose:
+      EXPECT_GE(server.premature_closes_injected, 1u);
+      break;
+    case ChaosFault::kServerErrors:
+      EXPECT_GE(server.responses_5xx, 1u);
+      break;
+    default:
+      break;
+  }
+  // Traffic demonstrably crossed the shared bottleneck.
+  EXPECT_GT(outcome.result.trace.packets, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaultsDumbbell, ChaosDumbbell,
+    ::testing::Combine(
+        ::testing::ValuesIn(harness::all_chaos_faults()),
+        ::testing::Values(ProtocolMode::kHttp10Parallel,
+                          ProtocolMode::kHttp11Pipelined)),
+    param_name);
+
+TEST(ChaosDeterminismDumbbell, SameSeedReproducesTheRoutedRun) {
+  for (const ChaosFault fault : harness::all_chaos_faults()) {
+    const harness::ChaosOutcome a = harness::run_chaos(
+        fault, ProtocolMode::kHttp11Pipelined, harness::shared_site(), 3,
+        harness::TopologyKind::kDumbbell);
+    const harness::ChaosOutcome b = harness::run_chaos(
+        fault, ProtocolMode::kHttp11Pipelined, harness::shared_site(), 3,
+        harness::TopologyKind::kDumbbell);
+    EXPECT_EQ(a.result.trace.packets, b.result.trace.packets)
+        << to_string(fault);
+    EXPECT_EQ(a.result.trace.wire_bytes, b.result.trace.wire_bytes)
+        << to_string(fault);
+    EXPECT_EQ(a.result.robot.finished, b.result.robot.finished)
+        << to_string(fault);
+    EXPECT_EQ(a.result.robot.requests_failed, b.result.robot.requests_failed)
+        << to_string(fault);
+    EXPECT_EQ(a.byte_exact, b.byte_exact) << to_string(fault);
+  }
+}
+
+TEST(RetryAttribution, GracefulCloseAndResetPartitionHoldsThroughRouters) {
+  // The star-topology partition test below, replayed across the dumbbell:
+  // closes and RSTs must survive router forwarding with their attribution
+  // intact.
+  harness::WorkloadConfig wc;
+  wc.num_clients = 1;
+  wc.arrivals = harness::ArrivalProcess::kFixedInterval;
+  wc.topology = harness::TopologyKind::kDumbbell;
+  wc.access = harness::wan_profile();
+  wc.client = harness::robot_config(ProtocolMode::kHttp11Pipelined);
+  wc.master_seed = 11;
+  wc.verify_cache = true;
+  wc.horizon = sim::seconds(300);
+
+  wc.server = server::jigsaw_config();
+  wc.server.max_requests_per_connection = 5;
+  wc.server.close_style = server::CloseStyle::kGraceful;
+  const harness::WorkloadResult graceful =
+      harness::run_workload(wc, harness::shared_site());
+  const client::RobotStats& gstats = graceful.clients.at(0).stats;
+  EXPECT_TRUE(gstats.complete);
+  EXPECT_TRUE(graceful.clients.at(0).byte_exact);
+  EXPECT_GT(gstats.retries_after_close, 0u);
+  EXPECT_EQ(gstats.retries_after_reset, 0u);
+
+  wc.server = server::apache_beta2_config();
+  const harness::WorkloadResult naive =
+      harness::run_workload(wc, harness::shared_site());
+  const client::RobotStats& nstats = naive.clients.at(0).stats;
+  EXPECT_GT(nstats.resets_seen, 0u);
+  EXPECT_GT(nstats.retries_after_reset, 0u);
+  EXPECT_EQ(nstats.retries_after_reset + nstats.retries_after_close,
+            nstats.retries);
+  if (!nstats.complete) {
+    EXPECT_EQ(nstats.requests_failed, nstats.failures.size());
+    for (const client::RequestFailure& failure : nstats.failures) {
+      EXPECT_EQ(failure.kind, client::FailureKind::kConnectionLost);
+    }
+  }
+}
+
 TEST(RetryAttribution, GracefulCloseAndResetArePartitioned) {
   // Satellite of the paper's pipelining-close diagnosis: a server that stops
   // after 5 requests with a graceful close produces retries_after_close;

@@ -1,0 +1,118 @@
+// Chaos-soak suite (LABEL soak — dedicated CI step, 1200 s timeout).
+//
+// The deterministic soak harness drives a fleet through the redundant
+// dumbbell while a scripted multi-fault timeline (bottleneck flap, gate
+// crash, bnA.up queue wedge, second flap) hits the topology, with the
+// invariant oracles sweeping every epoch:
+//
+//   N=100  — every oracle green, every client resolved and attributed, the
+//            faults demonstrably hit the data path, and two same-seed runs
+//            produce bit-identical registries. On oracle failure the run
+//            writes soak_n100.failing.trace / soak_n100.metrics.txt next to
+//            the binary for the CI artifact uploader.
+//   N=1000 — the scale guarantee: the run terminates, every client reaches
+//            a verdict, every permanent failure carries an attribution, and
+//            no connection leaks on either side.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "harness/soak.hpp"
+
+namespace hsim {
+namespace {
+
+harness::SoakConfig soak_config(unsigned n, client::ProtocolMode mode) {
+  harness::SoakConfig config;
+  config.num_clients = n;
+  config.client = harness::robot_config(mode);
+  config.client.max_attempts = 8;
+  config.client.request_deadline = sim::seconds(10);
+  config.client.retry_backoff = sim::milliseconds(200);
+  config.client.retry_budget = 8;
+  config.client.retry_jitter = 0.5;
+  config.server = server::apache_config();
+  config.timeline = harness::default_soak_timeline();
+  config.epoch = sim::seconds(5);
+  config.horizon = sim::seconds(300);
+  config.drain = sim::seconds(120);
+  config.master_seed = 42;
+  return config;
+}
+
+void expect_green(const harness::SoakResult& result) {
+  for (const std::string& v : result.violations) ADD_FAILURE() << v;
+  EXPECT_EQ(result.violations_suppressed, 0u);
+  EXPECT_TRUE(result.workload.all_resolved());
+  EXPECT_EQ(result.workload.server_open_after_drain, 0u);
+  for (const harness::ClientOutcome& c : result.workload.clients) {
+    EXPECT_EQ(c.leaked_connections, 0u) << "client " << c.id;
+    EXPECT_EQ(c.stats.requests_failed, c.stats.failures.size())
+        << "client " << c.id;
+  }
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(Soak, N100MultiFaultOraclesGreen) {
+  harness::SoakConfig config =
+      soak_config(100, client::ProtocolMode::kHttp11Pipelined);
+  config.verify_cache = true;
+  config.failing_artifact_prefix = "soak_n100";
+  const harness::SoakResult result =
+      harness::run_soak(config, harness::shared_site());
+
+  expect_green(result);
+  EXPECT_GT(result.epochs_checked, 0u);
+  // Not vacuous: the timeline genuinely hit the data path — the crash
+  // flushed or dropped packets, and the flap drove a failover and failback.
+  EXPECT_GT(result.router_crash_flushed + result.router_dropped_crashed, 0u);
+  EXPECT_GT(result.failovers, 0u);
+  EXPECT_GT(result.failbacks, 0u);
+  // Clients that completed got the site byte-exact despite the faults.
+  unsigned exact = 0;
+  for (const harness::ClientOutcome& c : result.workload.clients) {
+    if (c.complete()) {
+      EXPECT_TRUE(c.byte_exact) << "client " << c.id;
+      ++exact;
+    }
+  }
+  EXPECT_GT(exact, 0u);
+}
+
+TEST(Soak, N100SameSeedBitIdentical) {
+  const harness::SoakConfig config =
+      soak_config(100, client::ProtocolMode::kHttp10Parallel);
+  const harness::SoakResult a =
+      harness::run_soak(config, harness::shared_site());
+  const harness::SoakResult b =
+      harness::run_soak(config, harness::shared_site());
+  EXPECT_EQ(a.workload.completed(), b.workload.completed());
+  EXPECT_EQ(a.workload.failed(), b.workload.failed());
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.retry_tokens_consumed, b.retry_tokens_consumed);
+  EXPECT_EQ(a.retry_budget_exhausted, b.retry_budget_exhausted);
+  EXPECT_EQ(a.failovers, b.failovers);
+  EXPECT_EQ(a.failbacks, b.failbacks);
+  ASSERT_EQ(a.workload.metrics.dump_text(), b.workload.metrics.dump_text());
+}
+
+TEST(Soak, N1000TerminatesEveryClientAttributed) {
+  harness::SoakConfig config =
+      soak_config(1000, client::ProtocolMode::kHttp11Pipelined);
+  // Scale knobs: longer arrival spread, no O(N·site) cache verification,
+  // no hop trace.
+  config.mean_interarrival = sim::milliseconds(20);
+  config.horizon = sim::seconds(600);
+  config.drain = sim::seconds(120);
+  const harness::SoakResult result =
+      harness::run_soak(config, harness::shared_site());
+
+  expect_green(result);
+  EXPECT_GT(result.epochs_checked, 0u);
+  EXPECT_GT(result.workload.completed(), 0u);
+  EXPECT_GT(result.failovers, 0u);
+}
+
+}  // namespace
+}  // namespace hsim

@@ -21,15 +21,18 @@
 //
 // Two runs of the same scenario with the same seed produce byte-identical
 // traces; `hsim-trace diff` of such a pair reports zero differences.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "harness/scenarios.hpp"
 #include "harness/workload.hpp"
 #include "net/trace_io.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -64,6 +67,46 @@ int write_records(const std::string& scenario,
   return 0;
 }
 
+/// Per-link drop table from the run's metrics registry: every labelled link
+/// publishes `net.link.<label>.*` counters, so drops are visible at every
+/// layer, not just the bottleneck queues.
+void print_link_table(const obs::Snapshot& metrics) {
+  struct Row {
+    std::uint64_t sent = 0, queue = 0, random = 0, burst = 0, outage = 0,
+                  corrupted = 0;
+  };
+  std::map<std::string, Row> rows;
+  const std::string prefix = "net.link.";
+  for (const auto& [name, value] : metrics.counters) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    const std::size_t field_dot = name.rfind('.');
+    if (field_dot <= prefix.size()) continue;  // unlabelled aggregate counter
+    const std::string label = name.substr(prefix.size(),
+                                          field_dot - prefix.size());
+    const std::string field = name.substr(field_dot + 1);
+    Row& row = rows[label];
+    if (field == "packets_sent") row.sent = value;
+    else if (field == "dropped_queue") row.queue = value;
+    else if (field == "dropped_random") row.random = value;
+    else if (field == "dropped_burst") row.burst = value;
+    else if (field == "dropped_outage") row.outage = value;
+    else if (field == "corrupted") row.corrupted = value;
+  }
+  if (rows.empty()) return;
+  std::printf("\nper-link (net.link.<label>.*):\n");
+  std::printf("%-14s %10s %8s %8s %8s %8s %9s\n", "link", "sent", "d-queue",
+              "d-rand", "d-burst", "d-outage", "corrupted");
+  for (const auto& [label, row] : rows) {
+    std::printf("%-14s %10llu %8llu %8llu %8llu %8llu %9llu\n", label.c_str(),
+                static_cast<unsigned long long>(row.sent),
+                static_cast<unsigned long long>(row.queue),
+                static_cast<unsigned long long>(row.random),
+                static_cast<unsigned long long>(row.burst),
+                static_cast<unsigned long long>(row.outage),
+                static_cast<unsigned long long>(row.corrupted));
+  }
+}
+
 /// A small dumbbell workload with a multi-hop trace on every router: each
 /// packet appears once per router crossed, tagged with the router id and the
 /// egress queue depth it found at enqueue.
@@ -76,10 +119,14 @@ int cmd_run_dumbbell(const std::vector<std::string>& args,
   config.topology = harness::TopologyKind::kDumbbell;
   net::PacketTrace hop_trace(/*client_addr=*/1);  // direction anchor: server
   config.hop_trace = &hop_trace;
-  harness::run_workload(config, harness::shared_site());
+  const harness::WorkloadResult result =
+      harness::run_workload(config, harness::shared_site());
   (void)args;
-  return write_records("dumbbell", hop_trace.records(), out_path, binary,
-                       static_cast<unsigned long long>(seed));
+  const int status = write_records("dumbbell", hop_trace.records(), out_path,
+                                   binary,
+                                   static_cast<unsigned long long>(seed));
+  if (status == 0) print_link_table(result.metrics);
+  return status;
 }
 
 int cmd_run(const std::vector<std::string>& args) {
