@@ -1,0 +1,95 @@
+// Machine-readable perf trajectory seed (ROADMAP "hot-path speed pass").
+//
+// Runs the N = 1000 dumbbell contention workload once (the configuration the
+// event-queue rewrite and the zero-copy pipeline were judged on) and emits
+// BENCH_tcp.json: wall seconds, simulated packets/sec, events/sec and a few
+// identifying dimensions. The JSON is written both to stdout and, when a
+// path is given, to the file named by argv[1] — CI checks a result in per PR
+// so perf claims stop living only in commit messages.
+//
+// The *simulation outputs* (packets, events, simulated seconds) are
+// deterministic for the fixed seed; only the wall-clock figures vary run to
+// run, which is exactly what a trajectory wants: stable work, measured time.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "harness/workload.hpp"
+
+namespace {
+using namespace hsim;
+
+harness::WorkloadConfig config() {
+  harness::WorkloadConfig cfg;
+  cfg.num_clients = 1000;
+  cfg.topology = harness::TopologyKind::kDumbbell;
+  cfg.arrivals = harness::ArrivalProcess::kPoisson;
+  cfg.mean_interarrival = sim::milliseconds(10);
+  cfg.access = harness::lan_profile();
+  cfg.bottleneck_bandwidth_bps = 10'000'000;
+  cfg.bottleneck_delay = sim::milliseconds(10);
+  cfg.bottleneck_queue_packets = 256;
+  cfg.master_seed = 42;
+  cfg.server = server::apache_config();
+  cfg.server.listen_backlog = 512;
+  cfg.server.max_concurrent_connections = 256;
+  cfg.server.admission_policy = server::AdmissionPolicy::kQueue;
+  cfg.client = harness::robot_config(client::ProtocolMode::kHttp11Pipelined);
+  cfg.client.page_deadline = sim::seconds(420);
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const harness::WorkloadResult r =
+      harness::run_workload(config(), harness::shared_site());
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // The bottleneck tap alone would undercount the access legs;
+  // net.link.packets_sent is the unlabelled aggregate every link feeds,
+  // the honest "packets simulated".
+  const std::uint64_t packets = r.metrics.counter(
+      "net.link.packets_sent", r.bottleneck.packets);
+  const std::uint64_t events = r.events_executed;
+  const double sim_seconds = r.bottleneck.elapsed_seconds();
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof json,
+      "{\n"
+      "  \"bench\": \"perf_smoke\",\n"
+      "  \"area\": \"tcp\",\n"
+      "  \"workload\": \"dumbbell pipelined N=1000, 10 Mbit/s, seed 42\",\n"
+      "  \"clients\": 1000,\n"
+      "  \"completed\": %u,\n"
+      "  \"bottleneck_packets\": %llu,\n"
+      "  \"packets_delivered\": %llu,\n"
+      "  \"events_executed\": %llu,\n"
+      "  \"sim_seconds\": %.3f,\n"
+      "  \"wall_seconds\": %.3f,\n"
+      "  \"packets_per_sec\": %.0f,\n"
+      "  \"events_per_sec\": %.0f\n"
+      "}\n",
+      r.completed(), static_cast<unsigned long long>(r.bottleneck.packets),
+      static_cast<unsigned long long>(packets),
+      static_cast<unsigned long long>(events), sim_seconds, wall_seconds,
+      static_cast<double>(packets) / wall_seconds,
+      static_cast<double>(events) / wall_seconds);
+  std::fputs(json, stdout);
+
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "perf_smoke: cannot write %s\n", argv[1]);
+      return 1;
+    }
+    std::fputs(json, f);
+    std::fclose(f);
+  }
+  return 0;
+}

@@ -7,6 +7,7 @@
 //                  [--runs N] [--seed S]
 //                  [--buffer BYTES] [--flush-ms MS] [--no-explicit-flush]
 //                  [--max-conns N] [--no-nodelay] [--ranges]
+//                  [--cc reno|newreno|cubic|bbr]
 //                  [--chaos FAULT] [--format summary|tsv|trace]
 //
 // --chaos layers a named fault regime (see harness/chaos.hpp) onto the run
@@ -44,6 +45,7 @@ using namespace hsim;
                "[--flush-ms MS]\n"
                "          [--no-explicit-flush] [--max-conns N] "
                "[--no-nodelay] [--ranges]\n"
+               "          [--cc reno|newreno|cubic|bbr]\n"
                "          [--chaos none|burst-loss|outage|link-flaps|"
                "duplication|reordering|\n"
                "                   corruption|server-stall|premature-close|"
@@ -70,6 +72,7 @@ struct Options {
   bool ranges = false;
   harness::ChaosFault chaos = harness::ChaosFault::kNone;
   bool chaos_set = false;  // "--chaos none" still arms the recovery knobs
+  tcp::CcKind cc = tcp::CcKind::kReno;
 };
 
 harness::ChaosFault parse_fault(const std::string& v, const char* argv0) {
@@ -130,6 +133,8 @@ Options parse(int argc, char** argv) {
       o.no_nodelay = true;
     } else if (a == "--ranges") {
       o.ranges = true;
+    } else if (a == "--cc") {
+      if (!tcp::parse_cc_kind(need_value(i), &o.cc)) usage(argv[0]);
     } else if (a == "--chaos") {
       o.chaos = parse_fault(need_value(i), argv[0]);
       o.chaos_set = true;
@@ -154,6 +159,8 @@ int run_trace_format(const Options& o) {
   harness::ExperimentSpec spec;
   spec.server = o.server;
   spec.client = harness::robot_config(o.mode);
+  spec.server.tcp.cc = o.cc;
+  spec.client.tcp.cc = o.cc;
   if (o.chaos_set) harness::apply_chaos(o.chaos, spec);
   net::ChannelConfig channel_config = o.network.channel_config();
   if (spec.mutate_channel) spec.mutate_channel(channel_config);
@@ -211,6 +218,8 @@ int main(int argc, char** argv) {
   spec.client = harness::robot_config(o.mode);
   spec.scenario = o.scenario;
   spec.seed = o.seed;
+  spec.server.tcp.cc = o.cc;
+  spec.client.tcp.cc = o.cc;
   if (o.buffer != SIZE_MAX) spec.client.pipeline_buffer = o.buffer;
   if (o.flush_ms >= 0) {
     spec.client.flush_timeout = sim::milliseconds(o.flush_ms);

@@ -1,6 +1,7 @@
 #include "harness/chaos.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace hsim::harness {
 
@@ -137,6 +138,16 @@ ChaosOutcome run_chaos(ChaosFault fault, client::ProtocolMode mode,
   spec.scenario = Scenario::kFirstVisit;
   spec.seed = seed;
   apply_chaos(fault, spec);
+  // CI matrix hook: HSIM_CC=reno|newreno|cubic|bbr reruns the whole chaos
+  // suite under a different congestion-control module without a rebuild.
+  // Unset or unknown values keep the configs' default (Reno, byte-exact).
+  if (const char* env_cc = std::getenv("HSIM_CC")) {
+    tcp::CcKind kind = tcp::CcKind::kReno;
+    if (tcp::parse_cc_kind(env_cc, &kind)) {
+      spec.client.tcp.cc = kind;
+      spec.server.tcp.cc = kind;
+    }
+  }
 
   ChaosOutcome outcome;
   if (topology == TopologyKind::kStar) {

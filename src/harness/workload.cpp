@@ -151,6 +151,12 @@ WorkloadResult run_workload(const WorkloadConfig& config,
   client::ClientConfig client_template = config.client;
   client_template.tcp.recv_buffer = std::min(
       client_template.tcp.recv_buffer, config.access.client_recv_buffer);
+  // Congestion-control override hits both sides of every connection.
+  server::ServerConfig server_config = config.server;
+  if (config.cc) {
+    client_template.tcp.cc = *config.cc;
+    server_config.tcp.cc = *config.cc;
+  }
   // De-synchronised backoff: each client's retry jitter draws from its own
   // splitmix64 stream, so a fleet never stampedes in lock-step. The seed is
   // a plain config value (no rng draw), leaving legacy draw order untouched.
@@ -190,7 +196,7 @@ WorkloadResult run_workload(const WorkloadConfig& config,
     server_host.attach_uplink(bottleneck_down.get());
 
     server = std::make_unique<server::HttpServer>(
-        server_host, server::StaticSite::from_microscape(site), config.server,
+        server_host, server::StaticSite::from_microscape(site), server_config,
         server_rng.fork());
     server->start(80);
 
@@ -245,7 +251,7 @@ WorkloadResult run_workload(const WorkloadConfig& config,
     if (config.on_topology) config.on_topology(topo, queue);
 
     server = std::make_unique<server::HttpServer>(
-        server_host, server::StaticSite::from_microscape(site), config.server,
+        server_host, server::StaticSite::from_microscape(site), server_config,
         server_rng.fork());
     server->start(80);
 
@@ -285,13 +291,14 @@ WorkloadResult run_workload(const WorkloadConfig& config,
     }
   }
 
-  queue.run_until(config.horizon);
+  std::size_t events = queue.run_until(config.horizon);
   // Allow FIN exchanges, idle timeouts and TIME_WAIT to drain so that the
   // connection-leak accounting below reflects steady state.
-  queue.run_until(queue.now() + config.drain);
+  events += queue.run_until(queue.now() + config.drain);
 
   // ---- Collect ----
   WorkloadResult result;
+  result.events_executed = events;
   result.clients.resize(n);
   const obs::HistogramHandle page_ms = obs::histogram_handle("workload.page_ms");
   for (unsigned i = 0; i < n; ++i) {

@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -121,6 +122,12 @@ struct WorkloadConfig {
   server::ServerConfig server;
   client::ClientConfig client;
 
+  /// When set, overrides the congestion-control module on BOTH sides
+  /// (client template and server TcpOptions). Unset keeps whatever the
+  /// embedded configs carry — i.e. Reno unless a caller changed it — so the
+  /// legacy byte-exact paths are untouched.
+  std::optional<tcp::CcKind> cc;
+
   std::uint64_t master_seed = 1;
   std::string root = "/index.html";
 
@@ -170,6 +177,10 @@ struct WorkloadResult {
   net::TraceSummary bottleneck;
   std::uint64_t bottleneck_syns = 0;        // client SYNs crossing it
   std::uint64_t bottleneck_queue_drops = 0; // queue losses, both directions
+
+  /// Total discrete events the queue executed (run + drain). Deterministic
+  /// for a fixed config/seed; the denominator for events/sec perf numbers.
+  std::size_t events_executed = 0;
 
   /// Total TCP retransmissions across every host (registry tcp.retransmits).
   std::uint64_t tcp_retransmits = 0;

@@ -22,7 +22,7 @@ enum class TlKind : std::uint8_t {
   kStateChange,     // a = old state, b = new state
   kSegSent,         // flags = TCP flags, a = seq, b = payload bytes
   kSegRecvd,        // flags = TCP flags, a = seq, b = payload bytes
-  kCwndChange,      // a = cwnd bytes, b = ssthresh bytes
+  kCwndChange,      // flags = tcp::CaState, a = cwnd bytes, b = ssthresh bytes
   kRtoFire,         // a = backed-off RTO (ns), b = consecutive fires
   kFastRetransmit,  // a = seq retransmitted
   kDelayedAck,      // delayed-ACK timer fired a pure ACK

@@ -9,10 +9,6 @@
 
 namespace hsim::tcp {
 
-namespace {
-constexpr std::uint32_t kInitialSsthresh = 1u << 30;
-}
-
 std::string_view to_string(State s) {
   switch (s) {
     case State::kClosed: return "CLOSED";
@@ -55,6 +51,19 @@ Connection::Metrics Connection::Metrics::bind() {
   m.rst_received = obs::counter_handle("tcp.rst_received");
   m.time_wait_entered = obs::counter_handle("tcp.time_wait_entered");
   m.opened = obs::counter_handle("tcp.connections_opened");
+  m.cc_enter_recovery = obs::counter_handle("tcp.cc.enter_recovery");
+  m.cc_enter_loss = obs::counter_handle("tcp.cc.enter_loss");
+  m.cc_recovery_to_loss = obs::counter_handle("tcp.cc.recovery_to_loss");
+  m.cc_full_recoveries = obs::counter_handle("tcp.cc.full_recoveries");
+  m.cc_partial_ack_retx = obs::counter_handle("tcp.cc.partial_ack_retransmits");
+  m.cc_spurious_rtos = obs::counter_handle("tcp.cc.spurious_rtos");
+  m.cc_after_idle = obs::counter_handle("tcp.cc.after_idle_restarts");
+  m.cc_first_loss_dupack = obs::counter_handle("tcp.cc.first_loss.dupack");
+  m.cc_first_loss_timeout = obs::counter_handle("tcp.cc.first_loss.timeout");
+  m.cc_ca_entries[0] = obs::counter_handle("tcp.cc.ca_entries.slow_start");
+  m.cc_ca_entries[1] = obs::counter_handle("tcp.cc.ca_entries.avoidance");
+  m.cc_ca_entries[2] = obs::counter_handle("tcp.cc.ca_entries.fast_recovery");
+  m.cc_ca_entries[3] = obs::counter_handle("tcp.cc.ca_entries.loss");
   m.cwnd_bytes = obs::histogram_handle("tcp.cwnd_bytes");
   return m;
 }
@@ -63,11 +72,12 @@ Connection::Connection(Host& host, Key key, TcpOptions options)
     : host_(host),
       key_(key),
       options_(options),
+      metrics_(Metrics::bind()),
+      cc_(CongestionControl::make(options.cc)),
       rto_(options.initial_rto),
       rto_timer_(host.event_queue()),
       delack_timer_(host.event_queue()),
-      time_wait_timer_(host.event_queue()),
-      metrics_(Metrics::bind()) {
+      time_wait_timer_(host.event_queue()) {
   metrics_.opened.inc();
   obs::Registry* reg = obs::registry();
   if (reg != nullptr && reg->timelines_enabled()) {
@@ -78,7 +88,28 @@ Connection::Connection(Host& host, Key key, TcpOptions options)
   }
 }
 
-Connection::~Connection() = default;
+Connection::~Connection() { flush_forensics(); }
+
+void Connection::flush_forensics() {
+  if (forensics_flushed_) return;
+  forensics_flushed_ = true;
+  // Guard against a connection outliving its registry (handles would dangle).
+  if (obs::registry() == nullptr) return;
+  const LossForensics& f = cc_->forensics();
+  metrics_.cc_enter_recovery.inc(f.enter_recovery);
+  metrics_.cc_enter_loss.inc(f.enter_loss);
+  metrics_.cc_recovery_to_loss.inc(f.recovery_to_loss);
+  metrics_.cc_full_recoveries.inc(f.full_recoveries);
+  metrics_.cc_partial_ack_retx.inc(f.partial_ack_retransmits);
+  metrics_.cc_spurious_rtos.inc(f.spurious_rtos);
+  metrics_.cc_after_idle.inc(f.after_idle_resets);
+  if (f.first_loss_reason == LossReason::kDupAck) {
+    metrics_.cc_first_loss_dupack.inc();
+  } else if (f.first_loss_reason == LossReason::kTimeout) {
+    metrics_.cc_first_loss_timeout.inc();
+  }
+  for (int i = 0; i < 4; ++i) metrics_.cc_ca_entries[i].inc(f.ca_entries[i]);
+}
 
 void Connection::tl(obs::TlKind kind, std::uint8_t flags, std::uint64_t a,
                     std::uint64_t b) {
@@ -95,11 +126,37 @@ void Connection::set_state(State s) {
 }
 
 void Connection::set_cwnd(std::uint32_t cwnd, std::uint32_t ssthresh) {
-  const bool changed = cwnd != cwnd_ || ssthresh != ssthresh_;
+  const CaState state = cc_->ca_state();
+  const bool changed =
+      cwnd != cwnd_ || ssthresh != ssthresh_ || state != ca_state_recorded_;
   cwnd_ = cwnd;
   ssthresh_ = ssthresh;
   metrics_.cwnd_bytes.observe(cwnd);
-  if (changed) tl(obs::TlKind::kCwndChange, 0, cwnd, ssthresh);
+  if (changed) {
+    ca_state_recorded_ = state;
+    tl(obs::TlKind::kCwndChange, static_cast<std::uint8_t>(state), cwnd,
+       ssthresh);
+  }
+}
+
+CcContext Connection::cc_ctx() const {
+  CcContext ctx;
+  ctx.now = host_.event_queue().now();
+  ctx.mss = options_.mss;
+  ctx.initial_cwnd = options_.initial_cwnd_segments * options_.mss;
+  ctx.bytes_in_flight = bytes_in_flight();
+  ctx.snd_acked = snd_acked_;
+  ctx.snd_max = snd_max_;
+  ctx.srtt = srtt_;
+  ctx.min_rtt = min_rtt_;
+  return ctx;
+}
+
+void Connection::sync_cwnd(bool force) {
+  if (force || cc_->cwnd() != cwnd_ || cc_->ssthresh() != ssthresh_ ||
+      cc_->ca_state() != ca_state_recorded_) {
+    set_cwnd(cc_->cwnd(), cc_->ssthresh());
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -222,7 +279,8 @@ void Connection::start_connect() {
   iss_ = host_.rng().next_u32();
   set_state(State::kSynSent);
   syn_sent_ = true;
-  set_cwnd(options_.initial_cwnd_segments * options_.mss, kInitialSsthresh);
+  cc_->init(cc_ctx());
+  sync_cwnd(/*force=*/true);
   net::Packet p;
   p.tcp.seq = iss_;
   p.tcp.flags = net::flag::kSyn;
@@ -244,7 +302,8 @@ void Connection::start_accept(const net::Packet& syn) {
   peer_window_ = syn.tcp.window;
   set_state(State::kSynRcvd);
   syn_sent_ = true;
-  set_cwnd(options_.initial_cwnd_segments * options_.mss, kInitialSsthresh);
+  cc_->init(cc_ctx());
+  sync_cwnd(/*force=*/true);
   net::Packet p;
   p.tcp.seq = iss_;
   p.tcp.ack = irs_ + 1;
@@ -287,6 +346,11 @@ void Connection::send_segment(std::uint8_t flags, Seq seq, buf::Bytes payload,
   }
   p.tcp.window = advertised_window();
   if (p.tcp.window < options_.mss) window_update_needed_ = true;
+  // Track the last transmission that occupied sequence space (data or FIN);
+  // pure ACKs don't count as "sending" for the RFC 2861 idle-restart check.
+  if (!payload.empty() || (flags & net::flag::kFin)) {
+    last_send_time_ = host_.event_queue().now();
+  }
   p.payload = std::move(payload);
 
   ++stats_.segments_sent;
@@ -359,6 +423,16 @@ void Connection::try_send() {
        state_ == State::kLastAck) &&
       snd_next_ < snd_buffered_;
   if (!sending_state && !recovery_resend) return;
+  // RFC 2861 idle restart: the connection has sent before, everything is
+  // acked, new data is waiting, and at least one RTO has passed since the
+  // last transmission — let the CC module decay its window (Reno keeps the
+  // legacy behaviour of doing nothing).
+  if (last_send_time_ >= 0 && snd_max_ > 0 && bytes_in_flight() == 0 &&
+      snd_next_ < snd_buffered_ &&
+      host_.event_queue().now() - last_send_time_ >= rto_) {
+    cc_->after_idle(cc_ctx());
+    sync_cwnd(/*force=*/false);
+  }
   bool sent_any = false;
   for (;;) {
     const Offset avail = snd_buffered_ - snd_next_;
@@ -498,12 +572,15 @@ void Connection::on_rto_fire() {
   const Offset unacked_data = snd_next_ - snd_acked_;
   if (unacked_data == 0 && !(fin_sent_ && !fin_acked_)) return;
 
-  // Congestion response to a timeout: multiplicative decrease, restart from
-  // one segment in slow start.
-  const std::uint32_t flight =
-      static_cast<std::uint32_t>(std::min<Offset>(unacked_data, cwnd_));
-  set_cwnd(options_.mss, std::max(flight / 2, 2 * options_.mss));
+  // Congestion response to a timeout: the module collapses its window
+  // (Reno: one segment + half-flight ssthresh).
+  cc_->on_timeout(cc_ctx());
+  sync_cwnd(/*force=*/true);
   dup_acks_ = 0;
+  // Arm the spurious-RTO probe: if the next advancing ACK lands sooner than
+  // one min-RTT, it must have been triggered by the original flight — the
+  // timeout fired for data that had actually been delivered.
+  rto_collapse_time_ = host_.event_queue().now();
 
   if (unacked_data > 0) {
     // Go-back-N: retransmit the earliest unacked segment now and pull
@@ -528,7 +605,7 @@ void Connection::on_rto_fire() {
   arm_rto();
 }
 
-void Connection::on_new_data_acked(Offset newly_acked_end,
+bool Connection::on_new_data_acked(Offset newly_acked_end,
                                    std::size_t acked_bytes) {
   // RTT sample (Karn's rule: sample only if it covers an untouched send).
   if (rtt_sample_ && newly_acked_end >= rtt_sample_->first) {
@@ -543,21 +620,45 @@ void Connection::on_new_data_acked(Offset newly_acked_end,
       rttvar_ += (err - rttvar_) / 4;
     }
     rto_ = std::clamp(srtt_ + 4 * rttvar_, options_.min_rto, options_.max_rto);
+    if (min_rtt_ == 0 || sample < min_rtt_) min_rtt_ = sample;
+    cc_->on_rtt_sample(cc_ctx(), sample);
+    sync_cwnd(/*force=*/false);
   }
 
   consecutive_rtos_ = 0;  // forward progress: the path is alive
 
-  // Congestion window growth.
-  std::uint32_t cwnd = cwnd_;
-  if (cwnd < ssthresh_) {
-    cwnd += static_cast<std::uint32_t>(
-        std::min<std::size_t>(acked_bytes, options_.mss));
-  } else {
-    cwnd += std::max<std::uint32_t>(
-        1, options_.mss * options_.mss / std::max<std::uint32_t>(cwnd, 1));
+  // Spurious-RTO probe: an advancing ACK within one min-RTT of the collapse
+  // can only be a response to the pre-RTO flight (a retransmission's ACK
+  // needs at least min-RTT). Observational only — the window stays collapsed.
+  if (rto_collapse_time_ >= 0) {
+    if (min_rtt_ > 0 &&
+        host_.event_queue().now() - rto_collapse_time_ < min_rtt_) {
+      cc_->note_spurious_rto();
+    }
+    rto_collapse_time_ = -1;
   }
-  set_cwnd(cwnd, ssthresh_);
+
+  // Congestion window growth (and, inside the module, recovery bookkeeping:
+  // full-ACK episode exit, partial-ACK repair decisions).
+  const bool repair_hole = cc_->on_new_ack(cc_ctx(), acked_bytes);
+  sync_cwnd(/*force=*/true);
   dup_acks_ = 0;
+  return repair_hole;
+}
+
+void Connection::retransmit_front_segment() {
+  const Offset unacked = snd_next_ - snd_acked_;
+  const std::size_t seg =
+      static_cast<std::size_t>(std::min<Offset>(options_.mss, unacked));
+  if (seg == 0) return;
+  // Reuse the front slice of the send chain — retransmissions alias the
+  // bytes the original segment carried.
+  buf::Bytes payload = send_buf_.slice_bytes(0, seg);
+  std::uint8_t flags = net::flag::kAck;
+  const bool reaches_end = (snd_acked_ + seg == snd_buffered_);
+  if (fin_sent_ && reaches_end) flags |= net::flag::kFin;
+  send_segment(flags, wire_seq(snd_acked_), std::move(payload), true);
+  arm_rto();
 }
 
 // ---------------------------------------------------------------------------
@@ -648,28 +749,18 @@ void Connection::handle_ack(const net::Packet& packet) {
         !packet.tcp.has(net::flag::kFin) && bytes_in_flight() > 0 &&
         ack == last_ack_received_) {
       ++dup_acks_;
-      if (dup_acks_ == 3) {
+      cc_->on_duplicate_ack(cc_ctx(), dup_acks_);
+      sync_cwnd(/*force=*/false);
+      if (dup_acks_ == 3 && cc_->on_loss_detected(cc_ctx())) {
+        // The module (re-)entered fast recovery (Reno re-halves on repeat
+        // 3-dup-ack episodes; NewReno-style modules decline while already
+        // recovering, so the retransmit and the halving are skipped).
         ++stats_.fast_retransmits;
         metrics_.fast_retransmits.inc();
         tl(obs::TlKind::kFastRetransmit, 0, wire_seq(snd_acked_), 0);
-        const std::uint32_t flight = static_cast<std::uint32_t>(
-            std::min<Offset>(bytes_in_flight(), cwnd_));
-        const std::uint32_t half = std::max(flight / 2, 2 * options_.mss);
-        set_cwnd(half, half);
+        sync_cwnd(/*force=*/true);
         rtt_sample_.reset();
-        const Offset unacked = snd_next_ - snd_acked_;
-        const std::size_t seg =
-            static_cast<std::size_t>(std::min<Offset>(options_.mss, unacked));
-        if (seg > 0) {
-          // Fast retransmit reuses the front slice of the send chain — the
-          // duplicate-ACK path no longer rebuilds the payload.
-          buf::Bytes payload = send_buf_.slice_bytes(0, seg);
-          std::uint8_t flags = net::flag::kAck;
-          const bool reaches_end = (snd_acked_ + seg == snd_buffered_);
-          if (fin_sent_ && reaches_end) flags |= net::flag::kFin;
-          send_segment(flags, wire_seq(snd_acked_), std::move(payload), true);
-          arm_rto();
-        }
+        retransmit_front_segment();
       }
     }
     last_ack_received_ = ack;
@@ -695,7 +786,11 @@ void Connection::handle_ack(const net::Packet& packet) {
   send_buf_.pop_front(acked_bytes);
   snd_acked_ += acked_bytes;
   if (snd_next_ < snd_acked_) snd_next_ = snd_acked_;
-  on_new_data_acked(snd_acked_, acked_bytes);
+  if (on_new_data_acked(snd_acked_, acked_bytes)) {
+    // NewReno-style partial-ACK repair: the ACK exposed the next hole;
+    // retransmit it immediately instead of waiting for three more dups.
+    retransmit_front_segment();
+  }
 
   // Restart or cancel the retransmission timer.
   if (bytes_in_flight() > 0 || (fin_sent_ && !fin_acked_)) {
@@ -862,6 +957,7 @@ void Connection::enter_time_wait() {
 void Connection::become_failed(ConnError error) {
   if (state_ == State::kClosed) return;
   error_ = error;
+  flush_forensics();
   // Best-effort RST so the peer does not linger half-open if the path heals.
   send_rst(static_cast<Seq>(wire_seq(snd_next_) + (fin_sent_ ? 1 : 0)),
            /*failure_path=*/true);
@@ -881,6 +977,7 @@ void Connection::become_failed(ConnError error) {
 
 void Connection::become_closed(bool notify_reset) {
   if (state_ == State::kClosed) return;
+  flush_forensics();
   set_state(State::kClosed);
   rto_timer_.cancel();
   delack_timer_.cancel();
@@ -931,9 +1028,11 @@ std::string format_timeline(const obs::ConnTimeline& timeline) {
         break;
       case obs::TlKind::kCwndChange:
         std::snprintf(line, sizeof line,
-                      "%10.6f  CWND     cwnd=%llu ssthresh=%llu\n", t,
+                      "%10.6f  CWND     cwnd=%llu ssthresh=%llu state=%s\n", t,
                       static_cast<unsigned long long>(e.a),
-                      static_cast<unsigned long long>(e.b));
+                      static_cast<unsigned long long>(e.b),
+                      std::string(to_string(static_cast<CaState>(e.flags)))
+                          .c_str());
         break;
       case obs::TlKind::kRtoFire:
         std::snprintf(line, sizeof line,

@@ -26,6 +26,7 @@
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 #include "sim/event_queue.hpp"
+#include "tcp/congestion.hpp"
 #include "tcp/options.hpp"
 #include "tcp/seq.hpp"
 
@@ -130,6 +131,12 @@ class Connection : public std::enable_shared_from_this<Connection> {
   const TcpOptions& options() const { return options_; }
   const ConnectionStats& stats() const { return stats_; }
   std::uint32_t cwnd() const { return cwnd_; }
+  std::uint32_t ssthresh() const { return ssthresh_; }
+
+  /// The congestion-control module driving this connection's window.
+  const CongestionControl& congestion() const { return *cc_; }
+  CaState ca_state() const { return cc_->ca_state(); }
+  const LossForensics& loss_forensics() const { return cc_->forensics(); }
 
   /// This connection's event timeline, or nullptr unless a registry with
   /// enable_timelines() was installed when the connection was constructed.
@@ -195,10 +202,27 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void deliver_in_order();
   void schedule_ack(bool force_now);
 
-  // Timers and congestion control.
+  // Timers and congestion control. The window arithmetic itself lives in the
+  // cc_ module (tcp/congestion.hpp); the connection reports events via the
+  // hook interface and mirrors the module's cwnd/ssthresh through sync_cwnd.
   void arm_rto();
   void on_rto_fire();
-  void on_new_data_acked(Offset newly_acked_end, std::size_t acked_bytes);
+  /// Returns true when the CC module asked for an immediate retransmission of
+  /// the first unacked segment (NewReno-style partial-ACK hole repair).
+  bool on_new_data_acked(Offset newly_acked_end, std::size_t acked_bytes);
+  /// Builds the sender-state snapshot passed to every CC hook.
+  CcContext cc_ctx() const;
+  /// Mirrors cc_->cwnd()/ssthresh() into cwnd_/ssthresh_ via set_cwnd.
+  /// `force` replicates a legacy unconditional set_cwnd call site (the
+  /// histogram observes on every call there, even when nothing changed);
+  /// non-forced sites only record when the module actually moved the window.
+  void sync_cwnd(bool force);
+  /// Retransmits the earliest unacked segment (the fast-retransmit slice) and
+  /// re-arms the RTO. No-op when nothing is outstanding.
+  void retransmit_front_segment();
+  /// Adds this connection's loss forensics into the tcp.cc.* aggregate
+  /// registry counters (once, at teardown).
+  void flush_forensics();
   void enter_time_wait();
   void become_closed(bool notify_reset);
   void become_failed(ConnError error);
@@ -217,6 +241,11 @@ class Connection : public std::enable_shared_from_this<Connection> {
     obs::CounterHandle segments_sent, segments_received, bytes_sent,
         bytes_received, retransmits, fast_retransmits, rto_fires, delayed_acks,
         nagle_holds, rst_sent, rst_received, time_wait_entered, opened;
+    // Loss forensics (tcp.cc.*), flushed once per connection at teardown.
+    obs::CounterHandle cc_enter_recovery, cc_enter_loss, cc_recovery_to_loss,
+        cc_full_recoveries, cc_partial_ack_retx, cc_spurious_rtos,
+        cc_after_idle, cc_first_loss_dupack, cc_first_loss_timeout,
+        cc_ca_entries[4];
     obs::HistogramHandle cwnd_bytes;
     static Metrics bind();
   };
@@ -242,11 +271,19 @@ class Connection : public std::enable_shared_from_this<Connection> {
   bool send_space_was_exhausted_ = false;
   bool output_scheduled_ = false;
 
-  // Congestion control (byte-based, RFC 5681 style).
+  // Congestion control: the module owns the window; cwnd_/ssthresh_ mirror
+  // it (updated only through sync_cwnd -> set_cwnd so the timeline and the
+  // tcp.cwnd_bytes histogram see every change exactly once).
+  std::unique_ptr<CongestionControl> cc_;
   std::uint32_t cwnd_ = 0;
   std::uint32_t ssthresh_ = 0;
   std::uint32_t dup_acks_ = 0;
   Seq last_ack_received_ = 0;
+  CaState ca_state_recorded_ = CaState::kSlowStart;  // last state in timeline
+  sim::Time min_rtt_ = 0;            // smallest Karn-valid RTT sample (0=none)
+  sim::Time last_send_time_ = -1;    // last SYN/FIN/data transmission
+  sim::Time rto_collapse_time_ = -1;  // pending spurious-RTO probe, -1 = none
+  bool forensics_flushed_ = false;
 
   // RTT estimation (Jacobson), Karn's rule via single in-flight sample.
   std::optional<std::pair<Offset, sim::Time>> rtt_sample_;  // (end, sent_at)

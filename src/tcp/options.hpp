@@ -8,12 +8,17 @@
 #include <cstdint>
 
 #include "sim/time.hpp"
+#include "tcp/congestion.hpp"
 
 namespace hsim::tcp {
 
 struct TcpOptions {
   /// Maximum segment size (payload bytes per segment).
   std::uint32_t mss = 1460;
+
+  /// Congestion-control module (tcp/congestion.hpp). kReno is byte-exact
+  /// with the pre-refactor hard-wired behaviour and stays the default.
+  CcKind cc = CcKind::kReno;
 
   /// Disables the Nagle algorithm (TCP_NODELAY). The paper recommends HTTP/1.1
   /// implementations that buffer output set this.

@@ -1,0 +1,606 @@
+// Unit tests for the pluggable congestion-control modules.
+//
+// Two layers:
+//   1. Hook-level scripts drive a bare CongestionControl through a fixed
+//      ack/dup-ack/loss/timeout/idle scenario and pin the resulting cwnd
+//      sequence against a golden trace per module — any change to a module's
+//      window arithmetic shows up as a diff in one of these strings.
+//   2. Property tests check the documented contracts (halving floors,
+//      partial-ACK policy, CA-state machine, forensics counters) and an
+//      end-to-end smoke: every module must still deliver a byte stream
+//      reliably over a lossy link.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tcp/congestion.hpp"
+#include "tcp_test_util.hpp"
+
+namespace hsim {
+namespace {
+
+using tcp::CaState;
+using tcp::CcContext;
+using tcp::CcKind;
+using tcp::CongestionControl;
+using tcp::LossReason;
+
+constexpr std::uint32_t kMss = 1000;
+
+CcContext base_ctx() {
+  CcContext ctx;
+  ctx.mss = kMss;
+  ctx.initial_cwnd = 2 * kMss;
+  ctx.srtt = sim::milliseconds(20);
+  ctx.min_rtt = sim::milliseconds(20);
+  return ctx;
+}
+
+/// Minimal stand-in for the sending side of tcp::Connection: tracks the
+/// stream offsets the hooks consume and keeps bytes_in_flight consistent.
+struct CcDriver {
+  std::unique_ptr<CongestionControl> cc;
+  CcContext ctx = base_ctx();
+
+  explicit CcDriver(CcKind kind) : cc(CongestionControl::make(kind)) {
+    cc->init(ctx);
+  }
+
+  /// Transmit until the window is full.
+  void fill() {
+    ctx.snd_max = ctx.snd_acked + cc->cwnd();
+    ctx.bytes_in_flight = cc->cwnd();
+  }
+
+  /// A cumulative ACK advancing by `bytes`, with a Karn-valid RTT sample.
+  bool ack(std::size_t bytes) {
+    ctx.now += sim::milliseconds(10);
+    ctx.snd_acked += bytes;
+    if (ctx.snd_max < ctx.snd_acked) ctx.snd_max = ctx.snd_acked;
+    ctx.bytes_in_flight = ctx.snd_max - ctx.snd_acked;
+    cc->on_rtt_sample(ctx, sim::milliseconds(20));
+    return cc->on_new_ack(ctx, bytes);
+  }
+
+  /// Three duplicate ACKs followed by the connection's loss detection.
+  bool triple_dup_loss() {
+    for (std::uint32_t d = 1; d <= 3; ++d) cc->on_duplicate_ack(ctx, d);
+    return cc->on_loss_detected(ctx);
+  }
+
+  void timeout() {
+    ctx.now += sim::milliseconds(500);
+    cc->on_timeout(ctx);
+  }
+};
+
+/// The fixed scripted scenario every module runs for its golden trace:
+/// slow start, a fast-retransmit episode with partial ACKs, clean growth,
+/// an RTO with full recovery, and an idle restart.
+std::vector<std::uint32_t> scripted_trace(CcKind kind) {
+  CcDriver d(kind);
+  std::vector<std::uint32_t> trace{d.cc->cwnd()};
+  auto ack_and_record = [&](std::size_t bytes) {
+    d.ack(bytes);
+    trace.push_back(d.cc->cwnd());
+  };
+
+  // Phase 1: 20 clean full-MSS ACKs.
+  for (int i = 0; i < 20; ++i) {
+    d.fill();
+    ack_and_record(kMss);
+  }
+  // Phase 2: loss detected by three duplicate ACKs.
+  d.fill();
+  d.triple_dup_loss();
+  trace.push_back(d.cc->cwnd());
+  // Phase 3: two partial ACKs, then the ACK covering the loss point.
+  ack_and_record(kMss);
+  ack_and_record(kMss);
+  ack_and_record(d.ctx.snd_max - d.ctx.snd_acked);
+  // Phase 4: 10 clean ACKs.
+  for (int i = 0; i < 10; ++i) {
+    d.fill();
+    ack_and_record(kMss);
+  }
+  // Phase 5: RTO, then ACK the outstanding flight away in MSS chunks.
+  d.fill();
+  d.timeout();
+  trace.push_back(d.cc->cwnd());
+  while (d.ctx.snd_acked < d.ctx.snd_max) {
+    ack_and_record(static_cast<std::size_t>(std::min<std::uint64_t>(
+        kMss, d.ctx.snd_max - d.ctx.snd_acked)));
+  }
+  // Phase 6: 10 clean ACKs, then an idle restart and one more ACK.
+  for (int i = 0; i < 10; ++i) {
+    d.fill();
+    ack_and_record(kMss);
+  }
+  d.ctx.now += sim::seconds(5);
+  d.cc->after_idle(d.ctx);
+  trace.push_back(d.cc->cwnd());
+  d.fill();
+  ack_and_record(kMss);
+  return trace;
+}
+
+std::string format_trace(const std::vector<std::uint32_t>& trace) {
+  std::string out;
+  for (std::uint32_t v : trace) {
+    if (!out.empty()) out += ' ';
+    out += std::to_string(v);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Names and parsing.
+// ---------------------------------------------------------------------------
+
+TEST(CcKindTest, ParseRoundTripsEveryKind) {
+  for (const CcKind kind : tcp::kAllCcKinds) {
+    CcKind parsed = CcKind::kReno;
+    ASSERT_TRUE(tcp::parse_cc_kind(to_string(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+}
+
+TEST(CcKindTest, ParseAcceptsBbrAliases) {
+  CcKind parsed = CcKind::kReno;
+  EXPECT_TRUE(tcp::parse_cc_kind("bbr-lite", &parsed));
+  EXPECT_EQ(parsed, CcKind::kBbrLite);
+  EXPECT_TRUE(tcp::parse_cc_kind("bbrlite", &parsed));
+  EXPECT_EQ(parsed, CcKind::kBbrLite);
+}
+
+TEST(CcKindTest, ParseRejectsUnknownAndLeavesOutputUntouched) {
+  CcKind parsed = CcKind::kCubic;
+  EXPECT_FALSE(tcp::parse_cc_kind("vegas", &parsed));
+  EXPECT_FALSE(tcp::parse_cc_kind("", &parsed));
+  EXPECT_FALSE(tcp::parse_cc_kind("Reno", &parsed));  // case-sensitive
+  EXPECT_EQ(parsed, CcKind::kCubic);
+}
+
+TEST(CcKindTest, DefaultTcpOptionsRunReno) {
+  EXPECT_EQ(tcp::TcpOptions{}.cc, CcKind::kReno);
+}
+
+// ---------------------------------------------------------------------------
+// Reno: the byte-exact legacy arithmetic.
+// ---------------------------------------------------------------------------
+
+TEST(RenoTest, InitSetsInitialWindowAndOpenSsthresh) {
+  CcDriver d(CcKind::kReno);
+  EXPECT_EQ(d.cc->cwnd(), 2 * kMss);
+  EXPECT_GE(d.cc->ssthresh(), 1u << 30);
+  EXPECT_EQ(d.cc->ca_state(), CaState::kSlowStart);
+}
+
+TEST(RenoTest, SlowStartAddsOneMssPerMssAcked) {
+  CcDriver d(CcKind::kReno);
+  d.fill();
+  d.ack(kMss);
+  EXPECT_EQ(d.cc->cwnd(), 3 * kMss);
+  d.fill();
+  d.ack(kMss);
+  EXPECT_EQ(d.cc->cwnd(), 4 * kMss);
+}
+
+TEST(RenoTest, AvoidanceAddsMssSquaredOverCwnd) {
+  CcDriver d(CcKind::kReno);
+  // Force avoidance: collapse ssthresh with a loss, then recover fully.
+  d.fill();
+  ASSERT_TRUE(d.triple_dup_loss());
+  d.ack(d.ctx.snd_max - d.ctx.snd_acked);  // full ACK ends the episode
+  ASSERT_EQ(d.cc->ca_state(), CaState::kAvoidance);
+  const std::uint32_t before = d.cc->cwnd();
+  d.fill();
+  d.ack(kMss);
+  EXPECT_EQ(d.cc->cwnd(), before + std::max(1u, kMss * kMss / before));
+}
+
+TEST(RenoTest, LossHalvesFlightWithTwoSegmentFloor) {
+  CcDriver d(CcKind::kReno);
+  // Grow to a 10-segment window, full flight.
+  for (int i = 0; i < 8; ++i) {
+    d.fill();
+    d.ack(kMss);
+  }
+  ASSERT_EQ(d.cc->cwnd(), 10 * kMss);
+  d.fill();
+  ASSERT_TRUE(d.triple_dup_loss());
+  EXPECT_EQ(d.cc->cwnd(), 5 * kMss);
+  EXPECT_EQ(d.cc->ssthresh(), 5 * kMss);
+
+  // A second, app-limited connection: only one segment in flight, so the
+  // halved window floors at two segments.
+  CcDriver e(CcKind::kReno);
+  e.ctx.snd_max = kMss;
+  e.ctx.bytes_in_flight = kMss;
+  ASSERT_TRUE(e.triple_dup_loss());
+  EXPECT_EQ(e.cc->cwnd(), 2 * kMss);
+  EXPECT_EQ(e.cc->ssthresh(), 2 * kMss);
+}
+
+TEST(RenoTest, HalvingCapsFlightAtCwnd) {
+  // bytes_in_flight beyond cwnd (e.g. after a mid-flight cwnd collapse)
+  // must not inflate ssthresh: the estimate is min(flight, cwnd).
+  CcDriver d(CcKind::kReno);
+  d.ctx.snd_max = 100 * kMss;
+  d.ctx.bytes_in_flight = 100 * kMss;  // way beyond the 2-segment cwnd
+  ASSERT_TRUE(d.triple_dup_loss());
+  EXPECT_EQ(d.cc->ssthresh(), 2 * kMss);  // max(cwnd/2, 2*mss) floor
+}
+
+TEST(RenoTest, TimeoutCollapsesToOneSegment) {
+  CcDriver d(CcKind::kReno);
+  for (int i = 0; i < 8; ++i) {
+    d.fill();
+    d.ack(kMss);
+  }
+  d.fill();
+  const std::uint32_t pre = d.cc->cwnd();
+  d.timeout();
+  EXPECT_EQ(d.cc->cwnd(), kMss);
+  EXPECT_EQ(d.cc->ssthresh(), pre / 2);
+  EXPECT_EQ(d.cc->ca_state(), CaState::kLoss);
+}
+
+TEST(RenoTest, ReentersRecoveryAndRehalves) {
+  CcDriver d(CcKind::kReno);
+  for (int i = 0; i < 8; ++i) {
+    d.fill();
+    d.ack(kMss);
+  }
+  d.fill();
+  ASSERT_TRUE(d.triple_dup_loss());
+  const std::uint32_t first_half = d.cc->cwnd();
+  // Reno's dup-ack logic re-fires inside the same episode and halves again.
+  EXPECT_TRUE(d.triple_dup_loss());
+  EXPECT_LT(d.cc->cwnd(), first_half);
+  EXPECT_EQ(d.cc->forensics().enter_recovery, 2u);
+}
+
+TEST(RenoTest, PartialAckDoesNotRequestRetransmit) {
+  CcDriver d(CcKind::kReno);
+  for (int i = 0; i < 8; ++i) {
+    d.fill();
+    d.ack(kMss);
+  }
+  d.fill();
+  ASSERT_TRUE(d.triple_dup_loss());
+  EXPECT_FALSE(d.ack(kMss));  // partial ACK: legacy Reno waits for dup-acks
+  EXPECT_EQ(d.cc->forensics().partial_ack_retransmits, 0u);
+}
+
+TEST(RenoTest, AfterIdleKeepsTheWindow) {
+  // The legacy stack had no idle restart; Reno must preserve that (it is
+  // what keeps the golden traces byte-exact).
+  CcDriver d(CcKind::kReno);
+  for (int i = 0; i < 8; ++i) {
+    d.fill();
+    d.ack(kMss);
+  }
+  const std::uint32_t before = d.cc->cwnd();
+  d.ctx.now += sim::seconds(30);
+  d.cc->after_idle(d.ctx);
+  EXPECT_EQ(d.cc->cwnd(), before);
+  EXPECT_EQ(d.cc->forensics().after_idle_resets, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// NewReno: partial-ACK repair without re-halving.
+// ---------------------------------------------------------------------------
+
+TEST(NewRenoTest, PartialAckRequestsImmediateRetransmitWithoutRehalving) {
+  CcDriver d(CcKind::kNewReno);
+  for (int i = 0; i < 8; ++i) {
+    d.fill();
+    d.ack(kMss);
+  }
+  d.fill();
+  ASSERT_TRUE(d.triple_dup_loss());
+  const std::uint32_t halved = d.cc->cwnd();
+  EXPECT_TRUE(d.ack(kMss));  // partial ACK: repair the next hole now
+  EXPECT_EQ(d.cc->cwnd(), halved);  // window frozen during recovery
+  EXPECT_EQ(d.cc->forensics().partial_ack_retransmits, 1u);
+}
+
+TEST(NewRenoTest, DeclinesReenteringRecovery) {
+  CcDriver d(CcKind::kNewReno);
+  for (int i = 0; i < 8; ++i) {
+    d.fill();
+    d.ack(kMss);
+  }
+  d.fill();
+  ASSERT_TRUE(d.triple_dup_loss());
+  const std::uint32_t halved = d.cc->cwnd();
+  EXPECT_FALSE(d.triple_dup_loss());  // already recovering: no re-halve
+  EXPECT_EQ(d.cc->cwnd(), halved);
+  EXPECT_EQ(d.cc->forensics().enter_recovery, 1u);
+}
+
+TEST(NewRenoTest, FullAckDeflatesToSsthreshAndExits) {
+  CcDriver d(CcKind::kNewReno);
+  for (int i = 0; i < 8; ++i) {
+    d.fill();
+    d.ack(kMss);
+  }
+  d.fill();
+  ASSERT_TRUE(d.triple_dup_loss());
+  d.ack(kMss);                             // partial
+  d.ack(d.ctx.snd_max - d.ctx.snd_acked);  // full ACK
+  EXPECT_EQ(d.cc->ca_state(), CaState::kAvoidance);
+  // The full ACK first deflates to ssthresh, then takes its own avoidance
+  // growth step (exit runs before cc_new_ack).
+  const std::uint32_t ss = d.cc->ssthresh();
+  EXPECT_EQ(d.cc->cwnd(), ss + std::max(1u, kMss * kMss / ss));
+  EXPECT_EQ(d.cc->forensics().full_recoveries, 1u);
+}
+
+TEST(NewRenoTest, AfterIdleDecaysToInitialWindow) {
+  CcDriver d(CcKind::kNewReno);
+  for (int i = 0; i < 8; ++i) {
+    d.fill();
+    d.ack(kMss);
+  }
+  ASSERT_GT(d.cc->cwnd(), d.ctx.initial_cwnd);
+  d.ctx.now += sim::seconds(30);
+  d.cc->after_idle(d.ctx);
+  EXPECT_EQ(d.cc->cwnd(), d.ctx.initial_cwnd);
+}
+
+// ---------------------------------------------------------------------------
+// CUBIC.
+// ---------------------------------------------------------------------------
+
+TEST(CubicTest, LossAppliesBetaDecrease) {
+  CcDriver d(CcKind::kCubic);
+  for (int i = 0; i < 18; ++i) {
+    d.fill();
+    d.ack(kMss);
+  }
+  d.fill();
+  const std::uint32_t pre = d.cc->cwnd();
+  ASSERT_TRUE(d.triple_dup_loss());
+  EXPECT_EQ(d.cc->ssthresh(),
+            static_cast<std::uint32_t>(static_cast<double>(pre) * 0.7));
+  EXPECT_EQ(d.cc->cwnd(), d.cc->ssthresh());
+}
+
+TEST(CubicTest, AvoidanceGrowthIsCappedAtOneSegmentPerAck) {
+  CcDriver d(CcKind::kCubic);
+  for (int i = 0; i < 18; ++i) {
+    d.fill();
+    d.ack(kMss);
+  }
+  d.fill();
+  ASSERT_TRUE(d.triple_dup_loss());
+  d.ack(d.ctx.snd_max - d.ctx.snd_acked);  // exit recovery into avoidance
+  ASSERT_EQ(d.cc->ca_state(), CaState::kAvoidance);
+  for (int i = 0; i < 30; ++i) {
+    const std::uint32_t before = d.cc->cwnd();
+    d.fill();
+    d.ack(kMss);
+    EXPECT_LE(d.cc->cwnd(), before + kMss) << "ack " << i;
+    EXPECT_GE(d.cc->cwnd(), before) << "ack " << i;
+  }
+}
+
+TEST(CubicTest, WindowRecoversTowardsPriorMaxAfterLoss) {
+  CcDriver d(CcKind::kCubic);
+  for (int i = 0; i < 18; ++i) {
+    d.fill();
+    d.ack(kMss);
+  }
+  d.fill();
+  const std::uint32_t w_max = d.cc->cwnd();
+  ASSERT_TRUE(d.triple_dup_loss());
+  d.ack(d.ctx.snd_max - d.ctx.snd_acked);
+  // Plenty of clean RTTs: the cubic must climb back to (and past) w_max.
+  for (int i = 0; i < 400 && d.cc->cwnd() <= w_max; ++i) {
+    d.fill();
+    d.ack(kMss);
+  }
+  EXPECT_GT(d.cc->cwnd(), w_max);
+}
+
+// ---------------------------------------------------------------------------
+// BBR-lite.
+// ---------------------------------------------------------------------------
+
+TEST(BbrTest, CwndNeverFallsBelowFourSegmentsInRecovery) {
+  CcDriver d(CcKind::kBbrLite);
+  d.ctx.snd_max = kMss;  // app-limited: a single segment in flight
+  d.ctx.bytes_in_flight = kMss;
+  ASSERT_TRUE(d.triple_dup_loss());
+  EXPECT_GE(d.cc->cwnd(), 4 * kMss);
+}
+
+TEST(BbrTest, FullAckRestoresThePreLossWindow) {
+  // During startup (before the pipe is declared full) the window is well
+  // above the 4-segment floor; a loss with a partially-drained flight drops
+  // cwnd to the floor, and the full ACK restores the pre-loss window — loss
+  // is treated as a repair problem, not a rate signal.
+  CcDriver d(CcKind::kBbrLite);
+  for (int i = 0; i < 5; ++i) {
+    d.fill();
+    d.ack(kMss);
+  }
+  d.fill();
+  d.ctx.bytes_in_flight = 2 * kMss;  // most of the flight already delivered
+  const std::uint32_t pre = d.cc->cwnd();
+  ASSERT_GT(pre, 4 * kMss);
+  ASSERT_TRUE(d.triple_dup_loss());
+  EXPECT_EQ(d.cc->cwnd(), 4 * kMss);  // fell back to max(flight, floor)
+  d.ack(d.ctx.snd_max - d.ctx.snd_acked);
+  EXPECT_GE(d.cc->cwnd(), pre);  // prior_cwnd restored on the full ACK
+}
+
+TEST(BbrTest, PartialAckRequestsRepair) {
+  CcDriver d(CcKind::kBbrLite);
+  for (int i = 0; i < 12; ++i) {
+    d.fill();
+    d.ack(kMss);
+  }
+  d.fill();
+  ASSERT_TRUE(d.triple_dup_loss());
+  EXPECT_TRUE(d.ack(kMss));
+}
+
+// ---------------------------------------------------------------------------
+// CA-state machine and forensics (base-class behaviour, all modules).
+// ---------------------------------------------------------------------------
+
+TEST(CaStateTest, WalksThroughAllFourStates) {
+  CcDriver d(CcKind::kReno);
+  EXPECT_EQ(d.cc->ca_state(), CaState::kSlowStart);
+  d.fill();
+  ASSERT_TRUE(d.triple_dup_loss());
+  EXPECT_EQ(d.cc->ca_state(), CaState::kFastRecovery);
+  d.fill();
+  d.timeout();
+  EXPECT_EQ(d.cc->ca_state(), CaState::kLoss);
+  d.ack(d.ctx.snd_max - d.ctx.snd_acked);  // covers the loss point
+  EXPECT_EQ(d.cc->ca_state(), CaState::kAvoidance);  // cwnd >= ssthresh now
+
+  const tcp::LossForensics& f = d.cc->forensics();
+  EXPECT_EQ(f.enter_recovery, 1u);
+  EXPECT_EQ(f.enter_loss, 1u);
+  EXPECT_EQ(f.recovery_to_loss, 1u);  // the RTO fired while recovering
+  EXPECT_EQ(f.ca_entries[static_cast<int>(CaState::kFastRecovery)], 1u);
+  EXPECT_EQ(f.ca_entries[static_cast<int>(CaState::kLoss)], 1u);
+  // The landing state is recorded at the exit, before the same ACK's growth
+  // step lifts cwnd to ssthresh — so the episode lands in slow-start.
+  EXPECT_EQ(f.ca_entries[static_cast<int>(CaState::kSlowStart)], 1u);
+  EXPECT_EQ(f.ca_entries[static_cast<int>(CaState::kAvoidance)], 0u);
+}
+
+TEST(ForensicsTest, FirstLossReasonIsSticky) {
+  CcDriver d(CcKind::kReno);
+  d.fill();
+  d.ctx.now = sim::milliseconds(77);
+  ASSERT_TRUE(d.triple_dup_loss());
+  d.fill();
+  d.timeout();
+  EXPECT_EQ(d.cc->forensics().first_loss_reason, LossReason::kDupAck);
+  EXPECT_EQ(d.cc->forensics().first_loss_time, sim::milliseconds(77));
+
+  CcDriver e(CcKind::kReno);
+  e.fill();
+  e.timeout();
+  EXPECT_EQ(e.cc->forensics().first_loss_reason, LossReason::kTimeout);
+}
+
+TEST(ForensicsTest, SpuriousRtoAndIdleCountersAccumulate) {
+  CcDriver d(CcKind::kCubic);
+  d.cc->note_spurious_rto();
+  d.cc->note_spurious_rto();
+  d.cc->after_idle(d.ctx);
+  EXPECT_EQ(d.cc->forensics().spurious_rtos, 2u);
+  EXPECT_EQ(d.cc->forensics().after_idle_resets, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Golden scripted traces: the exact cwnd sequence for the shared scenario.
+// ---------------------------------------------------------------------------
+
+TEST(GoldenTraceTest, RenoScriptedCwndTrace) {
+  EXPECT_EQ(
+      format_trace(scripted_trace(CcKind::kReno)),
+      "2000 3000 4000 5000 6000 7000 8000 9000 10000 11000 12000 13000 "
+      "14000 15000 16000 17000 18000 19000 20000 21000 22000 11000 11090 "
+      "11180 11269 11357 11445 11532 11618 11704 11789 11873 11957 12040 "
+      "12123 1000 2000 3000 4000 5000 6000 7000 7142 7282 7419 7553 7685 "
+      "7815 7942 8067 8190 8312 8432 8550 8666 8781 8894 9006 9117 9117 "
+      "9226");
+}
+
+TEST(GoldenTraceTest, NewRenoScriptedCwndTrace) {
+  EXPECT_EQ(
+      format_trace(scripted_trace(CcKind::kNewReno)),
+      "2000 3000 4000 5000 6000 7000 8000 9000 10000 11000 12000 13000 "
+      "14000 15000 16000 17000 18000 19000 20000 21000 22000 11000 11000 "
+      "11000 11090 11180 11269 11357 11445 11532 11618 11704 11789 11873 "
+      "11957 1000 2000 3000 4000 5000 6000 6166 6328 6486 6640 6790 6937 "
+      "6145 6307 6465 6619 6770 6917 7061 7202 7340 7476 7609 2000 3000");
+}
+
+TEST(GoldenTraceTest, CubicScriptedCwndTrace) {
+  EXPECT_EQ(
+      format_trace(scripted_trace(CcKind::kCubic)),
+      "2000 3000 4000 5000 6000 7000 8000 9000 10000 11000 12000 13000 "
+      "14000 15000 16000 17000 18000 19000 20000 21000 22000 15399 15399 "
+      "15399 15433 15467 15501 15536 15570 15604 15638 15671 15705 15739 "
+      "15773 1000 2000 3000 4000 5000 6000 7000 8000 9000 10000 11000 "
+      "12000 12044 12088 12131 12175 12041 12256 12299 12342 12385 12428 "
+      "12471 12513 12555 12597 12639 2000 3000");
+}
+
+TEST(GoldenTraceTest, BbrScriptedCwndTrace) {
+  EXPECT_EQ(
+      format_trace(scripted_trace(CcKind::kBbrLite)),
+      "2000 3000 4000 5000 5770 5770 5770 5770 4000 4000 4000 4000 4000 "
+      "4000 4000 4000 4000 4000 4000 4000 4000 4000 4000 4000 4000 5000 "
+      "5000 4000 4000 4000 4000 4000 4000 4000 4000 1000 2000 3000 4000 "
+      "4000 4000 4000 5000 5000 4000 4000 4000 4000 4000 4000 4000 5000");
+}
+
+TEST(GoldenTraceTest, ScriptIsDeterministic) {
+  for (const CcKind kind : tcp::kAllCcKinds) {
+    EXPECT_EQ(scripted_trace(kind), scripted_trace(kind))
+        << to_string(kind);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end smoke: every module still delivers reliably over a lossy link.
+// ---------------------------------------------------------------------------
+
+TEST(CcIntegrationTest, AllModulesDeliverReliablyOverLossyLink) {
+  using namespace testutil;
+  for (const CcKind kind : tcp::kAllCcKinds) {
+    SCOPED_TRACE(std::string(to_string(kind)));
+    net::ChannelConfig cfg =
+        net::ChannelConfig::symmetric(2'000'000, sim::milliseconds(30));
+    cfg.a_to_b.random_drop_probability = 0.03;
+    cfg.b_to_a.random_drop_probability = 0.03;
+    TestNet net(cfg, /*seed=*/991 + static_cast<std::uint64_t>(kind));
+
+    tcp::TcpOptions opts;
+    opts.cc = kind;
+    std::vector<std::uint8_t> received;
+    net.server.listen(
+        80,
+        [&](tcp::ConnectionPtr conn) {
+          conn->set_on_data([&received, raw = conn.get()] {
+            auto b = raw->read_all().to_vector();
+            received.insert(received.end(), b.begin(), b.end());
+          });
+        },
+        opts);
+
+    tcp::ConnectionPtr conn = net.client.connect(kServerAddr, 80, opts);
+    const auto payload = pattern_bytes(60'000, 0xC0FFEE);
+    std::size_t off = 0;
+    auto pump = [&] {
+      off += conn->send(std::span<const std::uint8_t>(payload.data() + off,
+                                                      payload.size() - off));
+    };
+    conn->set_on_connected(pump);
+    conn->set_on_send_space(pump);
+    net.queue.run_until(sim::seconds(600));
+
+    ASSERT_EQ(received, payload);
+    EXPECT_EQ(conn->congestion().kind(), kind);
+    // 3% loss each way over 60 KB: some loss episode must have been seen
+    // and recorded by the forensics.
+    const tcp::LossForensics& f = conn->loss_forensics();
+    EXPECT_GT(f.enter_recovery + f.enter_loss, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hsim

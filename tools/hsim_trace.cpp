@@ -1,9 +1,11 @@
 // hsim-trace: capture, inspect and compare packet traces.
 //
-//   hsim-trace run <table4|table6> [--seed N] [--binary] -o FILE
+//   hsim-trace run <table4|table6> [--seed N] [--cc CC] [--binary] -o FILE
 //       Run a golden scenario and write the client-side trace to FILE
-//       (canonical text by default, stable binary with --binary).
-//   hsim-trace run dumbbell [--seed N] [--clients N] [--binary] -o FILE
+//       (canonical text by default, stable binary with --binary). --cc
+//       selects the congestion-control module on both endpoints
+//       (reno|newreno|cubic|bbr; default reno, the golden behaviour).
+//   hsim-trace run dumbbell [--seed N] [--clients N] [--cc CC] [--binary] -o FILE
 //       Run a small shared-bottleneck dumbbell workload with a multi-hop
 //       trace attached to every router; the resulting file uses the v2
 //       format with a per-hop column (router id + queue depth at enqueue).
@@ -40,8 +42,8 @@ using namespace hsim;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: hsim-trace run <table4|table6> [--seed N] [--binary] -o FILE\n"
-               "       hsim-trace run dumbbell [--seed N] [--clients N] [--binary] -o FILE\n"
+               "usage: hsim-trace run <table4|table6> [--seed N] [--cc CC] [--binary] -o FILE\n"
+               "       hsim-trace run dumbbell [--seed N] [--clients N] [--cc CC] [--binary] -o FILE\n"
                "       hsim-trace text FILE\n"
                "       hsim-trace summarize FILE [--client ADDR]\n"
                "       hsim-trace diff A B\n");
@@ -112,11 +114,12 @@ void print_link_table(const obs::Snapshot& metrics) {
 /// egress queue depth it found at enqueue.
 int cmd_run_dumbbell(const std::vector<std::string>& args,
                      const std::string& out_path, bool binary,
-                     std::uint64_t seed, unsigned clients) {
+                     std::uint64_t seed, unsigned clients, tcp::CcKind cc) {
   harness::WorkloadConfig config;
   config.num_clients = clients;
   config.master_seed = seed;
   config.topology = harness::TopologyKind::kDumbbell;
+  config.cc = cc;
   net::PacketTrace hop_trace(/*client_addr=*/1);  // direction anchor: server
   config.hop_trace = &hop_trace;
   const harness::WorkloadResult result =
@@ -135,12 +138,17 @@ int cmd_run(const std::vector<std::string>& args) {
   bool binary = false;
   std::uint64_t seed = 1;
   unsigned clients = 4;
+  tcp::CcKind cc = tcp::CcKind::kReno;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--seed" && i + 1 < args.size()) {
       seed = std::strtoull(args[++i].c_str(), nullptr, 10);
     } else if (args[i] == "--clients" && i + 1 < args.size()) {
       clients = static_cast<unsigned>(
           std::strtoul(args[++i].c_str(), nullptr, 10));
+    } else if (args[i] == "--cc" && i + 1 < args.size()) {
+      if (!tcp::parse_cc_kind(args[++i], &cc)) {
+        return fail("unknown --cc (try: reno, newreno, cubic, bbr)");
+      }
     } else if (args[i] == "--binary") {
       binary = true;
     } else if (args[i] == "-o" && i + 1 < args.size()) {
@@ -152,7 +160,7 @@ int cmd_run(const std::vector<std::string>& args) {
   if (out_path.empty()) return usage();
 
   if (args[0] == "dumbbell") {
-    return cmd_run_dumbbell(args, out_path, binary, seed, clients);
+    return cmd_run_dumbbell(args, out_path, binary, seed, clients, cc);
   }
   harness::ExperimentSpec spec;
   if (!harness::golden_spec_by_name(args[0], &spec)) {
@@ -160,6 +168,8 @@ int cmd_run(const std::vector<std::string>& args) {
                 "' (try: table4, table6, dumbbell)");
   }
   spec.seed = seed;
+  spec.server.tcp.cc = cc;
+  spec.client.tcp.cc = cc;
   const std::vector<net::TraceRecord> records =
       harness::capture_trace(spec, harness::shared_site());
   return write_records(args[0], records, out_path, binary,
