@@ -26,6 +26,14 @@ struct PaperRow {
   client::ProtocolMode mode;
   PaperCell first;
   PaperCell reval;
+
+  /// Rows for protocols the paper never measured (the h2 extrapolation
+  /// column) carry all-zero paper cells and print no "(paper)" line.
+  bool has_paper_numbers() const {
+    return first.pa != 0 || first.bytes != 0 || first.sec != 0 ||
+           first.ov != 0 || reval.pa != 0 || reval.bytes != 0 ||
+           reval.sec != 0 || reval.ov != 0;
+  }
 };
 
 inline void print_network(const harness::NetworkProfile& n) {
@@ -65,10 +73,13 @@ inline void run_protocol_table(const std::string& title,
                 row.label, first.packets, first.bytes, first.seconds,
                 first.overhead_percent, reval.packets, reval.bytes,
                 reval.seconds, reval.overhead_percent);
-    std::printf("%-34s | %6.1f %8.0f %6.2f %5.1f | %6.1f %8.0f %6.2f %5.1f\n",
-                "  (paper)", row.first.pa, row.first.bytes, row.first.sec,
-                row.first.ov, row.reval.pa, row.reval.bytes, row.reval.sec,
-                row.reval.ov);
+    if (row.has_paper_numbers()) {
+      std::printf(
+          "%-34s | %6.1f %8.0f %6.2f %5.1f | %6.1f %8.0f %6.2f %5.1f\n",
+          "  (paper)", row.first.pa, row.first.bytes, row.first.sec,
+          row.first.ov, row.reval.pa, row.reval.bytes, row.reval.sec,
+          row.reval.ov);
+    }
   }
   std::printf("\n");
 }

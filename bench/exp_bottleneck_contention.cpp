@@ -96,6 +96,7 @@ void run_table(unsigned n, std::int64_t bps, topo::QueueDiscKind qdisc) {
   print_header();
   run_row(n, client::ProtocolMode::kHttp10Parallel, bps, qdisc);
   run_row(n, client::ProtocolMode::kHttp11Pipelined, bps, qdisc);
+  run_row(n, client::ProtocolMode::kH2, bps, qdisc);
   std::printf("\n");
 }
 

@@ -40,6 +40,42 @@ harness::WorkloadConfig config() {
   return cfg;
 }
 
+// The h2 smoke: the same N = 1000 fleet on the legacy star topology, every
+// client a multiplexed session with server push. The star keeps the framing
+// layer itself (frame encode/decode, scheduler, flow control) the hot path
+// rather than router queueing. Emits BENCH_h2.json.
+harness::WorkloadConfig h2_config() {
+  harness::WorkloadConfig cfg;
+  cfg.num_clients = 1000;
+  cfg.topology = harness::TopologyKind::kStar;
+  cfg.arrivals = harness::ArrivalProcess::kPoisson;
+  cfg.mean_interarrival = sim::milliseconds(10);
+  cfg.access = harness::lan_profile();
+  cfg.bottleneck_bandwidth_bps = 10'000'000;
+  cfg.bottleneck_delay = sim::milliseconds(10);
+  cfg.bottleneck_queue_packets = 256;
+  cfg.master_seed = 42;
+  cfg.server = server::apache_config();
+  cfg.server.listen_backlog = 512;
+  cfg.server.max_concurrent_connections = 256;
+  cfg.server.admission_policy = server::AdmissionPolicy::kQueue;
+  cfg.client = harness::robot_config(client::ProtocolMode::kH2);
+  cfg.client.page_deadline = sim::seconds(420);
+  return cfg;
+}
+
+std::uint64_t total_h2_frames(const obs::Snapshot& m) {
+  static const char* kSent[] = {
+      "h2.frames_sent.data",          "h2.frames_sent.headers",
+      "h2.frames_sent.rst_stream",    "h2.frames_sent.settings",
+      "h2.frames_sent.push_promise",  "h2.frames_sent.goaway",
+      "h2.frames_sent.window_update",
+  };
+  std::uint64_t total = 0;
+  for (const char* name : kSent) total += m.counter(name);
+  return total;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -89,6 +125,56 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fputs(json, f);
+    std::fclose(f);
+  }
+
+  // ---- h2 smoke ----------------------------------------------------------
+  const auto t1 = std::chrono::steady_clock::now();
+  const harness::WorkloadResult h2r =
+      harness::run_workload(h2_config(), harness::shared_site());
+  const double h2_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
+          .count();
+
+  // Frame counters aggregate the client sessions AND the server's (both
+  // bind the same registry names), i.e. every frame any session emitted.
+  const std::uint64_t frames = total_h2_frames(h2r.metrics);
+  const std::uint64_t stalls = h2r.metrics.counter("h2.flow_stalls");
+  const std::uint64_t pushes = h2r.metrics.counter("h2.pushes_accepted");
+  const std::uint64_t h2_events = h2r.events_executed;
+
+  char h2json[1024];
+  std::snprintf(
+      h2json, sizeof h2json,
+      "{\n"
+      "  \"bench\": \"perf_smoke\",\n"
+      "  \"area\": \"h2\",\n"
+      "  \"workload\": \"star h2 multiplexed N=1000, 10 Mbit/s, seed 42\",\n"
+      "  \"clients\": 1000,\n"
+      "  \"completed\": %u,\n"
+      "  \"h2_frames\": %llu,\n"
+      "  \"flow_control_stalls\": %llu,\n"
+      "  \"pushes_accepted\": %llu,\n"
+      "  \"events_executed\": %llu,\n"
+      "  \"wall_seconds\": %.3f,\n"
+      "  \"frames_per_sec\": %.0f,\n"
+      "  \"events_per_sec\": %.0f\n"
+      "}\n",
+      h2r.completed(), static_cast<unsigned long long>(frames),
+      static_cast<unsigned long long>(stalls),
+      static_cast<unsigned long long>(pushes),
+      static_cast<unsigned long long>(h2_events), h2_wall,
+      static_cast<double>(frames) / h2_wall,
+      static_cast<double>(h2_events) / h2_wall);
+  std::fputs(h2json, stdout);
+
+  if (argc > 2) {
+    std::FILE* f = std::fopen(argv[2], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "perf_smoke: cannot write %s\n", argv[2]);
+      return 1;
+    }
+    std::fputs(h2json, f);
     std::fclose(f);
   }
   return 0;

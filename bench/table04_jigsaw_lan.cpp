@@ -15,6 +15,10 @@ int main() {
       {"HTTP/1.1 Pipelined w. compression",
        ProtocolMode::kHttp11PipelinedCompressed,
        {148.8, 159654, 0.71, 3.6}, {32.6, 17687, 0.54, 6.9}},
+      // The paper predates HTTP/2; this row extrapolates the study with the
+      // multiplexed framing layer (one connection, server push). No paper
+      // numbers exist, so no "(paper)" line is printed.
+      {"HTTP/2 mux", ProtocolMode::kH2, {}, {}},
   };
   bench::run_protocol_table("Table 4 - Jigsaw - High Bandwidth, Low Latency",
                             harness::lan_profile(), server::jigsaw_config(),

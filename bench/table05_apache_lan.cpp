@@ -15,6 +15,10 @@ int main() {
       {"HTTP/1.1 Pipelined w. compression",
        ProtocolMode::kHttp11PipelinedCompressed,
        {139.8, 156834, 0.41, 3.4}, {28.4, 14002, 0.23, 7.5}},
+      // The paper predates HTTP/2; this row extrapolates the study with the
+      // multiplexed framing layer (one connection, server push). No paper
+      // numbers exist, so no "(paper)" line is printed.
+      {"HTTP/2 mux", ProtocolMode::kH2, {}, {}},
   };
   bench::run_protocol_table("Table 5 - Apache - High Bandwidth, Low Latency",
                             harness::lan_profile(), server::apache_config(),

@@ -15,6 +15,10 @@ int main() {
       {"HTTP/1.1 Pipelined w. compression",
        ProtocolMode::kHttp11PipelinedCompressed,
        {183.2, 161698, 2.09, 4.3}, {35.4, 19102.2, 1.15, 6.9}},
+      // The paper predates HTTP/2; this row extrapolates the study with the
+      // multiplexed framing layer (one connection, server push). No paper
+      // numbers exist, so no "(paper)" line is printed.
+      {"HTTP/2 mux", ProtocolMode::kH2, {}, {}},
   };
   bench::run_protocol_table("Table 6 - Jigsaw - High Bandwidth, High Latency",
                             harness::wan_profile(), server::jigsaw_config(),

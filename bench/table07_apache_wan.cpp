@@ -15,6 +15,10 @@ int main() {
       {"HTTP/1.1 Pipelined w. compression",
        ProtocolMode::kHttp11PipelinedCompressed,
        {182.0, 159170.0, 2.11, 4.4}, {29.0, 15088, 0.83, 7.2}},
+      // The paper predates HTTP/2; this row extrapolates the study with the
+      // multiplexed framing layer (one connection, server push). No paper
+      // numbers exist, so no "(paper)" line is printed.
+      {"HTTP/2 mux", ProtocolMode::kH2, {}, {}},
   };
   bench::run_protocol_table("Table 7 - Apache - High Bandwidth, High Latency",
                             harness::wan_profile(), server::apache_config(),

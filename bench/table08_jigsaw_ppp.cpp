@@ -14,6 +14,10 @@ int main() {
       {"HTTP/1.1 Pipelined w. compression",
        ProtocolMode::kHttp11PipelinedCompressed,
        {234.2, 159449, 47.4, 5.5}, {31.0, 17591, 5.4, 6.6}},
+      // The paper predates HTTP/2; this row extrapolates the study with the
+      // multiplexed framing layer (one connection, server push). No paper
+      // numbers exist, so no "(paper)" line is printed.
+      {"HTTP/2 mux", ProtocolMode::kH2, {}, {}},
   };
   bench::run_protocol_table("Table 8 - Jigsaw - Low Bandwidth, High Latency",
                             harness::ppp_profile(), server::jigsaw_config(),

@@ -13,6 +13,10 @@ int main() {
       {"HTTP/1.1 Pipelined w. compression",
        ProtocolMode::kHttp11PipelinedCompressed,
        {233.0, 157214, 47.2, 5.6}, {26.0, 13905, 3.4, 7.0}},
+      // The paper predates HTTP/2; this row extrapolates the study with the
+      // multiplexed framing layer (one connection, server push). No paper
+      // numbers exist, so no "(paper)" line is printed.
+      {"HTTP/2 mux", ProtocolMode::kH2, {}, {}},
   };
   bench::run_protocol_table("Table 9 - Apache - Low Bandwidth, High Latency",
                             harness::ppp_profile(), server::apache_config(),

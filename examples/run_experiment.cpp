@@ -3,7 +3,7 @@
 //
 // Usage:
 //   run_experiment [--net lan|wan|ppp] [--server jigsaw|apache|apache-b2]
-//                  [--mode 1.0|1.1|pipe|pipec] [--scenario first|reval]
+//                  [--mode 1.0|1.1|pipe|pipec|h2] [--scenario first|reval]
 //                  [--runs N] [--seed S]
 //                  [--buffer BYTES] [--flush-ms MS] [--no-explicit-flush]
 //                  [--max-conns N] [--no-nodelay] [--ranges]
@@ -39,7 +39,7 @@ using namespace hsim;
   std::fprintf(stderr,
                "usage: %s [--net lan|wan|ppp] [--server jigsaw|apache|"
                "apache-b2]\n"
-               "          [--mode 1.0|1.1|pipe|pipec] [--scenario first|reval]"
+               "          [--mode 1.0|1.1|pipe|pipec|h2] [--scenario first|reval]"
                "\n"
                "          [--runs N] [--seed S] [--buffer BYTES] "
                "[--flush-ms MS]\n"
@@ -110,6 +110,7 @@ Options parse(int argc, char** argv) {
       else if (v == "pipe") o.mode = client::ProtocolMode::kHttp11Pipelined;
       else if (v == "pipec")
         o.mode = client::ProtocolMode::kHttp11PipelinedCompressed;
+      else if (v == "h2") o.mode = client::ProtocolMode::kH2;
       else usage(argv[0]);
     } else if (a == "--scenario") {
       const std::string v = need_value(i);

@@ -29,6 +29,7 @@ std::string_view to_string(ProtocolMode mode) {
     case ProtocolMode::kHttp11Pipelined: return "HTTP/1.1 Pipelined";
     case ProtocolMode::kHttp11PipelinedCompressed:
       return "HTTP/1.1 Pipelined w. compression";
+    case ProtocolMode::kH2: return "HTTP/2 mux";
   }
   return "?";
 }
@@ -84,6 +85,7 @@ void Robot::begin(DoneCallback done) {
   html_text_.clear();
   html_raw_consumed_ = 0;
   refs_discovered_ = 0;
+  pushed_targets_.clear();
   inflater_.reset();
   retry_tokens_ = config_.retry_budget;
   retry_timer_.cancel();
@@ -165,7 +167,7 @@ Robot::LanePtr Robot::open_lane() {
   lane->conn->set_on_peer_fin([this, weak] {
     if (auto l = weak.lock()) {
       // Server finished sending: complete any read-until-close body.
-      l->parser.on_connection_closed();
+      if (!l->h2) l->parser.on_connection_closed();
       on_lane_data(l);
       // Close our half as well (no more requests will ride this lane).
       l->conn->shutdown_send();
@@ -178,7 +180,7 @@ Robot::LanePtr Robot::open_lane() {
   lane->conn->set_on_closed([this, weak] {
     if (auto l = weak.lock(); l && !l->closed) {
       l->closed = true;
-      l->parser.on_connection_closed();
+      if (!l->h2) l->parser.on_connection_closed();
       on_lane_data(l);
       on_lane_closed(l, LaneClose::kGraceful);
     }
@@ -199,8 +201,121 @@ Robot::LanePtr Robot::open_lane() {
                                      : LaneClose::kConnectFailure);
     }
   });
+  if (config_.h2()) attach_h2_session(lane);
   lanes_.push_back(lane);
   return lane;
+}
+
+void Robot::attach_h2_session(const LanePtr& lane) {
+  h2::SessionConfig sc;
+  sc.is_server = false;
+  // Advertise ENABLE_PUSH only when a push could ever be admitted: on a
+  // revalidation visit every resource is fetched conditionally up front, so
+  // the server should not bother promising anything.
+  sc.enable_push =
+      config_.h2_enable_push && config_.follow_embedded && first_visit_;
+  sc.initial_window = config_.h2_initial_window;
+  std::weak_ptr<Lane> weak = lane;
+  lane->h2 = std::make_unique<h2::Session>(
+      host_.event_queue(), sc, [this, weak](buf::Chain&& bytes) {
+        if (auto l = weak.lock(); l && !l->closed) {
+          l->out_unsent.append(std::move(bytes));
+          pump_lane_output(l);
+        }
+      });
+  h2::Session& session = *lane->h2;
+
+  session.on_response = [this, weak](std::uint32_t id, http::Response res) {
+    auto l = weak.lock();
+    if (!l || finished_) return;
+    auto it = l->h2_outstanding.find(id);
+    if (it == l->h2_outstanding.end()) return;
+    PendingRequest pending = std::move(it->second);
+    l->h2_outstanding.erase(it);
+    // A complete stream is "progress" (same rule as the HTTP/1.x pipeline).
+    arm_request_deadline(l);
+    deliver_response(l, std::move(pending), std::move(res));
+  };
+  // A finished push stream is bookkept exactly like a response to a request
+  // we issued: the accepted promise already lives in h2_outstanding.
+  session.on_push_response = session.on_response;
+
+  session.on_stream_data = [this, weak](std::uint32_t id, std::size_t) {
+    auto l = weak.lock();
+    if (!l || finished_ || !first_visit_) return;
+    auto it = l->h2_outstanding.find(id);
+    if (it == l->h2_outstanding.end() || !it->second.is_root) return;
+    if (const http::Response* partial = l->h2->stream_partial(id)) {
+      scan_partial_body(*partial);
+    }
+  };
+
+  session.on_push_promise = [this, weak](std::uint32_t id,
+                                         const http::Request& req) {
+    auto l = weak.lock();
+    if (!l || finished_) return false;
+    ++stats_.pushes_promised;
+    if (!first_visit_ || !config_.follow_embedded ||
+        pushed_targets_.count(req.target) != 0 ||
+        cache_.find(req.target) != nullptr || target_in_flight(req.target)) {
+      ++stats_.pushes_rejected;
+      return false;
+    }
+    pushed_targets_.insert(req.target);
+    ++stats_.pushes_accepted;
+    ++expected_responses_;
+    PendingRequest pending;
+    pending.target = req.target;
+    pending.from_push = true;
+    pending.issued_at = host_.event_queue().now();
+    l->h2_outstanding.emplace(id, std::move(pending));
+    return true;
+  };
+
+  session.on_stream_reset = [this, weak](std::uint32_t id,
+                                         h2::ErrorCode code) {
+    auto l = weak.lock();
+    if (!l || finished_) return;
+    auto it = l->h2_outstanding.find(id);
+    if (it == l->h2_outstanding.end()) return;
+    PendingRequest req = std::move(it->second);
+    l->h2_outstanding.erase(it);
+    arm_request_deadline(l);
+    const sim::Time now = host_.event_queue().now();
+    if (req.from_push || code == h2::ErrorCode::kRefusedStream) {
+      // REFUSED_STREAM — and a push the server abandoned — is an explicit
+      // "not processed": re-issue as a plain request, free of charge.
+      req.from_push = false;
+      req.not_before = now;
+      queue_.push_back(std::move(req));
+    } else if (++req.attempts >= config_.max_attempts) {
+      ++stats_.responses_error;
+      fail_request(req, FailureKind::kConnectionLost);
+    } else if (!consume_retry_token()) {
+      fail_request(req, FailureKind::kRetryBudgetExhausted);
+    } else {
+      ++stats_.retries_after_reset;
+      req.not_before = now + backoff_delay(req.attempts);
+      queue_.push_back(std::move(req));
+    }
+    maybe_finish();
+    if (!finished_) pump();
+  };
+
+  session.on_goaway = [this, weak](const h2::GoAway&) {
+    if (auto l = weak.lock(); l && !finished_) ++stats_.h2_goaways_seen;
+  };
+
+  session.on_connection_error = [this, weak](const h2::DecodeError&) {
+    auto l = weak.lock();
+    if (!l || finished_ || l->closed) return;
+    // The peer violated framing. The session already queued its GOAWAY
+    // (pumped through the sink above); tear the transport down and recover
+    // through the usual requeue path.
+    l->closed = true;
+    l->conn->abort();
+    on_lane_closed(l, LaneClose::kTransportFailure);
+  };
 }
 
 http::Request Robot::build_request(const PendingRequest& pending) const {
@@ -242,6 +357,22 @@ http::Request Robot::build_request(const PendingRequest& pending) const {
 }
 
 void Robot::issue_on_lane(const LanePtr& lane, PendingRequest pending) {
+  if (config_.h2()) {
+    const http::Request req = build_request(pending);
+    first_request_issued_ = true;
+    ++stats_.requests_sent;
+    if (pending.attempts > 0) ++stats_.retries;
+    metrics_.requests_sent.inc();
+    if (pending.attempts > 0) metrics_.retries.inc();
+    pending.issued_at = host_.event_queue().now();
+    // The document stream outranks images so reference discovery (or the
+    // server's push promises) starts flowing as early as possible.
+    const std::uint32_t id =
+        lane->h2->submit_request(req, pending.is_root ? 32 : 16);
+    lane->h2_outstanding.emplace(id, std::move(pending));
+    if (!lane->deadline_timer->armed()) arm_request_deadline(lane);
+    return;
+  }
   const http::Request req = build_request(pending);
   // Adopt the serialized request; the chain shares it from here on.
   lane->out_buffer.append(buf::Bytes(req.serialize()));
@@ -314,8 +445,9 @@ void Robot::pump() {
       retry_timer_.arm(queue_.front().not_before - now, [this] { pump(); });
     }
   };
-  if (config_.pipelined()) {
-    // Single persistent connection carrying the whole pipeline.
+  if (config_.pipelined() || config_.h2()) {
+    // Single persistent connection carrying the whole pipeline (h2: the
+    // whole set of concurrent streams).
     LanePtr lane;
     for (const LanePtr& l : lanes_) {
       if (!l->closed) {
@@ -369,6 +501,12 @@ void Robot::pump() {
 
 void Robot::on_lane_data(const LanePtr& lane) {
   if (finished_) return;
+  if (lane->h2) {
+    // Everything flows through the framing layer; stream completion and
+    // incremental document scanning arrive via the session callbacks.
+    lane->h2->receive(lane->conn->read_all());
+    return;
+  }
   buf::Chain bytes = lane->conn->read_all();
   if (!bytes.empty()) lane->parser.feed(std::move(bytes));
 
@@ -378,21 +516,8 @@ void Robot::on_lane_data(const LanePtr& lane) {
     PendingRequest pending = std::move(lane->outstanding.front());
     lane->outstanding.pop_front();
     popped_any = true;
-    if (config_.per_response_cpu <= 0) {
-      handle_response(lane, pending, std::move(*response));
-      if (finished_) return;
-      continue;
-    }
-    // Response handling costs client CPU, serialized on the one processor.
-    const sim::Time now = host_.event_queue().now();
-    const sim::Time start = std::max(now, client_cpu_free_);
-    client_cpu_free_ = start + config_.per_response_cpu;
-    host_.event_queue().schedule_in(
-        client_cpu_free_ - now,
-        [this, lane, pending = std::move(pending),
-         response = std::move(*response)]() mutable {
-          if (!finished_) handle_response(lane, pending, std::move(response));
-        });
+    deliver_response(lane, std::move(pending), std::move(*response));
+    if (finished_) return;
   }
   // A complete response is "progress": restart (or clear) the per-request
   // deadline. Raw bytes deliberately do NOT restart it — a server that
@@ -401,16 +526,38 @@ void Robot::on_lane_data(const LanePtr& lane) {
   scan_html_progress(lane);
 }
 
+void Robot::deliver_response(const LanePtr& lane, PendingRequest pending,
+                             http::Response response) {
+  if (config_.per_response_cpu <= 0) {
+    handle_response(lane, pending, std::move(response));
+    return;
+  }
+  // Response handling costs client CPU, serialized on the one processor.
+  const sim::Time now = host_.event_queue().now();
+  const sim::Time start = std::max(now, client_cpu_free_);
+  client_cpu_free_ = start + config_.per_response_cpu;
+  host_.event_queue().schedule_in(
+      client_cpu_free_ - now,
+      [this, lane, pending = std::move(pending),
+       response = std::move(response)]() mutable {
+        if (!finished_) handle_response(lane, pending, std::move(response));
+      });
+}
+
 void Robot::scan_html_progress(const LanePtr& lane) {
   if (!first_visit_ || finished_) return;
   if (lane->outstanding.empty() || !lane->outstanding.front().is_root) return;
   const http::Response* partial = lane->parser.partial();
   if (partial == nullptr) return;
+  scan_partial_body(*partial);
+}
+
+void Robot::scan_partial_body(const http::Response& partial) {
   const bool deflated =
-      partial->headers.has_token("Content-Encoding", "deflate");
-  if (partial->body.size() > html_raw_consumed_) {
+      partial.headers.has_token("Content-Encoding", "deflate");
+  if (partial.body.size() > html_raw_consumed_) {
     // Walk the chain's contiguous runs past the consumed prefix; no flatten.
-    partial->body.slice(html_raw_consumed_)
+    partial.body.slice(html_raw_consumed_)
         .for_each([&](std::span<const std::uint8_t> run) {
           ingest_html_bytes(run, deflated);
         });
@@ -439,6 +586,7 @@ void Robot::discover_references() {
   const auto refs = content::scan_image_references(html_text_);
   bool added = false;
   for (std::size_t i = refs_discovered_; i < refs.size(); ++i) {
+    if (pushed_targets_.count(refs[i]) != 0) continue;  // the push IS the fetch
     PendingRequest req;
     req.target = refs[i];
     ++expected_responses_;
@@ -604,9 +752,28 @@ void Robot::refund_retry_token() {
   }
 }
 
+bool Robot::lane_has_outstanding(const Lane& lane) const {
+  return lane.h2 ? !lane.h2_outstanding.empty() : !lane.outstanding.empty();
+}
+
+bool Robot::target_in_flight(const std::string& target) const {
+  for (const PendingRequest& r : queue_) {
+    if (r.target == target) return true;
+  }
+  for (const LanePtr& l : lanes_) {
+    for (const PendingRequest& r : l->outstanding) {
+      if (r.target == target) return true;
+    }
+    for (const auto& [id, r] : l->h2_outstanding) {
+      if (r.target == target) return true;
+    }
+  }
+  return false;
+}
+
 void Robot::arm_request_deadline(const LanePtr& lane) {
   if (config_.request_deadline <= 0 || !lane->deadline_timer) return;
-  if (lane->closed || lane->outstanding.empty()) {
+  if (lane->closed || !lane_has_outstanding(*lane)) {
     lane->deadline_timer->cancel();
     return;
   }
@@ -637,52 +804,73 @@ void Robot::on_lane_closed(const LanePtr& lane, LaneClose cause) {
   if (cause == LaneClose::kConnectFailure) ++stats_.connect_failures;
   if (cause == LaneClose::kTransportFailure) ++stats_.transport_failures;
 
-  // Unanswered requests (sent but no response) go back on the queue, as do
-  // any bytes that were still buffered and unsent.
-  std::deque<PendingRequest> unanswered = std::move(lane->outstanding);
-  lane->outstanding.clear();
+  // Unanswered requests (sent but no response) go back on the queue. Only
+  // "charged" requests cost an attempt + retry token: a server that serves N
+  // requests then closes (e.g. Apache 1.2b2's 5-request limit) makes
+  // progress each cycle, so the rest are victims, not failures.
   const sim::Time now = host_.event_queue().now();
-  bool head = true;
-  for (PendingRequest& req : unanswered) {
-    // Only the head request is charged an attempt: a server that serves N
-    // requests then closes (e.g. Apache 1.2b2's 5-request limit) makes
-    // progress each cycle, so later requests are victims, not failures.
-    if (head) {
-      head = false;
-      if (++req.attempts >= config_.max_attempts) {
-        ++stats_.responses_error;
-        FailureKind kind = FailureKind::kConnectionLost;
-        switch (cause) {
-          case LaneClose::kConnectFailure:
-            kind = FailureKind::kConnectFailure;
-            break;
-          case LaneClose::kTransportFailure:
-            kind = FailureKind::kTransportFailure;
-            break;
-          case LaneClose::kDeadline:
-            kind = FailureKind::kRequestDeadline;
-            break;
-          case LaneClose::kGraceful:
-          case LaneClose::kReset:
-            break;
-        }
-        fail_request(req, kind);
-        continue;
-      }
-      if (!consume_retry_token()) {
-        fail_request(req, FailureKind::kRetryBudgetExhausted);
-        continue;
-      }
-      if (cause == LaneClose::kReset) {
-        ++stats_.retries_after_reset;
-      } else if (cause == LaneClose::kGraceful) {
-        ++stats_.retries_after_close;
-      }
-      req.not_before = now + backoff_delay(req.attempts);
-    } else {
-      req.not_before = 0;  // victims re-issue immediately
+  auto requeue_one = [&](PendingRequest req, bool charged) {
+    if (!charged) {
+      req.from_push = false;  // an interrupted push re-issues as a plain GET
+      req.not_before = 0;     // victims re-issue immediately
+      queue_.push_back(std::move(req));
+      return;
     }
+    if (++req.attempts >= config_.max_attempts) {
+      ++stats_.responses_error;
+      FailureKind kind = FailureKind::kConnectionLost;
+      switch (cause) {
+        case LaneClose::kConnectFailure:
+          kind = FailureKind::kConnectFailure;
+          break;
+        case LaneClose::kTransportFailure:
+          kind = FailureKind::kTransportFailure;
+          break;
+        case LaneClose::kDeadline:
+          kind = FailureKind::kRequestDeadline;
+          break;
+        case LaneClose::kGraceful:
+        case LaneClose::kReset:
+          break;
+      }
+      fail_request(req, kind);
+      return;
+    }
+    if (!consume_retry_token()) {
+      fail_request(req, FailureKind::kRetryBudgetExhausted);
+      return;
+    }
+    if (cause == LaneClose::kReset) {
+      ++stats_.retries_after_reset;
+    } else if (cause == LaneClose::kGraceful) {
+      ++stats_.retries_after_close;
+    }
+    req.not_before = now + backoff_delay(req.attempts);
     queue_.push_back(std::move(req));
+  };
+
+  if (lane->h2) {
+    // GOAWAY partitions the in-flight streams: ids above the server's
+    // last_stream_id were provably never processed, so they retry free of
+    // attempt charges; ids at or below it may have consumed server work and
+    // are charged like the pipeline head. Without a GOAWAY (pure transport
+    // loss) only the lowest open stream is charged, mirroring HTTP/1.x.
+    const bool goaway = lane->h2->goaway_received();
+    const std::uint32_t last = goaway ? lane->h2->peer_last_stream_id() : 0;
+    bool head = true;
+    for (auto& [id, req] : lane->h2_outstanding) {
+      const bool charged = !req.from_push && (goaway ? id <= last : head);
+      head = false;
+      requeue_one(std::move(req), charged);
+    }
+    lane->h2_outstanding.clear();
+  } else {
+    bool head = true;
+    for (PendingRequest& req : lane->outstanding) {
+      requeue_one(std::move(req), head);
+      head = false;
+    }
+    lane->outstanding.clear();
   }
   std::erase(lanes_, lane);
   maybe_finish();
@@ -713,6 +901,12 @@ void Robot::on_page_deadline() {
           {req.target, FailureKind::kPageDeadline, req.attempts});
     }
     lane->outstanding.clear();
+    for (const auto& [id, req] : lane->h2_outstanding) {
+      ++stats_.requests_failed;
+      stats_.failures.push_back(
+          {req.target, FailureKind::kPageDeadline, req.attempts});
+    }
+    lane->h2_outstanding.clear();
     if (!lane->closed) {
       lane->closed = true;
       lane->conn->abort();
@@ -734,7 +928,12 @@ void Robot::maybe_finish() {
   for (const LanePtr& lane : lanes_) {
     lane->flush_timer->cancel();
     if (lane->deadline_timer) lane->deadline_timer->cancel();
-    if (!lane->closed) lane->conn->shutdown_send();
+    if (!lane->closed) {
+      // Announce a clean end of session before the FIN so the server's
+      // forensics see an orderly GOAWAY rather than a bare half-close.
+      if (lane->h2) lane->h2->send_goaway(h2::ErrorCode::kNoError);
+      lane->conn->shutdown_send();
+    }
   }
   if (done_) done_();
 }

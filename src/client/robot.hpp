@@ -17,14 +17,17 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "client/cache.hpp"
 #include "client/profile.hpp"
 #include "deflate/inflate.hpp"
+#include "h2/session.hpp"
 #include "http/parser.hpp"
 #include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
@@ -38,6 +41,9 @@ enum class ProtocolMode {
   kHttp11Persistent,
   kHttp11Pipelined,
   kHttp11PipelinedCompressed,
+  /// HTTP/2-style multiplexed framing: every request is a concurrent stream
+  /// on one connection, with server push replacing reference discovery.
+  kH2,
 };
 std::string_view to_string(ProtocolMode mode);
 
@@ -149,6 +155,13 @@ struct ClientConfig {
   /// harness derives one per client from the master seed).
   std::uint64_t retry_jitter_seed = 0;
 
+  // ---- HTTP/2-style framing ----------------------------------------------
+  /// Accept server pushes on first visits (advertised via SETTINGS
+  /// ENABLE_PUSH; only meaningful in kH2 mode).
+  bool h2_enable_push = true;
+  /// Per-stream receive window advertised to the server.
+  std::uint32_t h2_initial_window = 65535;
+
   bool wants_deflate() const {
     return mode == ProtocolMode::kHttp11PipelinedCompressed;
   }
@@ -156,6 +169,7 @@ struct ClientConfig {
     return mode == ProtocolMode::kHttp11Pipelined ||
            mode == ProtocolMode::kHttp11PipelinedCompressed;
   }
+  bool h2() const { return mode == ProtocolMode::kH2; }
   bool http11() const { return mode != ProtocolMode::kHttp10Parallel; }
 };
 
@@ -174,6 +188,11 @@ struct RobotStats {
   std::size_t explicit_flushes = 0;
   std::size_t timer_flushes = 0;
   std::size_t size_flushes = 0;
+  // ---- HTTP/2-style framing (kH2 mode only) ------------------------------
+  std::size_t pushes_promised = 0;  // PUSH_PROMISE frames seen
+  std::size_t pushes_accepted = 0;  // promises admitted to the push cache
+  std::size_t pushes_rejected = 0;  // promises answered with RST(CANCEL)
+  std::size_t h2_goaways_seen = 0;
   std::uint64_t body_bytes = 0;
   sim::Time started = 0;
   sim::Time finished = 0;
@@ -239,6 +258,9 @@ class Robot {
     bool conditional = false;
     bool is_root = false;
     unsigned attempts = 0;
+    /// True for a request the robot never issued itself: it tracks an
+    /// accepted h2 server push. Never charged an attempt on lane loss.
+    bool from_push = false;
     /// Earliest time this request may be (re)issued — retry backoff.
     sim::Time not_before = 0;
     /// When the (latest attempt of the) request hit the wire; feeds the
@@ -267,6 +289,12 @@ class Robot {
     std::unique_ptr<sim::Timer> flush_timer;
     /// Per-request deadline for the response at the head of `outstanding`.
     std::unique_ptr<sim::Timer> deadline_timer;
+    // ---- HTTP/2-style framing ---------------------------------------------
+    /// Non-null in kH2 mode: the multiplexed session replacing the pipeline
+    /// queue. Requests live in `h2_outstanding` keyed by stream id instead
+    /// of `outstanding`.
+    std::unique_ptr<h2::Session> h2;
+    std::map<std::uint32_t, PendingRequest> h2_outstanding;
   };
   using LanePtr = std::shared_ptr<Lane>;
 
@@ -281,8 +309,16 @@ class Robot {
 
   void on_lane_data(const LanePtr& lane);
   void on_lane_closed(const LanePtr& lane, LaneClose cause);
+  /// Routes a complete response through the serialized client CPU before
+  /// handle_response (shared by the HTTP/1.x parser loop and h2 streams).
+  void deliver_response(const LanePtr& lane, PendingRequest pending,
+                        http::Response response);
   void handle_response(const LanePtr& lane, const PendingRequest& pending,
                        http::Response response);
+  void attach_h2_session(const LanePtr& lane);
+  bool lane_has_outstanding(const Lane& lane) const;
+  /// True when `target` is queued or riding any lane (push dedup).
+  bool target_in_flight(const std::string& target) const;
   sim::Time backoff_delay(unsigned attempts);
   /// Takes one retry token (true = retry may proceed). With the budget
   /// disabled always true; on an empty bucket counts the exhaustion and
@@ -294,6 +330,7 @@ class Robot {
   void fail_request(const PendingRequest& request, FailureKind kind);
   void on_page_deadline();
   void scan_html_progress(const LanePtr& lane);
+  void scan_partial_body(const http::Response& partial);
   void ingest_html_bytes(std::span<const std::uint8_t> raw, bool deflated);
   void discover_references();
   void maybe_finish();
@@ -326,6 +363,9 @@ class Robot {
   std::string html_text_;            // decoded document prefix
   std::size_t html_raw_consumed_ = 0;  // raw body bytes already ingested
   std::size_t refs_discovered_ = 0;
+  /// Targets covered by accepted h2 pushes: reference discovery skips these
+  /// (the push IS the fetch), and duplicate promises are rejected.
+  std::set<std::string> pushed_targets_;
   std::optional<deflate::Inflater> inflater_;
   std::string html_content_type_;
 

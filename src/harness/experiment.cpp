@@ -28,6 +28,7 @@ client::ClientConfig robot_config(client::ProtocolMode mode) {
     case client::ProtocolMode::kHttp11Persistent:
     case client::ProtocolMode::kHttp11Pipelined:
     case client::ProtocolMode::kHttp11PipelinedCompressed:
+    case client::ProtocolMode::kH2:
       c.max_connections = 1;
       c.revalidation = client::RevalidationStyle::kConditionalGet;
       break;

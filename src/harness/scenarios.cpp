@@ -22,6 +22,26 @@ ExperimentSpec golden_table6_spec() {
   return spec;
 }
 
+ExperimentSpec golden_table4_h2_spec() {
+  ExperimentSpec spec;
+  spec.network = lan_profile();
+  spec.server = server::jigsaw_config();
+  spec.client = robot_config(client::ProtocolMode::kH2);
+  spec.scenario = Scenario::kFirstVisit;
+  spec.seed = 1;
+  return spec;
+}
+
+ExperimentSpec golden_table6_h2_spec() {
+  ExperimentSpec spec;
+  spec.network = wan_profile();
+  spec.server = server::jigsaw_config();
+  spec.client = robot_config(client::ProtocolMode::kH2);
+  spec.scenario = Scenario::kFirstVisit;
+  spec.seed = 1;
+  return spec;
+}
+
 bool golden_spec_by_name(const std::string& name, ExperimentSpec* out) {
   if (name == "table4") {
     *out = golden_table4_spec();
@@ -31,10 +51,20 @@ bool golden_spec_by_name(const std::string& name, ExperimentSpec* out) {
     *out = golden_table6_spec();
     return true;
   }
+  if (name == "table4h2") {
+    *out = golden_table4_h2_spec();
+    return true;
+  }
+  if (name == "table6h2") {
+    *out = golden_table6_h2_spec();
+    return true;
+  }
   return false;
 }
 
-std::vector<std::string> golden_scenario_names() { return {"table4", "table6"}; }
+std::vector<std::string> golden_scenario_names() {
+  return {"table4", "table6", "table4h2", "table6h2"};
+}
 
 std::vector<net::TraceRecord> capture_trace(
     const ExperimentSpec& spec, const content::MicroscapeSite& site) {

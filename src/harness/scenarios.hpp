@@ -26,8 +26,14 @@ ExperimentSpec golden_table4_spec();
 /// Table 6 row 3: HTTP/1.1 pipelined over the WAN profile, seed 1.
 ExperimentSpec golden_table6_spec();
 
-/// Looks up a golden spec by name ("table4" / "table6"); returns false for an
-/// unknown name.
+/// The h2 column of Table 4: multiplexed framing + push over the LAN, seed 1.
+ExperimentSpec golden_table4_h2_spec();
+
+/// The h2 column of Table 6: multiplexed framing + push over the WAN, seed 1.
+ExperimentSpec golden_table6_h2_spec();
+
+/// Looks up a golden spec by name ("table4" / "table6" / "table4h2" /
+/// "table6h2"); returns false for an unknown name.
 bool golden_spec_by_name(const std::string& name, ExperimentSpec* out);
 
 /// All golden scenario names, in canonical order.

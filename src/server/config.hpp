@@ -6,6 +6,7 @@
 // with pipelining the paper diagnoses.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "sim/time.hpp"
@@ -118,6 +119,22 @@ struct ServerConfig {
   /// Clients that honor it spread their re-issues instead of stampeding the
   /// instant a slot frees.
   sim::Time overload_retry_after = 0;
+
+  // ---- HTTP/2-style framing ----------------------------------------------
+  /// Accept h2 connections (detected by the 24-byte client preface). An
+  /// HTTP/1.x client never sends the preface, so enabling this leaves the
+  /// 1.x byte stream untouched.
+  bool h2_enabled = true;
+
+  /// Push embedded resources (the Microscape `src=` graph) on h2
+  /// connections whose client advertised ENABLE_PUSH.
+  bool h2_push = true;
+
+  /// SETTINGS_MAX_CONCURRENT_STREAMS advertised to h2 clients.
+  std::uint32_t h2_max_concurrent_streams = 100;
+
+  /// Per-stream receive window advertised to h2 clients.
+  std::uint32_t h2_initial_window = 65535;
 
   /// Extra response headers (header verbosity differs across servers; this
   /// affects the byte counts in the tables).

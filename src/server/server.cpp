@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 
+#include "content/microscape.hpp"
 #include "http/date.hpp"
 
 namespace hsim::server {
@@ -139,7 +140,9 @@ void HttpServer::on_accept(tcp::ConnectionPtr conn) {
     // The client finished sending; serve whatever is queued, then close our
     // half once the pipeline drains (handled in process_next).
     if (auto s = weak.lock()) {
-      if (!s->processing && s->pending.empty()) begin_close(s);
+      if (!s->processing && s->pending.empty() && s->h2_pending.empty()) {
+        begin_close(s);
+      }
     }
   });
   auto cleanup = [this, weak] {
@@ -239,7 +242,8 @@ void HttpServer::arm_idle_timer(const ConnStatePtr& state) {
       // a request parsed or on the CPU is busy, not idle. Without this check
       // an aggressive timeout (shorter than the per-request CPU cost) would
       // reap connections mid-request and discard the work.
-      if (s->processing || !s->pending.empty()) {
+      if (s->processing || !s->pending.empty() || !s->h2_pending.empty() ||
+          (s->h2 != nullptr && s->h2->queued_send_bytes() > 0)) {
         arm_idle_timer(s);
         return;
       }
@@ -250,7 +254,32 @@ void HttpServer::arm_idle_timer(const ConnStatePtr& state) {
 
 void HttpServer::on_data(const ConnStatePtr& state) {
   arm_idle_timer(state);
-  state->parser.feed(state->conn->read_all());
+  if (state->h2 != nullptr) {
+    state->h2->receive(state->conn->read_all());
+    return;
+  }
+  if (config_.h2_enabled && !state->h1_classified) {
+    // Classify by comparing arrived bytes against the 24-byte h2 preface.
+    // Every HTTP/1.x method diverges within its first bytes ("PRI" vs
+    // "POST" at index 1), so classification resolves on the first segment
+    // in practice; the accumulated bytes reach the HTTP/1.x parser in the
+    // same event they otherwise would.
+    state->preface_buf.append(state->conn->read_all());
+    const std::size_t n =
+        std::min(state->preface_buf.size(), h2::kClientPreface.size());
+    if (state->preface_buf.to_string(0, n) != h2::kClientPreface.substr(0, n)) {
+      state->h1_classified = true;
+      state->parser.feed(std::move(state->preface_buf));
+      state->preface_buf.clear();
+    } else if (state->preface_buf.size() >= h2::kClientPreface.size()) {
+      start_h2(state);
+      return;
+    } else {
+      return;  // too few bytes to classify yet
+    }
+  } else {
+    state->parser.feed(state->conn->read_all());
+  }
   while (auto request = state->parser.next()) {
     state->pending.push_back(std::move(*request));
   }
@@ -268,9 +297,52 @@ void HttpServer::on_data(const ConnStatePtr& state) {
   if (!state->processing) process_next(state);
 }
 
+void HttpServer::start_h2(const ConnStatePtr& state) {
+  ++stats_.h2_connections;
+  state->preface_buf.pop_front(h2::kClientPreface.size());
+  h2::SessionConfig sc;
+  sc.is_server = true;
+  sc.enable_push = config_.h2_push;
+  sc.max_concurrent_streams = config_.h2_max_concurrent_streams;
+  sc.initial_window = config_.h2_initial_window;
+  std::weak_ptr<ConnState> weak = state;
+  // The session writes through the connection's unsent queue, so the wire
+  // fault injections (stall-after-bytes, premature close) apply to h2
+  // traffic exactly as they do to HTTP/1.x responses.
+  state->h2 = std::make_unique<h2::Session>(
+      host_.event_queue(), sc, [this, weak](buf::Chain&& bytes) {
+        if (auto s = weak.lock()) {
+          s->out_unsent.append(std::move(bytes));
+          pump_unsent(s);
+        }
+      });
+  state->h2->on_request = [this, weak](std::uint32_t id, http::Request req) {
+    if (auto s = weak.lock()) {
+      s->h2_pending.emplace_back(id, std::move(req));
+      if (!s->processing) process_next(s);
+    }
+  };
+  state->h2->on_connection_error = [this, weak](const h2::DecodeError&) {
+    if (auto s = weak.lock()) {
+      // The session already answered with an attributed GOAWAY; drain it and
+      // tear the connection down.
+      ++stats_.h2_conn_errors;
+      s->h2_pending.clear();
+      s->closing = true;
+      flush_output(s, /*idle_flush=*/true);
+    }
+  };
+  // Bytes that arrived glued to the preface (SETTINGS at minimum).
+  if (!state->preface_buf.empty()) {
+    buf::Chain rest = std::move(state->preface_buf);
+    state->preface_buf.clear();
+    state->h2->receive(std::move(rest));
+  }
+}
+
 void HttpServer::process_next(const ConnStatePtr& state) {
   if (state->closing) return;
-  if (state->pending.empty()) {
+  if (state->pending.empty() && state->h2_pending.empty()) {
     // "the server maintains a response buffer that it flushes ... when there
     // is no more requests coming in on that connection"
     flush_output(state, /*idle_flush=*/true);
@@ -290,6 +362,13 @@ void HttpServer::process_next(const ConnStatePtr& state) {
     auto s = weak.lock();
     if (!s || s->conn->state() == tcp::State::kClosed) return;
     s->processing = false;
+    if (s->h2 != nullptr) {
+      if (s->h2_pending.empty()) return;
+      const auto [stream_id, request] = std::move(s->h2_pending.front());
+      s->h2_pending.pop_front();
+      finish_request_h2(s, stream_id, request);
+      return;
+    }
     if (s->pending.empty()) return;
     const http::Request request = std::move(s->pending.front());
     s->pending.pop_front();
@@ -401,13 +480,8 @@ http::Response HttpServer::build_response(const http::Request& request) {
   return res;
 }
 
-void HttpServer::finish_request(const ConnStatePtr& state,
-                                const http::Request& request) {
-  ++stats_.requests_served;
-  metrics_.requests_served.inc();
-  ++state->served;
-  http::Response res = build_response(request);
-  switch (res.status) {
+void HttpServer::count_response_status(const http::Response& response) {
+  switch (response.status) {
     case 200: ++stats_.responses_200; break;
     case 206: ++stats_.responses_206; break;
     case 304: ++stats_.responses_304; break;
@@ -415,6 +489,15 @@ void HttpServer::finish_request(const ConnStatePtr& state,
     case 500: ++stats_.responses_5xx; break;
     default: break;
   }
+}
+
+void HttpServer::finish_request(const ConnStatePtr& state,
+                                const http::Request& request) {
+  ++stats_.requests_served;
+  metrics_.requests_served.inc();
+  ++state->served;
+  http::Response res = build_response(request);
+  count_response_status(res);
   if (res.headers.has_token("Content-Encoding", "deflate")) {
     ++stats_.deflated_responses;
   }
@@ -445,6 +528,72 @@ void HttpServer::finish_request(const ConnStatePtr& state,
 
   enqueue_response(state, res);
   if (close_after) {
+    state->closing = true;
+    flush_output(state, /*idle_flush=*/true);
+    return;
+  }
+  process_next(state);
+}
+
+void HttpServer::finish_request_h2(const ConnStatePtr& state,
+                                   std::uint32_t stream_id,
+                                   const http::Request& request) {
+  ++stats_.requests_served;
+  metrics_.requests_served.inc();
+  ++state->served;
+  http::Response res = build_response(request);
+  count_response_status(res);
+  if (res.headers.has_token("Content-Encoding", "deflate")) {
+    ++stats_.deflated_responses;
+  }
+
+  // Server push: promise every embedded src= reference before the HTML's
+  // DATA frames go out, so the client holds the promises before it could
+  // parse the references out of the body.
+  struct PendingPush {
+    std::uint32_t id;
+    http::Request req;
+  };
+  std::vector<PendingPush> pushes;
+  if (config_.h2_push && state->h2->peer_push_enabled() && res.status == 200 &&
+      request.method == http::Method::kGet) {
+    const Resource* resource = site_.find(request.target);
+    if (resource != nullptr &&
+        std::string_view(resource->content_type).starts_with("text/html")) {
+      for (const std::string& ref :
+           content::scan_image_references(resource->data.view())) {
+        if (site_.find(ref) == nullptr) continue;
+        http::Request push_req;
+        push_req.method = http::Method::kGet;
+        push_req.target = ref;
+        push_req.version = http::Version::kHttp11;
+        if (const auto host = request.headers.get("Host")) {
+          push_req.headers.add("Host", std::string(*host));
+        }
+        if (auto promised = state->h2->promise_push(stream_id, push_req)) {
+          ++stats_.h2_pushes;
+          pushes.push_back(PendingPush{*promised, std::move(push_req)});
+        }
+      }
+    }
+  }
+
+  state->h2->submit_response(stream_id, res);
+  // Pushed responses ride the same build path (validators, ranges, faults)
+  // but count as pushes, not served requests. Their statuses still land in
+  // the per-status tallies so injected faults stay observable.
+  for (const PendingPush& p : pushes) {
+    http::Response pushed = build_response(p.req);
+    count_response_status(pushed);
+    state->h2->push_response(p.id, pushed);
+  }
+
+  // h2 persistence is GOAWAY-based: only the per-connection request cap
+  // translates into a close here. Queued DATA drains before the FIN.
+  if (config_.max_requests_per_connection != 0 &&
+      state->served >= config_.max_requests_per_connection) {
+    ++stats_.connections_closed_by_limit;
+    state->h2->send_goaway(h2::ErrorCode::kNoError);
     state->closing = true;
     flush_output(state, /*idle_flush=*/true);
     return;
@@ -505,7 +654,8 @@ void HttpServer::pump_unsent(const ConnStatePtr& state) {
     if (sent < take) break;  // TCP send buffer full; resume on space
   }
   if (state->closing && state->out_unsent.empty() &&
-      state->out_buffer.empty()) {
+      state->out_buffer.empty() &&
+      (state->h2 == nullptr || state->h2->queued_send_bytes() == 0)) {
     begin_close(state);
   }
 }
@@ -516,6 +666,13 @@ void HttpServer::inject_premature_close(const ConnStatePtr& state) {
   state->out_buffer.clear();
   state->out_unsent.clear();
   state->pending.clear();
+  if (state->h2 != nullptr) {
+    // A crashing h2 worker still manages a GOAWAY naming the last stream it
+    // processed — the partition the client's retry logic keys on. The fault
+    // flag is already cleared, so the frame passes pump_unsent untouched.
+    state->h2_pending.clear();
+    state->h2->send_goaway(h2::ErrorCode::kInternalError);
+  }
   state->closing = true;
   if (config_.close_style == CloseStyle::kNaive) {
     state->conn->close_naive();
@@ -527,10 +684,17 @@ void HttpServer::inject_premature_close(const ConnStatePtr& state) {
 
 void HttpServer::begin_close(const ConnStatePtr& state) {
   state->closing = true;
+  // A clean h2 close announces itself; emitting the GOAWAY may re-enter
+  // begin_close through the pump, hence the close_begun guard below.
+  if (state->h2 != nullptr && !state->h2->goaway_sent()) {
+    state->h2->send_goaway(h2::ErrorCode::kNoError);
+  }
   if (!state->out_unsent.empty() || !state->out_buffer.empty()) {
     flush_output(state, /*idle_flush=*/true);
     return;  // pump_unsent re-enters begin_close once drained
   }
+  if (state->close_begun) return;
+  state->close_begun = true;
   if (config_.close_style == CloseStyle::kNaive) {
     state->conn->close_naive();
   } else {

@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 
+#include "h2/session.hpp"
 #include "http/message.hpp"
 #include "http/parser.hpp"
 #include "obs/metrics.hpp"
@@ -38,6 +39,10 @@ struct ServerStats {
   std::uint64_t connections_queued = 0;    // parked awaiting an active slot
   std::uint64_t max_admission_queue = 0;   // high-water mark of the queue
   std::uint64_t max_active_connections = 0;  // high-water mark of served conns
+  // ---- HTTP/2-style framing ----------------------------------------------
+  std::uint64_t h2_connections = 0;  // connections classified by preface
+  std::uint64_t h2_pushes = 0;       // resources pushed (not requests_served)
+  std::uint64_t h2_conn_errors = 0;  // framing violations answered by GOAWAY
 };
 
 class HttpServer {
@@ -74,6 +79,19 @@ class HttpServer {
     // Admission control: false while parked in the accept queue. Unadmitted
     // connections are never read from or served.
     bool admitted = false;
+    // ---- HTTP/2-style framing ---------------------------------------------
+    // Non-null once the connection's first bytes matched the h2 preface;
+    // from then on all input feeds the session and the HTTP/1.x parser is
+    // never touched.
+    std::unique_ptr<h2::Session> h2;
+    // True once the first bytes diverged from the preface (HTTP/1.x).
+    bool h1_classified = false;
+    // Bytes accumulated before classification resolves.
+    buf::Chain preface_buf;
+    // Complete h2 requests awaiting the single CPU, keyed by stream.
+    std::deque<std::pair<std::uint32_t, http::Request>> h2_pending;
+    // Guards the close handshake against re-entry via the GOAWAY pump.
+    bool close_begun = false;
   };
   using ConnStatePtr = std::shared_ptr<ConnState>;
 
@@ -83,9 +101,13 @@ class HttpServer {
   void release_slot(const ConnStatePtr& state);
   void reject_with_503(tcp::ConnectionPtr conn);
   void on_data(const ConnStatePtr& state);
+  void start_h2(const ConnStatePtr& state);
   void process_next(const ConnStatePtr& state);
   void finish_request(const ConnStatePtr& state, const http::Request& request);
+  void finish_request_h2(const ConnStatePtr& state, std::uint32_t stream_id,
+                         const http::Request& request);
   http::Response build_response(const http::Request& request);
+  void count_response_status(const http::Response& response);
   void enqueue_response(const ConnStatePtr& state,
                         const http::Response& response);
   void flush_output(const ConnStatePtr& state, bool idle_flush);

@@ -98,7 +98,8 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(ProtocolMode::kHttp10Parallel,
                           ProtocolMode::kHttp11Persistent,
                           ProtocolMode::kHttp11Pipelined,
-                          ProtocolMode::kHttp11PipelinedCompressed)),
+                          ProtocolMode::kHttp11PipelinedCompressed,
+                          ProtocolMode::kH2)),
     param_name);
 
 TEST(ChaosControl, NoFaultRetrievesByteExact) {
@@ -106,7 +107,7 @@ TEST(ChaosControl, NoFaultRetrievesByteExact) {
   for (const ProtocolMode mode :
        {ProtocolMode::kHttp10Parallel, ProtocolMode::kHttp11Persistent,
         ProtocolMode::kHttp11Pipelined,
-        ProtocolMode::kHttp11PipelinedCompressed}) {
+        ProtocolMode::kHttp11PipelinedCompressed, ProtocolMode::kH2}) {
     const harness::ChaosOutcome outcome = harness::run_chaos(
         ChaosFault::kNone, mode, harness::shared_site(), kSeed);
     EXPECT_TRUE(outcome.result.robot.complete) << to_string(mode);
@@ -124,7 +125,7 @@ TEST(ChaosRecovery, ServerFaultRegimesRecoverByteExact) {
     for (const ProtocolMode mode :
          {ProtocolMode::kHttp10Parallel, ProtocolMode::kHttp11Persistent,
           ProtocolMode::kHttp11Pipelined,
-          ProtocolMode::kHttp11PipelinedCompressed}) {
+          ProtocolMode::kHttp11PipelinedCompressed, ProtocolMode::kH2}) {
       const harness::ChaosOutcome outcome =
           harness::run_chaos(fault, mode, harness::shared_site(), kSeed);
       EXPECT_TRUE(outcome.result.robot.complete)
@@ -210,7 +211,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(
         ::testing::ValuesIn(harness::all_chaos_faults()),
         ::testing::Values(ProtocolMode::kHttp10Parallel,
-                          ProtocolMode::kHttp11Pipelined)),
+                          ProtocolMode::kHttp11Pipelined,
+                          ProtocolMode::kH2)),
     param_name);
 
 TEST(ChaosDeterminismDumbbell, SameSeedReproducesTheRoutedRun) {
@@ -271,6 +273,46 @@ TEST(RetryAttribution, GracefulCloseAndResetPartitionHoldsThroughRouters) {
     for (const client::RequestFailure& failure : nstats.failures) {
       EXPECT_EQ(failure.kind, client::FailureKind::kConnectionLost);
     }
+  }
+}
+
+TEST(RetryAttribution, GoawayPartitionsMultiplexedRetries) {
+  // HTTP/2 analogue of the close/reset partition: a server that drains after
+  // 5 requests announces the cut with GOAWAY(last_stream_id). Streams the
+  // server acknowledged processing are charged a retry; streams above the
+  // advertised id were provably untouched and retry for free — so the whole
+  // site still arrives byte-exact within the ordinary attempt budget.
+  harness::ExperimentSpec spec;
+  spec.network = harness::wan_profile();
+  spec.client = harness::robot_config(ProtocolMode::kH2);
+  // Push off: with push on, the whole page rides a single request and the
+  // per-connection request limit never trips. Requesting each embedded
+  // object as its own stream forces the server through the limit.
+  spec.client.h2_enable_push = false;
+  spec.seed = 11;
+
+  spec.server = server::jigsaw_config();
+  spec.server.max_requests_per_connection = 5;
+  spec.server.close_style = server::CloseStyle::kGraceful;
+  const harness::RunResult graceful =
+      harness::run_once(spec, harness::shared_site());
+  EXPECT_TRUE(graceful.robot.complete);
+  EXPECT_GT(graceful.robot.h2_goaways_seen, 0u);
+  // GOAWAY partitions cleanly: nothing was blamed on an RST.
+  EXPECT_EQ(graceful.robot.retries_after_reset, 0u);
+  EXPECT_EQ(graceful.robot.requests_failed, 0u);
+
+  // The naive-close server (Apache 1.2b2 model) crashes the connection
+  // without draining; the multiplexed client must still resolve every
+  // stream — completed, retried, or attributed — and never hang.
+  spec.server = server::apache_beta2_config();
+  const harness::RunResult naive =
+      harness::run_once(spec, harness::shared_site());
+  EXPECT_GT(naive.robot.finished, naive.robot.started);
+  EXPECT_EQ(naive.robot.retries_after_reset + naive.robot.retries_after_close,
+            naive.robot.retries);
+  if (!naive.robot.complete) {
+    EXPECT_EQ(naive.robot.requests_failed, naive.robot.failures.size());
   }
 }
 

@@ -71,6 +71,17 @@ TEST(GoldenTrace, Table6Http11PipelinedWan) {
   check_against_golden("table6", harness::golden_table6_spec());
 }
 
+// The h2 goldens pin the multiplexed framing layer end to end: preface,
+// SETTINGS exchange, stream scheduling, server push, and flow-control
+// WINDOW_UPDATE cadence all shape the packet sequence.
+TEST(GoldenTrace, Table4H2Lan) {
+  check_against_golden("table4h2", harness::golden_table4_h2_spec());
+}
+
+TEST(GoldenTrace, Table6H2Wan) {
+  check_against_golden("table6h2", harness::golden_table6_h2_spec());
+}
+
 // Same seed, two fresh runs: the simulator itself must be deterministic, or
 // the golden comparison above means nothing.
 TEST(GoldenTrace, SameSeedRunsAreIdentical) {
