@@ -1,0 +1,61 @@
+// Host-sharded drivers for the harness entry points.
+//
+// run_workload and run_once stay the public API; when a caller (or the
+// HSIM_THREADS environment variable) asks for worker threads they dispatch
+// into the sharded drivers here, which rebuild the exact same simulation on
+// a sim::ShardedEngine:
+//
+//   workload, star     — shard 0 owns the server host, the HTTP server and
+//                        both bottleneck links; client i (host + access link
+//                        pair + robot) lives on shard 1 + i mod (S-1).
+//                        Client uplinks remote-deliver into the funnel on
+//                        shard 0; the bottleneck downlink remote-delivers
+//                        per packet.dst straight to the owning client shard.
+//   workload, dumbbell — routers, queue disciplines, the bottleneck pair(s),
+//                        the server legs and every client *downlink* stay on
+//                        shard 0 (they are all driven by shard-0 components);
+//                        only each client's uplink moves to its client shard
+//                        (TopologyBuilder::set_uplink_placement). Uplink
+//                        deliveries cross into the gate router; downlink
+//                        deliveries cross back to the client's shard.
+//   run_once           — two shards: 0 = client side, 1 = server side, the
+//                        duplex channel's two links split accordingly.
+//
+// Determinism: every rng stream is forked in exactly the legacy order, each
+// component schedules only against its own shard's queue, and cross-shard
+// deliveries are ordered by the sender's full EventKey — see sim/shard.hpp
+// for why the thread count can never change the result. Metrics are counted
+// into one registry per shard (obs::set_registry is thread-local) and merged
+// in shard order after the run.
+#pragma once
+
+#include "harness/experiment.hpp"
+#include "harness/workload.hpp"
+#include "sim/time.hpp"
+
+namespace hsim::harness {
+
+/// HSIM_THREADS parsed as an unsigned, or 0 when unset/unparsable. The
+/// runtime analogue of the configs' `threads` field: it lets CI rerun any
+/// existing binary (golden tests, benches, the chaos matrix) on the sharded
+/// engine without a rebuild, mirroring the HSIM_CC hook.
+unsigned threads_from_env();
+
+/// Conservative lookahead available to a sharded run of this configuration:
+/// the minimum worst-case-jitter latency over every link that would cross a
+/// shard boundary. < 1 ns means the topology cannot be sharded (the callers
+/// fall back to the classic driver).
+sim::Time workload_lookahead(const WorkloadConfig& config);
+sim::Time run_once_lookahead(const ExperimentSpec& spec);
+
+/// The sharded equivalents of run_workload / run_once. `threads` must be
+/// >= 1 and the matching lookahead >= 1 ns; call only via the public entry
+/// points, which enforce both.
+WorkloadResult run_workload_sharded(const WorkloadConfig& config,
+                                    const content::MicroscapeSite& site,
+                                    unsigned threads);
+RunResult run_once_sharded(const ExperimentSpec& spec,
+                           const content::MicroscapeSite& site,
+                           unsigned threads);
+
+}  // namespace hsim::harness

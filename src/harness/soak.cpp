@@ -153,6 +153,8 @@ SoakResult run_soak(const SoakConfig& config,
   wc.horizon = config.horizon;
   wc.drain = config.drain;
   wc.verify_cache = config.verify_cache;
+  wc.threads = config.threads;
+  wc.shards = config.shards;
 
   // Arm whatever recovery knob the caller left at "hang forever" — the soak
   // contract is that every client reaches a verdict.

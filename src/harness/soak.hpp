@@ -89,6 +89,13 @@ struct SoakConfig {
   sim::Time drain = sim::seconds(60);
   bool verify_cache = false;
 
+  /// Parallel engine selector, passed through to WorkloadConfig::threads.
+  /// The epoch oracles are shard-aware: they fire at engine barriers with
+  /// every worker parked, against a registry merged in shard order, so the
+  /// soak stays green at any thread count.
+  unsigned threads = 0;
+  std::size_t shards = 0;  // WorkloadConfig::shards passthrough
+
   /// When non-empty, a failing run writes "<prefix>.failing.trace" (the
   /// multi-hop packet trace) and "<prefix>.metrics.txt" (the registry dump)
   /// for postmortem upload. Capturing the hop trace costs memory — leave

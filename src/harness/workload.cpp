@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "harness/chaos.hpp"
+#include "harness/parallel.hpp"
 #include "net/link.hpp"
 #include "server/static_site.hpp"
 #include "topo/topology.hpp"
@@ -112,6 +113,16 @@ double WorkloadResult::jain_fairness_index() const {
 
 WorkloadResult run_workload(const WorkloadConfig& config,
                             const content::MicroscapeSite& site) {
+  // Sharded-engine dispatch: an explicit config knob wins, else HSIM_THREADS
+  // promotes existing binaries at runtime. Topologies without a nanosecond of
+  // cross-shard lookahead (zero-delay access legs) stay on the classic path.
+  const unsigned threads =
+      config.threads != 0 ? config.threads : threads_from_env();
+  if (threads != 0 && config.num_clients > 0 &&
+      workload_lookahead(config) >= 1) {
+    return run_workload_sharded(config, site, threads);
+  }
+
   // Fresh registry per run (see run_once): installed before the first
   // instrumented component so all handles bind to it.
   obs::Registry registry;

@@ -144,6 +144,22 @@ struct WorkloadConfig {
   /// Optional: handed the run's metrics registry before teardown. Sharded
   /// drivers merge shard registries through Registry::merge_from here.
   obs::MetricsSink* metrics_sink = nullptr;
+
+  /// Parallel engine selector. 0 (default) = the classic single-queue driver,
+  /// byte-exact with every pre-sharding build; the HSIM_THREADS environment
+  /// variable may promote it at runtime. >= 1 = the host-sharded engine
+  /// (sim/shard.hpp) with that many worker threads. The shard partition is
+  /// fixed by `shards` (not by `threads`), so every threads >= 1 value
+  /// produces byte-identical results — the thread count is purely a
+  /// performance knob. Falls back to the classic driver when the topology's
+  /// minimum cross-shard latency is below 1 ns (no usable lookahead).
+  unsigned threads = 0;
+  /// Sharded runs only: how many shards to partition the hosts into
+  /// (shard 0 = server + bottleneck, clients round-robin over the rest).
+  /// 0 = auto (min(num_clients, 8) client shards). Changing the shard count
+  /// changes cross-shard event interleaving, so comparisons must hold it
+  /// fixed; `threads` never affects results, `shards` may.
+  std::size_t shards = 0;
 };
 
 struct ClientOutcome {

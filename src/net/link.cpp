@@ -205,9 +205,17 @@ void Link::start_next_transmission() {
     ++stats_.packets_duplicated;
     metrics_.duplicated.inc();
     label_metrics_.duplicated.inc();
-    queue_.schedule_at(delivery, [this, p = packet]() mutable {
-      if (sink_ != nullptr) sink_->deliver(std::move(p));
-    });
+    if (remote_) {
+      remote_(delivery, packet);
+    } else {
+      queue_.schedule_at(delivery, [this, p = packet]() mutable {
+        if (sink_ != nullptr) sink_->deliver(std::move(p));
+      });
+    }
+  }
+  if (remote_) {
+    remote_(delivery, std::move(packet));
+    return;
   }
   queue_.schedule_at(delivery, [this, p = std::move(packet)]() mutable {
     if (sink_ != nullptr) sink_->deliver(std::move(p));

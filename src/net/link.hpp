@@ -176,6 +176,31 @@ class Link {
   using IdleFn = std::function<void()>;
   void set_on_idle(IdleFn fn) { on_idle_ = std::move(fn); }
 
+  /// Cross-shard delivery hook (sharded engine only). When set, the link's
+  /// delivery events are not scheduled on its own queue; instead the hook
+  /// receives the fully-computed arrival time (serialisation + jittered
+  /// propagation + in-order clamp, fault draws already taken) and the packet,
+  /// and is expected to post an event on the destination shard that hands
+  /// the packet to this link's sink (or routes it by packet.dst). Everything
+  /// else — queueing, drops, stats, rng draw order — stays on the source
+  /// shard, so a remote link consumes its rng stream identically to a local
+  /// one.
+  using RemoteDeliver = std::function<void(sim::Time when, Packet packet)>;
+  void set_remote_deliver(RemoteDeliver fn) { remote_ = std::move(fn); }
+
+  /// Lower bound on (delivery time - the instant the hook is called) for any
+  /// packet: the propagation delay shrunk by the worst-case jitter draw.
+  /// The sharded engine's lookahead is the minimum of this over every
+  /// cross-shard link.
+  sim::Time min_remote_latency() const {
+    const double shrink = 1.0 - config_.delay_jitter;
+    return static_cast<sim::Time>(
+        static_cast<double>(config_.propagation_delay) *
+        (shrink > 0.0 ? shrink : 0.0));
+  }
+
+  PacketSink* sink() const { return sink_; }
+
   /// True if an outage window covers `at`.
   bool is_down(sim::Time at) const;
 
@@ -198,6 +223,7 @@ class Link {
   PacketSink* sink_ = nullptr;
   TapFn tap_;
   IdleFn on_idle_;
+  RemoteDeliver remote_;
   PayloadSizer sizer_;
   std::deque<Packet> tx_queue_;
   bool transmitting_ = false;

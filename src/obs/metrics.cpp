@@ -9,10 +9,12 @@
 namespace hsim::obs {
 
 namespace {
-/// Installed registry. A plain global: the simulator is single-threaded, and
-/// scoping (ScopedRegistry) is how concurrent runs in one process would be
-/// kept apart anyway.
-Registry* g_registry = nullptr;
+/// Installed registry, one per thread. Single-threaded runs behave exactly
+/// as with a plain global; the sharded engine's workers each install their
+/// shard's registry before running a slice (sim/shard.hpp), so concurrent
+/// shards count into disjoint registries with no locks and no contention —
+/// the harness merges them deterministically after the run.
+thread_local Registry* g_registry = nullptr;
 }  // namespace
 
 Registry* registry() { return g_registry; }

@@ -8,7 +8,16 @@ namespace hsim::sim {
 TimerId EventQueue::schedule_at(Time when, Callback cb) {
   if (when < now_) when = now_;
   const std::uint64_t id = next_id_++;
-  heap_.push_back(Event{when, next_seq_++, id, std::move(cb)});
+  heap_.push_back(Event{EventKey{when, now_, shard_, next_seq_++}, id,
+                        std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  maybe_compact();
+  return TimerId{id};
+}
+
+TimerId EventQueue::schedule_cross(const EventKey& key, Callback cb) {
+  const std::uint64_t id = next_id_++;
+  heap_.push_back(Event{key, id, std::move(cb)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   maybe_compact();
   return TimerId{id};
@@ -43,6 +52,19 @@ void EventQueue::maybe_compact() {
   cancelled_.clear();
 }
 
+Time EventQueue::next_event_time() {
+  while (!heap_.empty()) {
+    const Event& top = heap_.front();
+    if (cancelled_.count(top.id) != 0) {
+      cancelled_.erase(top.id);
+      pop_event();
+      continue;
+    }
+    return top.key.when;
+  }
+  return kNoEvent;
+}
+
 bool EventQueue::step() {
   while (!heap_.empty()) {
     Event ev = pop_event();
@@ -52,7 +74,8 @@ bool EventQueue::step() {
         continue;
       }
     }
-    now_ = ev.when;
+    now_ = ev.key.when;
+    current_key_ = ev.key;
     ev.cb();
     return true;
   }
@@ -74,7 +97,7 @@ std::size_t EventQueue::run_until(Time deadline) {
       pop_event();
       continue;
     }
-    if (top.when > deadline) break;
+    if (top.key.when > deadline) break;
     step();
     ++n;
   }

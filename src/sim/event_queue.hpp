@@ -5,10 +5,20 @@
 // times, and the queue executes them in (time, insertion-order) order.
 // Execution is fully deterministic: two events scheduled for the same instant
 // run in the order they were scheduled.
+//
+// The full ordering key is (fire time, schedule time, source shard,
+// sequence). For a single queue the extra fields are invisible: schedule
+// times are non-decreasing in sequence order (time only moves forward), and
+// every local event carries the same source shard, so the order collapses to
+// the classic (time, insertion-order). They exist for the sharded engine
+// (sim/shard.hpp), where events injected from another shard's queue must
+// interleave with local events in a canonical, thread-count-independent
+// order.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <unordered_set>
 #include <vector>
 
@@ -22,6 +32,24 @@ struct TimerId {
 
   friend bool operator==(TimerId a, TimerId b) { return a.value == b.value; }
   explicit operator bool() const { return value != 0; }
+};
+
+/// The canonical total order on events: fire time, then schedule time, then
+/// source shard, then per-source sequence. Cross-shard deliveries carry the
+/// sender's key so they land in the same position they would have held in a
+/// single global queue (see sim/shard.hpp for the determinism argument).
+struct EventKey {
+  Time when = 0;
+  Time sched = 0;           // queue time at the instant it was scheduled
+  std::uint32_t src = 0;    // shard that scheduled it
+  std::uint64_t seq = 0;    // per-source insertion order
+
+  friend bool operator<(const EventKey& a, const EventKey& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.sched != b.sched) return a.sched < b.sched;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  }
 };
 
 class EventQueue {
@@ -67,10 +95,38 @@ class EventQueue {
   /// timers at once; avoiding regrowth copies of std::function is measurable).
   void reserve(std::size_t n) { heap_.reserve(n); }
 
+  // ---- Sharded-engine surface (sim/shard.hpp) -----------------------------
+  // A standalone queue never needs any of this; the defaults leave behaviour
+  // identical to the classic single-queue scheduler.
+
+  /// This queue's shard id, stamped as EventKey::src on local events.
+  void set_shard(std::uint32_t shard) { shard_ = shard; }
+  std::uint32_t shard() const { return shard_; }
+
+  /// Injects an event scheduled by another shard, carrying the sender's key
+  /// so it sorts canonically against local events. Times in the past are NOT
+  /// clamped — the engine's lookahead guarantees `key.when` is in this
+  /// queue's future, and a violation must surface, not be papered over.
+  TimerId schedule_cross(const EventKey& key, Callback cb);
+
+  /// Fire time of the earliest pending event, or `kNoEvent` when empty.
+  /// Purges lazily-cancelled events from the top as a side effect.
+  static constexpr Time kNoEvent = std::numeric_limits<Time>::max();
+  Time next_event_time();
+
+  /// Key of the event currently executing (valid only inside a callback).
+  /// Taps use it to merge per-shard observation streams in canonical order.
+  const EventKey& current_key() const { return current_key_; }
+
+  /// Moves the clock forward to `t` without executing anything (the barrier
+  /// scheduler's equivalent of run_until's trailing `now_ = deadline`).
+  void advance_to(Time t) {
+    if (now_ < t) now_ = t;
+  }
+
  private:
   struct Event {
-    Time when;
-    std::uint64_t seq;  // tie-break: earlier-scheduled runs first
+    EventKey key;
     std::uint64_t id;
     Callback cb;
   };
@@ -78,8 +134,7 @@ class EventQueue {
   // earliest event: a orders after b when a fires later.
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+      return b.key < a.key;
     }
   };
 
@@ -94,6 +149,8 @@ class EventQueue {
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_id_ = 1;
+  std::uint32_t shard_ = 0;
+  EventKey current_key_{};
   std::vector<Event> heap_;  // binary heap maintained via std::push/pop_heap
   std::unordered_set<std::uint64_t> cancelled_;
 };

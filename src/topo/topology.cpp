@@ -99,8 +99,19 @@ void TopologyBuilder::wire_client_legs(Topology& topo,
   for (std::size_t i = 0; i < clients.size(); ++i) {
     tcp::Host* client = clients[i];
     const std::string base = "client" + std::to_string(i);
-    net::Link* up = topo.add_link(base + ".up", queue_, access.a_to_b,
-                                  rng_.fork());
+    UplinkPlacement placement;
+    if (uplink_placement_) placement = uplink_placement_(i);
+    sim::EventQueue& up_queue =
+        placement.queue != nullptr ? *placement.queue : queue_;
+    net::Link* up;
+    {
+      // The uplink's metric handles must bind the shard registry its
+      // transmitter will run under; the fork order is untouched either way.
+      obs::ScopedRegistry scoped(placement.registry != nullptr
+                                     ? placement.registry
+                                     : obs::registry());
+      up = topo.add_link(base + ".up", up_queue, access.a_to_b, rng_.fork());
+    }
     net::Link* down = topo.add_link(base + ".down", queue_, access.b_to_a,
                                     rng_.fork());
     up->set_sink(ingress);

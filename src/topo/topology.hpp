@@ -43,6 +43,7 @@
 
 #include "net/channel.hpp"
 #include "net/link.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "tcp/host.hpp"
@@ -120,6 +121,24 @@ class TopologyBuilder {
   TopologyBuilder(sim::EventQueue& queue, sim::Rng rng)
       : queue_(queue), rng_(rng) {}
 
+  /// Sharded-engine placement of client i's uplink. The uplink's transmitter
+  /// is driven by the client host, so under the sharded engine it must
+  /// schedule against the client shard's queue and bind its metrics to that
+  /// shard's registry; everything else the builder wires (routers, queue
+  /// disciplines, bottleneck pair, downlinks, server legs) stays on the
+  /// builder's own queue and the ambient registry. Unset (the default)
+  /// places everything on the builder queue — the classic single-queue
+  /// layout. Placement never changes the builder's rng fork order, so the
+  /// same seed draws the same streams in either layout.
+  struct UplinkPlacement {
+    sim::EventQueue* queue = nullptr;     // null: builder queue
+    obs::Registry* registry = nullptr;    // null: ambient registry
+  };
+  using UplinkPlacementFn = std::function<UplinkPlacement(std::size_t client)>;
+  void set_uplink_placement(UplinkPlacementFn fn) {
+    uplink_placement_ = std::move(fn);
+  }
+
   /// Contention-free star (see file comment). Every egress queue is an
   /// unlimited DropTail: the hub never drops, all loss behaviour stays in
   /// the access links' own models.
@@ -162,6 +181,7 @@ class TopologyBuilder {
 
   sim::EventQueue& queue_;
   sim::Rng rng_;
+  UplinkPlacementFn uplink_placement_;
 };
 
 /// An unlimited DropTail for host-attachment and fan-out egresses whose

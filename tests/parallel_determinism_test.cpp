@@ -1,0 +1,258 @@
+// Thread-count determinism matrix for the host-sharded engine.
+//
+// The sharded drivers' contract (harness/parallel.hpp): for a fixed shard
+// partition, the worker thread count is a pure performance knob — T=1 and
+// T=2/4/8 runs of the same configuration are byte-identical, over every
+// surface a consumer can observe: WorkloadResult fields, the full metrics
+// registry dump, and the per-packet client trace. This suite pins that
+// contract on both canonical topologies over several seeds, and pins the
+// sharded T=1 run against the classic single-queue driver on the surfaces
+// the two share exactly.
+//
+// On divergence each test writes the expected/actual dumps next to the test
+// binary (parallel_<name>.expected.txt / .actual.txt, and .actual.trace for
+// trace divergences) so CI uploads them as artifacts.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/scenarios.hpp"
+#include "harness/soak.hpp"
+#include "harness/workload.hpp"
+#include "net/trace_io.hpp"
+
+namespace hsim {
+namespace {
+
+const unsigned kThreadMatrix[] = {2, 4, 8};
+
+std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+/// Every field of a WorkloadResult a caller can observe, rendered to text.
+/// Includes the full registry dump (counters, gauges with peaks, histogram
+/// quantiles), so a single perturbed metric anywhere in the stack fails the
+/// byte comparison.
+std::string workload_fingerprint(const harness::WorkloadResult& r) {
+  std::string out;
+  out += "events=" + std::to_string(r.events_executed) + "\n";
+  out += "completed=" + std::to_string(r.completed()) +
+         " failed=" + std::to_string(r.failed()) +
+         " resolved=" + std::to_string(r.all_resolved() ? 1 : 0) + "\n";
+  out += "bn.packets=" + std::to_string(r.bottleneck.packets) +
+         " bn.wire=" + std::to_string(r.bottleneck.wire_bytes) +
+         " bn.payload=" + std::to_string(r.bottleneck.payload_bytes) +
+         " bn.syns=" + std::to_string(r.bottleneck_syns) +
+         " bn.qdrops=" + std::to_string(r.bottleneck_queue_drops) + "\n";
+  out += "tcp.retransmits=" + std::to_string(r.tcp_retransmits) + "\n";
+  out += "server.conns=" + std::to_string(r.server_connections_total) +
+         " max_open=" + std::to_string(r.server_max_open) +
+         " open_after_drain=" + std::to_string(r.server_open_after_drain) +
+         "\n";
+  for (const harness::ClientOutcome& c : r.clients) {
+    out += "client " + std::to_string(c.id) +
+           " arrival=" + std::to_string(c.arrival) +
+           " resolved=" + std::to_string(c.resolved ? 1 : 0) +
+           " complete=" + std::to_string(c.complete() ? 1 : 0) +
+           " leaked=" + std::to_string(c.leaked_connections) +
+           " page=" + hex_double(c.page_seconds()) + "\n";
+  }
+  for (const harness::QueueSummary& q : r.queues) {
+    out += "queue " + q.label + " kind=" + q.kind +
+           " enq=" + std::to_string(q.stats.enqueued_packets) +
+           " deq=" + std::to_string(q.stats.dequeued_packets) +
+           " drop=" + std::to_string(q.stats.dropped()) + "\n";
+  }
+  out += r.metrics.dump_text();
+  return out;
+}
+
+void expect_identical(const std::string& expected, const std::string& actual,
+                      const std::string& name) {
+  if (expected != actual) {
+    net::write_file("parallel_" + name + ".expected.txt", expected);
+    net::write_file("parallel_" + name + ".actual.txt", actual);
+  }
+  EXPECT_EQ(expected, actual) << "thread-count divergence in " << name
+                              << " (dumps written for CI artifact upload)";
+}
+
+harness::WorkloadConfig matrix_workload(harness::TopologyKind topology,
+                                        std::uint64_t seed) {
+  harness::WorkloadConfig config;
+  config.topology = topology;
+  config.num_clients = 8;
+  config.master_seed = seed;
+  config.mean_interarrival = sim::milliseconds(20);
+  config.client = harness::robot_config(client::ProtocolMode::kHttp11Pipelined);
+  return config;
+}
+
+void check_workload_matrix(harness::TopologyKind topology, std::uint64_t seed,
+                           const std::string& name) {
+  harness::WorkloadConfig config = matrix_workload(topology, seed);
+  config.threads = 1;
+  const std::string base =
+      workload_fingerprint(run_workload(config, harness::shared_site()));
+  for (unsigned t : kThreadMatrix) {
+    config.threads = t;
+    const std::string run =
+        workload_fingerprint(run_workload(config, harness::shared_site()));
+    expect_identical(base, run,
+                     name + "_seed" + std::to_string(seed) + "_T" +
+                         std::to_string(t));
+  }
+}
+
+TEST(ParallelDeterminism, StarThreadMatrixByteIdentical) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    check_workload_matrix(harness::TopologyKind::kStar, seed, "star");
+  }
+}
+
+TEST(ParallelDeterminism, DumbbellThreadMatrixByteIdentical) {
+  for (std::uint64_t seed : {1ull, 1337ull}) {
+    check_workload_matrix(harness::TopologyKind::kDumbbell, seed, "dumbbell");
+  }
+}
+
+// The classic single-queue driver and the sharded T=1 run agree on every
+// shared surface. Two gauge families legitimately differ (DESIGN.md §14):
+// peaks (taken per shard before the merge) and the client.* sample gauges,
+// where set() means "last writer wins" in one registry but the shard merge
+// sums one last-write per client shard. So the comparison is everything
+// except the registry dump, plus counter-for-counter equality and the
+// additive (inc/dec-style) gauges.
+TEST(ParallelDeterminism, ShardedMatchesClassicDriver) {
+  for (auto topology :
+       {harness::TopologyKind::kStar, harness::TopologyKind::kDumbbell}) {
+    harness::WorkloadConfig config = matrix_workload(topology, 5);
+    config.threads = 0;
+    const harness::WorkloadResult classic =
+        run_workload(config, harness::shared_site());
+    config.threads = 1;
+    const harness::WorkloadResult sharded =
+        run_workload(config, harness::shared_site());
+
+    std::string a = workload_fingerprint(classic);
+    std::string b = workload_fingerprint(sharded);
+    a.resize(a.size() - classic.metrics.dump_text().size());
+    b.resize(b.size() - sharded.metrics.dump_text().size());
+    expect_identical(a, b, "classic_vs_sharded");
+    EXPECT_EQ(classic.metrics.counters, sharded.metrics.counters);
+    auto additive = [](const std::map<std::string, std::int64_t>& gauges) {
+      std::map<std::string, std::int64_t> out;
+      for (const auto& [name, value] : gauges) {
+        if (name.rfind("client.", 0) != 0) out.emplace(name, value);
+      }
+      return out;
+    };
+    EXPECT_EQ(additive(classic.metrics.gauges),
+              additive(sharded.metrics.gauges));
+  }
+}
+
+// run_once: the per-packet client trace (the finest-grained observable — the
+// golden-trace format) is identical at every thread count, star scenario
+// table4 and WAN scenario table6.
+TEST(ParallelDeterminism, RunOnceTraceThreadMatrix) {
+  struct Pinned {
+    const char* name;
+    harness::ExperimentSpec spec;
+  };
+  const Pinned pinned[] = {
+      {"table4", harness::golden_table4_spec()},
+      {"table6", harness::golden_table6_spec()},
+  };
+  for (const Pinned& p : pinned) {
+    harness::ExperimentSpec spec = p.spec;
+    spec.threads = 1;
+    const std::vector<net::TraceRecord> base =
+        harness::capture_trace(spec, harness::shared_site());
+    ASSERT_FALSE(base.empty());
+    for (unsigned t : kThreadMatrix) {
+      spec.threads = t;
+      const std::vector<net::TraceRecord> run =
+          harness::capture_trace(spec, harness::shared_site());
+      const net::TraceDiff diff = net::diff_traces(base, run);
+      if (!diff.identical) {
+        net::write_file(std::string("parallel_") + p.name + "_T" +
+                            std::to_string(t) + ".actual.trace",
+                        net::trace_to_text(run));
+        net::write_file(std::string("parallel_") + p.name + "_T" +
+                            std::to_string(t) + ".diff.txt",
+                        diff.report);
+      }
+      EXPECT_TRUE(diff.identical)
+          << p.name << " trace diverged at T=" << t << " ("
+          << diff.differing << " records differ, first at "
+          << diff.first_diff << ")";
+    }
+  }
+}
+
+// run_once result fields (trace summary, page bounds, connection counters)
+// across the matrix — and the sharded trace against the classic driver's,
+// byte for byte.
+TEST(ParallelDeterminism, RunOnceMatchesClassicDriver) {
+  harness::ExperimentSpec spec = harness::golden_table4_spec();
+  spec.threads = 0;
+  const std::vector<net::TraceRecord> classic =
+      harness::capture_trace(spec, harness::shared_site());
+  spec.threads = 1;
+  const std::vector<net::TraceRecord> sharded =
+      harness::capture_trace(spec, harness::shared_site());
+  const net::TraceDiff diff = net::diff_traces(classic, sharded);
+  if (!diff.identical) {
+    net::write_file("parallel_classic_vs_sharded.actual.trace",
+                    net::trace_to_text(sharded));
+    net::write_file("parallel_classic_vs_sharded.diff.txt", diff.report);
+  }
+  EXPECT_TRUE(diff.identical)
+      << "sharded T=1 trace diverged from the classic driver\n"
+      << diff.report;
+}
+
+// The soak harness's conservation/monotonicity oracles run at engine
+// barriers against a merged registry view; they must stay green at T>1 and
+// reach the same verdict and counters as the T=1 run.
+TEST(ParallelDeterminism, SoakOraclesGreenAcrossThreads) {
+  harness::SoakConfig config;
+  config.num_clients = 20;
+  config.master_seed = 11;
+  config.horizon = sim::seconds(30);
+  config.drain = sim::seconds(30);
+  config.epoch = sim::seconds(2);
+  config.timeline = harness::default_soak_timeline();
+  config.client = harness::robot_config(client::ProtocolMode::kHttp11Pipelined);
+
+  config.threads = 1;
+  const harness::SoakResult base =
+      run_soak(config, harness::shared_site());
+  EXPECT_TRUE(base.ok()) << (base.violations.empty()
+                                 ? "unresolved client or leak"
+                                 : base.violations.front());
+  for (unsigned t : {2u, 4u}) {
+    config.threads = t;
+    const harness::SoakResult run =
+        run_soak(config, harness::shared_site());
+    EXPECT_TRUE(run.ok()) << "soak oracle violation at T=" << t << ": "
+                          << (run.violations.empty()
+                                  ? "unresolved client or leak"
+                                  : run.violations.front());
+    EXPECT_EQ(run.epochs_checked, base.epochs_checked);
+    expect_identical(workload_fingerprint(base.workload),
+                     workload_fingerprint(run.workload),
+                     "soak_T" + std::to_string(t));
+  }
+}
+
+}  // namespace
+}  // namespace hsim
