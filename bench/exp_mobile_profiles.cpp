@@ -1,0 +1,134 @@
+// The paper's question under 2020s networks and payloads.
+//
+// "Fewer bytes vs fewer round trips" was settled on three static networks
+// (LAN/WAN/PPP) with 1997 GIF payloads. This bench re-asks it on the netem
+// time-varying profiles — fluctuating cellular bandwidth, radio-wakeup
+// latency, deep buffers, asymmetric up/down — crossed with the modern
+// content axis (WebP-class payloads, content::modernize_site):
+//
+//   protocol rows:  HTTP/1.0 x 4 parallel | HTTP/1.1 pipelined | HTTP/2 mux
+//   CC modules:     Reno | CUBIC | BBR-lite
+//   profiles:       3g-drive | 4g-walk | lte-stationary | wifi-congested
+//   content:        paper (GIF histogram) | modern (WebP-class)
+//
+// Every cell is one run_once first-visit page load over the mobile base
+// network with the named profile overlaid on the access channel. The radio
+// wakeup count comes from the run's netem.radio_wakeups counter.
+//
+// Identity oracle: before the grid, the static WAN/LAN baselines (Tables 6
+// and 4) are re-run under --profile flat and compared cell-for-cell; any
+// divergence fails the bench (non-zero exit), which is what pins the netem
+// serialisation fast path to the legacy static-link arithmetic in CI.
+//
+// Deterministic: one fixed seed; same seed -> byte-identical table.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/scenarios.hpp"
+#include "tcp/congestion.hpp"
+
+namespace {
+using namespace hsim;
+
+constexpr std::uint64_t kSeed = 7;
+
+struct ModeRow {
+  const char* name;
+  client::ProtocolMode mode;
+};
+
+const std::vector<ModeRow>& modes() {
+  static const std::vector<ModeRow> rows = {
+      {"HTTP/1.0 x4", client::ProtocolMode::kHttp10Parallel},
+      {"HTTP/1.1 pipe", client::ProtocolMode::kHttp11Pipelined},
+      {"HTTP/2 mux", client::ProtocolMode::kH2},
+  };
+  return rows;
+}
+
+harness::RunResult run_cell(const std::string& profile, tcp::CcKind cc,
+                            client::ProtocolMode mode,
+                            const content::MicroscapeSite& site) {
+  harness::ExperimentSpec spec;
+  spec.network = harness::mobile_profile();
+  spec.profile = profile;
+  spec.scenario = harness::Scenario::kFirstVisit;
+  spec.seed = kSeed;
+  spec.client = harness::robot_config(mode);
+  spec.client.tcp.cc = cc;
+  spec.server.tcp.cc = cc;
+  return harness::run_once(spec, site);
+}
+
+/// Compares a legacy static-link run against the same spec under the flat
+/// identity profile. Returns true when every reported quantity matches
+/// exactly (same floating-point bits: the flat path must reproduce the
+/// legacy arithmetic, not approximate it).
+bool flat_identity_row(const char* label, harness::ExperimentSpec spec) {
+  spec.profile.clear();
+  const harness::RunResult base = harness::run_once(spec, harness::shared_site());
+  spec.profile = "flat";
+  const harness::RunResult flat = harness::run_once(spec, harness::shared_site());
+  const bool identical = base.packets() == flat.packets() &&
+                         base.bytes() == flat.bytes() &&
+                         base.seconds() == flat.seconds() &&
+                         base.overhead_percent() == flat.overhead_percent();
+  std::printf("%-28s %8.0f pkts %9.0f B %8.3f s   flat: %8.0f %9.0f %8.3f  %s\n",
+              label, base.packets(), base.bytes(), base.seconds(),
+              flat.packets(), flat.bytes(), flat.seconds(),
+              identical ? "identical" : "DIVERGED");
+  return identical;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("netem identity oracle (static link vs --profile flat):\n");
+  bool ok = true;
+  ok &= flat_identity_row("Table 4 (1.0x4, Jigsaw, LAN)",
+                          harness::golden_table4_spec());
+  ok &= flat_identity_row("Table 6 (1.1 pipe, Jigsaw, WAN)",
+                          harness::golden_table6_spec());
+  if (!ok) {
+    std::printf("\nFLAT-PROFILE IDENTITY VIOLATED\n");
+    return 1;
+  }
+
+  const std::vector<std::string> profiles = {"3g-drive", "4g-walk",
+                                             "lte-stationary",
+                                             "wifi-congested"};
+  const std::vector<tcp::CcKind> ccs = {tcp::CcKind::kReno,
+                                        tcp::CcKind::kCubic,
+                                        tcp::CcKind::kBbrLite};
+
+  for (const bool modern : {false, true}) {
+    const content::MicroscapeSite& site =
+        modern ? harness::shared_modern_site() : harness::shared_site();
+    std::printf("\n==== content: %s (%zu payload bytes) ====\n",
+                modern ? "modern (WebP-class)" : "paper (GIF)",
+                site.total_payload_bytes());
+    std::printf("%-16s %-14s %-6s %8s %10s %8s %7s %8s\n", "profile",
+                "protocol", "cc", "packets", "bytes", "secs", "rexmit",
+                "wakeups");
+    for (const std::string& profile : profiles) {
+      for (const ModeRow& mode : modes()) {
+        for (tcp::CcKind cc : ccs) {
+          const harness::RunResult r =
+              run_cell(profile, cc, mode.mode, site);
+          std::printf("%-16s %-14s %-6s %8.0f %10.0f %8.3f %7llu %8llu\n",
+                      profile.c_str(), mode.name,
+                      std::string(tcp::to_string(cc)).c_str(), r.packets(),
+                      r.bytes(), r.seconds(),
+                      static_cast<unsigned long long>(
+                          r.metrics.counter("tcp.retransmits")),
+                      static_cast<unsigned long long>(
+                          r.metrics.counter("netem.radio_wakeups")));
+        }
+      }
+    }
+  }
+  return 0;
+}

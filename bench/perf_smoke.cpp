@@ -64,6 +64,32 @@ harness::WorkloadConfig h2_config() {
   return cfg;
 }
 
+// The netem smoke: a pipelined star fleet with the 3g-drive mobile profile
+// on every access link. Half the fleet of the tcp smoke — the time-varying
+// 300k–3.5M down link stretches each page load an order of magnitude, and
+// 500 clients already give a multi-minute simulated horizon. Emits
+// BENCH_netem.json.
+harness::WorkloadConfig netem_config() {
+  harness::WorkloadConfig cfg;
+  cfg.num_clients = 500;
+  cfg.topology = harness::TopologyKind::kStar;
+  cfg.arrivals = harness::ArrivalProcess::kPoisson;
+  cfg.mean_interarrival = sim::milliseconds(10);
+  cfg.access = harness::mobile_profile();
+  cfg.profile = "3g-drive";
+  cfg.bottleneck_bandwidth_bps = 10'000'000;
+  cfg.bottleneck_delay = sim::milliseconds(10);
+  cfg.bottleneck_queue_packets = 256;
+  cfg.master_seed = 42;
+  cfg.server = server::apache_config();
+  cfg.server.listen_backlog = 512;
+  cfg.server.max_concurrent_connections = 256;
+  cfg.server.admission_policy = server::AdmissionPolicy::kQueue;
+  cfg.client = harness::robot_config(client::ProtocolMode::kHttp11Pipelined);
+  cfg.client.page_deadline = sim::seconds(420);
+  return cfg;
+}
+
 std::uint64_t total_h2_frames(const obs::Snapshot& m) {
   static const char* kSent[] = {
       "h2.frames_sent.data",          "h2.frames_sent.headers",
@@ -175,6 +201,58 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fputs(h2json, f);
+    std::fclose(f);
+  }
+
+  // ---- netem smoke -------------------------------------------------------
+  // The pipelined star fleet again, but with the 3g-drive profile overlaid
+  // on every access link: time-indexed serialisation, radio wakeups and the
+  // per-transmit profile lookup all sit on the hot path, so this row is the
+  // perf trajectory for the netem subsystem. Emits BENCH_netem.json.
+  const auto t2 = std::chrono::steady_clock::now();
+  const harness::WorkloadResult nr =
+      harness::run_workload(netem_config(), harness::shared_site());
+  const double netem_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t2)
+          .count();
+
+  const std::uint64_t netem_packets = nr.metrics.counter(
+      "net.link.packets_sent", nr.bottleneck.packets);
+  const std::uint64_t wakeups = nr.metrics.counter("netem.radio_wakeups");
+  const std::uint64_t netem_events = nr.events_executed;
+
+  char njson[1024];
+  std::snprintf(
+      njson, sizeof njson,
+      "{\n"
+      "  \"bench\": \"perf_smoke\",\n"
+      "  \"area\": \"netem\",\n"
+      "  \"workload\": \"star pipelined N=500, 3g-drive profile, seed 42\",\n"
+      "  \"clients\": 500,\n"
+      "  \"completed\": %u,\n"
+      "  \"packets_delivered\": %llu,\n"
+      "  \"radio_wakeups\": %llu,\n"
+      "  \"events_executed\": %llu,\n"
+      "  \"sim_seconds\": %.3f,\n"
+      "  \"wall_seconds\": %.3f,\n"
+      "  \"packets_per_sec\": %.0f,\n"
+      "  \"events_per_sec\": %.0f\n"
+      "}\n",
+      nr.completed(), static_cast<unsigned long long>(netem_packets),
+      static_cast<unsigned long long>(wakeups),
+      static_cast<unsigned long long>(netem_events),
+      nr.bottleneck.elapsed_seconds(), netem_wall,
+      static_cast<double>(netem_packets) / netem_wall,
+      static_cast<double>(netem_events) / netem_wall);
+  std::fputs(njson, stdout);
+
+  if (argc > 3) {
+    std::FILE* f = std::fopen(argv[3], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "perf_smoke: cannot write %s\n", argv[3]);
+      return 1;
+    }
+    std::fputs(njson, f);
     std::fclose(f);
   }
   return 0;

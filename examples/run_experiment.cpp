@@ -2,12 +2,13 @@
 // scenario combination from the command line and choose the output format.
 //
 // Usage:
-//   run_experiment [--net lan|wan|ppp] [--server jigsaw|apache|apache-b2]
+//   run_experiment [--net lan|wan|ppp|mobile] [--server jigsaw|apache|apache-b2]
 //                  [--mode 1.0|1.1|pipe|pipec|h2] [--scenario first|reval]
 //                  [--runs N] [--seed S]
 //                  [--buffer BYTES] [--flush-ms MS] [--no-explicit-flush]
 //                  [--max-conns N] [--no-nodelay] [--ranges]
 //                  [--cc reno|newreno|cubic|bbr]
+//                  [--profile flat|NAME|FILE] [--content paper|modern|avif]
 //                  [--chaos FAULT] [--format summary|tsv|trace]
 //
 // --chaos layers a named fault regime (see harness/chaos.hpp) onto the run
@@ -15,12 +16,21 @@
 // link-flaps, duplication, reordering, corruption, server-stall,
 // premature-close, server-errors.
 //
+// --profile overlays a time-varying netem link profile on the access path:
+// "flat" (the identity — byte-exact with the static link), a built-in name
+// (3g-drive, 4g-walk, lte-stationary, wifi-congested) or a profiles/*.netem
+// file. Unset, the HSIM_PROFILE environment variable is consulted.
+// --content swaps the 1997 GIF payloads for WebP-class ("modern") or
+// AVIF-class ("avif") encodings of the same page.
+//
 // Examples:
 //   run_experiment --net ppp --mode pipec --scenario first
 //   run_experiment --net wan --server apache --mode pipe --format tsv
 //   run_experiment --net lan --mode 1.0 --format trace | head -40
 //   run_experiment --net wan --mode pipe --chaos burst-loss
 //   run_experiment --net wan --mode 1.1 --chaos server-stall --format trace
+//   run_experiment --net mobile --profile 3g-drive --mode pipe
+//   run_experiment --net mobile --profile 4g-walk --content modern --mode h2
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,7 +47,7 @@ using namespace hsim;
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--net lan|wan|ppp] [--server jigsaw|apache|"
+               "usage: %s [--net lan|wan|ppp|mobile] [--server jigsaw|apache|"
                "apache-b2]\n"
                "          [--mode 1.0|1.1|pipe|pipec|h2] [--scenario first|reval]"
                "\n"
@@ -46,6 +56,9 @@ using namespace hsim;
                "          [--no-explicit-flush] [--max-conns N] "
                "[--no-nodelay] [--ranges]\n"
                "          [--cc reno|newreno|cubic|bbr]\n"
+               "          [--profile flat|3g-drive|4g-walk|lte-stationary|"
+               "wifi-congested|FILE]\n"
+               "          [--content paper|modern|avif]\n"
                "          [--chaos none|burst-loss|outage|link-flaps|"
                "duplication|reordering|\n"
                "                   corruption|server-stall|premature-close|"
@@ -73,7 +86,19 @@ struct Options {
   harness::ChaosFault chaos = harness::ChaosFault::kNone;
   bool chaos_set = false;  // "--chaos none" still arms the recovery knobs
   tcp::CcKind cc = tcp::CcKind::kReno;
+  std::string profile;     // netem overlay; empty consults HSIM_PROFILE
+  std::string content = "paper";
 };
+
+const content::MicroscapeSite& site_for(const Options& o) {
+  if (o.content == "modern") {
+    return harness::shared_modern_site(content::ModernCodec::kWebP);
+  }
+  if (o.content == "avif") {
+    return harness::shared_modern_site(content::ModernCodec::kAvif);
+  }
+  return harness::shared_site();
+}
 
 harness::ChaosFault parse_fault(const std::string& v, const char* argv0) {
   if (v == "none") return harness::ChaosFault::kNone;
@@ -96,6 +121,7 @@ Options parse(int argc, char** argv) {
       if (v == "lan") o.network = harness::lan_profile();
       else if (v == "wan") o.network = harness::wan_profile();
       else if (v == "ppp") o.network = harness::ppp_profile();
+      else if (v == "mobile") o.network = harness::mobile_profile();
       else usage(argv[0]);
     } else if (a == "--server") {
       const std::string v = need_value(i);
@@ -136,6 +162,21 @@ Options parse(int argc, char** argv) {
       o.ranges = true;
     } else if (a == "--cc") {
       if (!tcp::parse_cc_kind(need_value(i), &o.cc)) usage(argv[0]);
+    } else if (a == "--profile") {
+      o.profile = need_value(i);
+      try {  // fail fast on an unknown name / unparsable file
+        bool flat = false;
+        (void)harness::resolve_profile(o.profile, &flat);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        std::exit(2);
+      }
+    } else if (a == "--content") {
+      o.content = need_value(i);
+      if (o.content != "paper" && o.content != "modern" &&
+          o.content != "avif") {
+        usage(argv[0]);
+      }
     } else if (a == "--chaos") {
       o.chaos = parse_fault(need_value(i), argv[0]);
       o.chaos_set = true;
@@ -153,7 +194,7 @@ Options parse(int argc, char** argv) {
 
 int run_trace_format(const Options& o) {
   // Single run with the full tcpdump-style trace on stdout.
-  const content::MicroscapeSite& site = harness::shared_site();
+  const content::MicroscapeSite& site = site_for(o);
 
   // Route the chaos mutations through an ExperimentSpec so the trace path
   // injects exactly what run_once would.
@@ -165,6 +206,7 @@ int run_trace_format(const Options& o) {
   if (o.chaos_set) harness::apply_chaos(o.chaos, spec);
   net::ChannelConfig channel_config = o.network.channel_config();
   if (spec.mutate_channel) spec.mutate_channel(channel_config);
+  harness::apply_profile_overlay(o.profile, channel_config, "access");
 
   sim::EventQueue queue;
   sim::Rng rng(o.seed);
@@ -219,6 +261,7 @@ int main(int argc, char** argv) {
   spec.client = harness::robot_config(o.mode);
   spec.scenario = o.scenario;
   spec.seed = o.seed;
+  spec.profile = o.profile;
   spec.server.tcp.cc = o.cc;
   spec.client.tcp.cc = o.cc;
   if (o.buffer != SIZE_MAX) spec.client.pipeline_buffer = o.buffer;
@@ -232,7 +275,7 @@ int main(int argc, char** argv) {
   if (o.chaos_set) harness::apply_chaos(o.chaos, spec);
 
   const harness::AveragedResult r =
-      harness::run_averaged(spec, harness::shared_site(), o.runs);
+      harness::run_averaged(spec, site_for(o), o.runs);
 
   if (o.format == "tsv") {
     std::printf("network\tserver\tmode\tscenario\truns\tpackets\tbytes\t"

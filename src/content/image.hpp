@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/random.hpp"
@@ -60,6 +61,39 @@ struct Animation {
 };
 
 Animation generate_animation(const SyntheticSpec& spec, unsigned frame_count);
+
+// ---- Modern codec size models (the "--content modern" axis) ---------------
+//
+// The paper asked "fewer bytes vs fewer round trips" with 1997 payloads
+// (GIF, later PNG). Re-asking it under 2020s payloads needs WebP/AVIF-class
+// sizes for the same 42-image histogram. We model the re-encode as a
+// per-kind size ratio against the GIF encoding, per the published
+// format-comparison studies (see PAPERS.md "Web Image Formats"): lossless
+// WebP graphics land around 0.5-0.75x of their palette-era encodings, lossy
+// photographic WebP around 0.35x, and AVIF pushes photographic content to
+// roughly a quarter. Tiny images are floored at the container overhead.
+
+enum class ModernCodec { kWebP, kAvif };
+
+std::string_view to_string(ModernCodec codec);
+/// File extension including the dot (".webp" / ".avif").
+std::string_view extension(ModernCodec codec);
+
+/// Size ratio (modern bytes / GIF bytes) for the given content class.
+double modern_size_factor(ImageKind kind, bool animated, ModernCodec codec);
+
+/// Modelled encoded size for a GIF asset of `gif_bytes`, floored at the
+/// codec's minimum container size.
+std::size_t modern_encoded_size(std::size_t gif_bytes, ImageKind kind,
+                                bool animated, ModernCodec codec);
+
+/// Deterministic stand-in container bytes of exactly `size` bytes: a
+/// plausible magic header followed by seeded incompressible payload (modern
+/// codec output does not deflate further, which matters to the compressed
+/// transfer-coding experiments).
+std::vector<std::uint8_t> modern_container_bytes(ModernCodec codec,
+                                                 std::size_t size,
+                                                 std::uint64_t seed);
 
 /// Searches for a SyntheticSpec whose encoding under `encoded_size` lands
 /// within `tolerance` (fractional) of `target_bytes`, by scaling dimensions.

@@ -267,6 +267,32 @@ MicroscapeSite build_microscape(const MicroscapeConfig& config) {
   return site;
 }
 
+MicroscapeSite modernize_site(const MicroscapeSite& site, ModernCodec codec) {
+  MicroscapeSite modern = site;
+  for (std::size_t i = 0; i < modern.images.size(); ++i) {
+    SiteImage& img = modern.images[i];
+    const std::size_t size = modern_encoded_size(
+        img.gif_bytes.size(), img.kind, img.animated, codec);
+    // Seed from the image's position so every asset gets distinct (but
+    // stable) incompressible bytes.
+    img.gif_bytes = modern_container_bytes(codec, size, 0xC0DEC000 + i);
+
+    std::string path = img.path;
+    const std::size_t dot = path.rfind(".gif");
+    if (dot != std::string::npos) {
+      path.replace(dot, 4, extension(codec));
+      // Every HTML reference follows the path rename.
+      for (std::size_t at = modern.html.find(img.path);
+           at != std::string::npos;
+           at = modern.html.find(img.path, at + path.size())) {
+        modern.html.replace(at, img.path.size(), path);
+      }
+      img.path = std::move(path);
+    }
+  }
+  return modern;
+}
+
 std::vector<std::string> scan_image_references(std::string_view html_prefix) {
   std::vector<std::string> refs;
   std::size_t pos = 0;

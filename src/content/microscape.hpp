@@ -55,6 +55,16 @@ struct MicroscapeConfig {
 
 MicroscapeSite build_microscape(const MicroscapeConfig& config = {});
 
+/// The "--content modern" axis: the same page re-encoded with a 2020s image
+/// codec. Rasters, layout and HTML structure are identical; every image's
+/// bytes are replaced by a modelled WebP/AVIF-class container (see
+/// image.hpp: per-kind size ratios against the GIF encoding, seeded
+/// incompressible payload) and its path/HTML references renamed from .gif
+/// to the codec's extension. Deterministic: the same input site and codec
+/// always produce the same modern site.
+MicroscapeSite modernize_site(const MicroscapeSite& site,
+                              ModernCodec codec = ModernCodec::kWebP);
+
 /// Extracts src="..." references in document order, possibly from a partial
 /// HTML prefix — the incremental scanning a pipelining client performs as
 /// bytes arrive. `consumed` returns how far scanning got (complete tags

@@ -82,6 +82,7 @@ RunResult run_once(const ExperimentSpec& spec,
 
   net::ChannelConfig channel_config = spec.network.channel_config();
   if (spec.mutate_channel) spec.mutate_channel(channel_config);
+  apply_profile_overlay(spec.profile, channel_config, "access");
   net::Channel channel(queue, channel_config, rng.fork());
   tcp::Host client_host(queue, kClientAddr, "client", rng.fork());
   tcp::Host server_host(queue, kServerAddr, "server", rng.fork());
@@ -190,6 +191,14 @@ AveragedResult run_averaged(const ExperimentSpec& spec,
 const content::MicroscapeSite& shared_site() {
   static const content::MicroscapeSite site = content::build_microscape();
   return site;
+}
+
+const content::MicroscapeSite& shared_modern_site(content::ModernCodec codec) {
+  static const content::MicroscapeSite webp =
+      content::modernize_site(shared_site(), content::ModernCodec::kWebP);
+  static const content::MicroscapeSite avif =
+      content::modernize_site(shared_site(), content::ModernCodec::kAvif);
+  return codec == content::ModernCodec::kWebP ? webp : avif;
 }
 
 }  // namespace hsim::harness

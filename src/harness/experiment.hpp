@@ -27,6 +27,12 @@ struct ExperimentSpec {
   client::ClientConfig client;
   Scenario scenario = Scenario::kFirstVisit;
   std::uint64_t seed = 1;
+  /// Time-varying link profile overlaid on the channel (netem subsystem):
+  /// "flat", a built-in name ("3g-drive", "4g-walk", "lte-stationary",
+  /// "wifi-congested") or a profiles/*.netem file path. Empty consults the
+  /// HSIM_PROFILE environment variable; still empty = the legacy static
+  /// channel. Applied after mutate_channel, so chaos regimes compose.
+  std::string profile;
   /// Optional: factory producing a payload sizer per link direction (the
   /// modem-compression model; each direction gets its own dictionary, as
   /// the two modems of a dialup pair do).
@@ -107,6 +113,11 @@ AveragedResult run_averaged(const ExperimentSpec& spec,
 /// The Microscape site is expensive to synthesize; benches and tests share
 /// one instance.
 const content::MicroscapeSite& shared_site();
+
+/// The same page under the modern content axis (WebP/AVIF-class image
+/// payloads, see content::modernize_site); cached per codec.
+const content::MicroscapeSite& shared_modern_site(
+    content::ModernCodec codec = content::ModernCodec::kWebP);
 
 /// Client configuration presets matching the paper's four protocol rows.
 client::ClientConfig robot_config(client::ProtocolMode mode);

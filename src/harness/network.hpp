@@ -1,9 +1,11 @@
 // The paper's three network environments (Table 1).
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "net/channel.hpp"
+#include "netem/profile.hpp"
 #include "sim/time.hpp"
 
 namespace hsim::harness {
@@ -44,5 +46,38 @@ inline NetworkProfile ppp_profile() {
   return {"PPP (28.8k modem)", 28'800, sim::milliseconds(150), 24, 0.02,
           /*client_recv_buffer=*/8760};
 }
+
+/// Base access network for the netem mobile profiles: the propagation RTT of
+/// a wired backhaul; the radio path's bandwidth timeline and scheduling
+/// latency come from the overlaid profile, which also deepens the queue.
+inline NetworkProfile mobile_profile() {
+  return {"Mobile (netem profile)", 10'000'000, sim::milliseconds(40), 128,
+          0.02};
+}
+
+// ---- Time-varying profile overlay (netem subsystem) -----------------------
+
+/// The HSIM_PROFILE environment value, or "" when unset.
+std::string profile_from_env();
+
+/// Resolves a --profile / HSIM_PROFILE value to a path profile:
+///   ""      -> nullopt (no overlay);
+///   "flat"  -> nullopt, with *flat set: the caller overlays the identity
+///              profile (each link's own static bandwidth as a single
+///              constant segment — byte-exact with no overlay at all);
+///   a name  -> netem::named_profile ("3g-drive", "4g-walk", ...);
+///   a path  -> netem::load_profile_file (profiles/*.netem format).
+/// Throws std::invalid_argument on an unknown name / unparsable file.
+std::optional<netem::PathProfile> resolve_profile(const std::string& value,
+                                                  bool* flat);
+
+/// Applies the resolved overlay onto a duplex channel config, consulting
+/// HSIM_PROFILE when `value` is empty. This is called by every driver path
+/// (run_once, run_workload, their sharded twins and the engine-lookahead
+/// calculators) AFTER the mutate_channel/mutate_access fault hooks, so
+/// chaos regimes compose with any profile. See net::apply_path_profile for
+/// `label_prefix`.
+void apply_profile_overlay(const std::string& value, net::ChannelConfig& cfg,
+                           const char* label_prefix = nullptr);
 
 }  // namespace hsim::harness

@@ -41,14 +41,10 @@ struct Fanout : net::PacketSink {
   }
 };
 
-/// Worst-case-jitter latency of a link built from this config; identical
-/// arithmetic to net::Link::min_remote_latency(), usable before any link
-/// exists (the engine needs its lookahead before the queues it carries).
-sim::Time config_min_latency(const net::LinkConfig& cfg) {
-  const double shrink = 1.0 - cfg.delay_jitter;
-  return static_cast<sim::Time>(static_cast<double>(cfg.propagation_delay) *
-                                (shrink > 0.0 ? shrink : 0.0));
-}
+// Engine lookahead uses net::config_min_latency (found by ADL below):
+// identical to net::Link::min_remote_latency(), usable before any link
+// exists (the engine needs its lookahead before the queues it carries).
+// Netem dynamics only ever raise the bound (minimum extra segment latency).
 
 /// Routes a link's deliveries across the shard boundary: the sink runs on
 /// `dst` at the link-computed arrival time, everything else stays put. The
@@ -78,6 +74,7 @@ unsigned threads_from_env() {
 sim::Time workload_lookahead(const WorkloadConfig& config) {
   net::ChannelConfig access = config.access.channel_config();
   if (config.mutate_access) config.mutate_access(access);
+  apply_profile_overlay(config.profile, access);
   if (config.topology == TopologyKind::kStar) {
     // Crossing links: every client uplink (a_to_b) into the funnel, and the
     // bottleneck downlink fanning out to the client shards.
@@ -96,6 +93,7 @@ sim::Time workload_lookahead(const WorkloadConfig& config) {
 sim::Time run_once_lookahead(const ExperimentSpec& spec) {
   net::ChannelConfig channel = spec.network.channel_config();
   if (spec.mutate_channel) spec.mutate_channel(channel);
+  apply_profile_overlay(spec.profile, channel, "access");
   return std::min(config_min_latency(channel.a_to_b),
                   config_min_latency(channel.b_to_a));
 }
@@ -117,6 +115,7 @@ WorkloadResult run_workload_sharded(const WorkloadConfig& config,
 
   net::ChannelConfig access = config.access.channel_config();
   if (config.mutate_access) config.mutate_access(access);
+  apply_profile_overlay(config.profile, access);
 
   // Fixed partition: shard 0 = server + shared infrastructure, clients
   // round-robin over the remaining S-1 shards. S comes from config, never
@@ -432,6 +431,7 @@ RunResult run_once_sharded(const ExperimentSpec& spec,
 
   net::ChannelConfig channel_config = spec.network.channel_config();
   if (spec.mutate_channel) spec.mutate_channel(channel_config);
+  apply_profile_overlay(spec.profile, channel_config, "access");
 
   sim::ShardedEngine engine({2, threads, run_once_lookahead(spec)});
   engine.set_shard_enter(

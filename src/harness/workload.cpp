@@ -153,6 +153,7 @@ WorkloadResult run_workload(const WorkloadConfig& config,
 
   net::ChannelConfig access = config.access.channel_config();
   if (config.mutate_access) config.mutate_access(access);
+  apply_profile_overlay(config.profile, access);
   std::vector<std::unique_ptr<tcp::Host>> hosts;
   std::vector<std::unique_ptr<net::Link>> links;  // star: owns up+down per client
   std::vector<std::unique_ptr<client::Robot>> robots;

@@ -77,6 +77,12 @@ struct WorkloadConfig {
   /// topology. Null = profile used as-is (the legacy byte-exact path).
   std::function<void(net::ChannelConfig&)> mutate_access;
 
+  /// Time-varying profile overlaid on every client's access channel (netem
+  /// subsystem): "flat", a built-in name or a profiles/*.netem file path;
+  /// empty consults HSIM_PROFILE, still empty = static access links.
+  /// Applied after mutate_access — chaos regimes compose with any profile.
+  std::string profile;
+
   /// Which shape carries the traffic. kStar keeps the legacy funnel path
   /// (byte-exact with pre-topology builds); kDumbbell routes every client
   /// through a shared router/queue-discipline bottleneck (topo subsystem).

@@ -2,8 +2,10 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "net/link.hpp"
+#include "netem/profile.hpp"
 #include "net/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
@@ -28,6 +30,36 @@ struct ChannelConfig {
     return ChannelConfig{one, one};
   }
 };
+
+/// Overlays a netem path profile on a duplex channel config: the profile's
+/// `up` timeline and the radio machine ride the a→b direction (by convention
+/// the client/device side), `down` rides b→a, and a positive queue override
+/// deepens both drop-tail buffers (bufferbloat). Applied AFTER any
+/// mutate_channel fault hook, so Gilbert-Elliott / outage / reordering
+/// regimes compose unchanged. When `label_prefix` is non-null, unlabelled
+/// links get "<prefix>.up"/"<prefix>.down" so the per-link netem.* gauges
+/// bind; null leaves labels alone (e.g. many-client stars, where the
+/// aggregate netem counters carry the story).
+inline void apply_path_profile(const netem::PathProfile& profile,
+                               ChannelConfig& cfg,
+                               const char* label_prefix = nullptr) {
+  auto up = std::make_shared<netem::LinkDynamics>();
+  up->profile = profile.up;
+  up->radio = profile.radio;
+  auto down = std::make_shared<netem::LinkDynamics>();
+  down->profile = profile.down;  // the radio is charged on the uplink only
+  cfg.a_to_b.dynamics = std::move(up);
+  cfg.b_to_a.dynamics = std::move(down);
+  if (profile.queue_limit_packets > 0) {
+    cfg.a_to_b.queue_limit_packets = profile.queue_limit_packets;
+    cfg.b_to_a.queue_limit_packets = profile.queue_limit_packets;
+  }
+  if (label_prefix != nullptr) {
+    const std::string prefix(label_prefix);
+    if (cfg.a_to_b.label.empty()) cfg.a_to_b.label = prefix + ".up";
+    if (cfg.b_to_a.label.empty()) cfg.b_to_a.label = prefix + ".down";
+  }
+}
 
 /// Joins endpoint A (by convention the client) to endpoint B (the server).
 /// Packets transmitted on either side are recorded in a shared PacketTrace,

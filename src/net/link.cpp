@@ -41,11 +41,29 @@ void normalize_outages(std::vector<OutageWindow>& windows) {
   }
 }
 
+sim::Time config_min_latency(const LinkConfig& cfg) {
+  const double shrink = 1.0 - cfg.delay_jitter;
+  sim::Time bound = static_cast<sim::Time>(
+      static_cast<double>(cfg.propagation_delay) *
+      (shrink > 0.0 ? shrink : 0.0));
+  if (cfg.dynamics != nullptr) {
+    bound += cfg.dynamics->profile.min_extra_latency();
+  }
+  return bound;
+}
+
 Link::Link(sim::EventQueue& queue, LinkConfig config, sim::Rng rng)
     : queue_(queue), config_(std::move(config)), rng_(rng) {
   normalize_outages(config_.outages);
   if (!config_.label.empty()) {
     label_metrics_ = LabelMetrics::bind(config_.label);
+  }
+  // A flat identity profile must leave the registry exactly as a static link
+  // would, so netem metrics bind only for non-trivial dynamics.
+  if (config_.dynamics != nullptr &&
+      (!config_.dynamics->profile.constant_rate() ||
+       config_.dynamics->radio.enabled)) {
+    netem_metrics_ = NetemMetrics::bind(config_.label);
   }
 }
 
@@ -58,6 +76,22 @@ Link::Metrics Link::Metrics::bind() {
   m.dropped_faults = obs::counter_handle("net.link.dropped_faults");
   m.duplicated = obs::counter_handle("net.link.duplicated");
   m.reordered = obs::counter_handle("net.link.reordered");
+  return m;
+}
+
+Link::NetemMetrics Link::NetemMetrics::bind(const std::string& label) {
+  NetemMetrics m;
+  if (obs::registry() == nullptr) return m;
+  m.radio_wakeups = obs::counter_handle("netem.radio_wakeups");
+  m.tx_under_1mbit_ns = obs::counter_handle("netem.tx_under_1mbit_ns");
+  if (!label.empty()) {
+    const std::string base = "netem." + label + ".";
+    m.label_radio_wakeups = obs::counter_handle(base + "radio_wakeups");
+    m.label_tx_under_1mbit_ns = obs::counter_handle(base + "tx_under_1mbit_ns");
+    m.bandwidth_bps = obs::gauge_handle(base + "bandwidth_bps");
+    m.radio_state = obs::gauge_handle(base + "radio_state");
+    m.standing_queue_ns = obs::gauge_handle(base + "standing_queue_ns");
+  }
   return m;
 }
 
@@ -124,14 +158,61 @@ void Link::transmit(Packet packet) {
     label_metrics_.dropped_queue.inc();
     return;
   }
+  queued_wire_bytes_ += packet.wire_size();
   tx_queue_.push_back(std::move(packet));
   if (!transmitting_) start_next_transmission();
+}
+
+sim::Time Link::dynamic_tx_time(std::size_t wire_bytes,
+                                sim::Time* extra_latency) {
+  const netem::LinkDynamics& dyn = *config_.dynamics;
+  const sim::Time now = queue_.now();
+  sim::Time wakeup = 0;
+  if (dyn.radio.enabled) {
+    if (now >= radio_active_until_) {
+      // First packet after idle: it (and everything queued behind it, which
+      // waits for the transmitter) is charged the promotion exactly once.
+      wakeup = dyn.radio.promotion_delay;
+      ++stats_.radio_wakeups;
+      netem_metrics_.radio_wakeups.inc();
+      netem_metrics_.label_radio_wakeups.inc();
+      netem_metrics_.radio_state.set(
+          static_cast<std::int64_t>(netem::RadioState::kPromoting));
+    } else {
+      netem_metrics_.radio_state.set(
+          static_cast<std::int64_t>(netem::RadioState::kActive));
+    }
+  }
+  // The first bit hits the wire after the promotion, so the timeline is
+  // indexed there; the segment's extra latency rides the same instant.
+  const sim::Time tx_start = now + wakeup;
+  const sim::Time ser = dyn.profile.transmit_duration(tx_start, wire_bytes);
+  *extra_latency = dyn.profile.extra_latency_at(tx_start);
+  if (dyn.radio.enabled) {
+    radio_active_until_ = now + wakeup + ser + dyn.radio.inactivity_timeout;
+  }
+
+  const std::int64_t bw = dyn.profile.bandwidth_at(tx_start);
+  netem_metrics_.bandwidth_bps.set(bw);
+  if (bw > 0 && bw < 1'000'000) {
+    netem_metrics_.tx_under_1mbit_ns.inc(static_cast<std::uint64_t>(ser));
+    netem_metrics_.label_tx_under_1mbit_ns.inc(static_cast<std::uint64_t>(ser));
+  }
+  if (bw > 0) {
+    // Standing-queue delay: the drain time of the backlog behind this packet
+    // at the current rate — the bufferbloat number.
+    const double queued_bits = static_cast<double>(queued_wire_bytes_) * 8.0;
+    netem_metrics_.standing_queue_ns.set(
+        sim::from_seconds(queued_bits / static_cast<double>(bw)));
+  }
+  return wakeup + ser;
 }
 
 void Link::start_next_transmission() {
   // A down link loses everything reaching the transmitter; drain instantly so
   // the queue does not replay stale packets when the link comes back.
   while (!tx_queue_.empty() && is_down(queue_.now())) {
+    queued_wire_bytes_ -= tx_queue_.front().wire_size();
     tx_queue_.pop_front();
     ++stats_.packets_dropped_outage;
     metrics_.dropped_faults.inc();
@@ -145,6 +226,7 @@ void Link::start_next_transmission() {
   transmitting_ = true;
   Packet packet = std::move(tx_queue_.front());
   tx_queue_.pop_front();
+  queued_wire_bytes_ -= packet.wire_size();
 
   if (tap_) tap_(packet);
   ++stats_.packets_sent;
@@ -159,14 +241,25 @@ void Link::start_next_transmission() {
   if (sizer_) physical_payload = sizer_(packet);
   const std::size_t physical_wire = kIpTcpHeaderBytes + physical_payload;
 
-  const sim::Time tx_done = serialisation_time(physical_wire);
+  // Transmitter-busy time: static pipe arithmetic, or — with netem dynamics
+  // attached — radio promotion plus time-indexed serialisation. The flat
+  // identity profile takes the same from_seconds(bits/rate) path, adds zero
+  // extra latency and draws nothing, so it stays byte-exact with the static
+  // link. Fault draws below keep their legacy order in both cases.
+  sim::Time tx_done;
+  sim::Time extra_latency = 0;
+  if (config_.dynamics != nullptr) {
+    tx_done = dynamic_tx_time(physical_wire, &extra_latency);
+  } else {
+    tx_done = serialisation_time(physical_wire);
+  }
   sim::Time prop = config_.propagation_delay;
   if (config_.delay_jitter > 0.0) {
     prop = static_cast<sim::Time>(static_cast<double>(prop) *
                                   rng_.jitter(config_.delay_jitter));
   }
 
-  sim::Time delivery = queue_.now() + tx_done + prop;
+  sim::Time delivery = queue_.now() + tx_done + prop + extra_latency;
 
   const bool corrupted = config_.corrupt_probability > 0.0 &&
                          rng_.chance(config_.corrupt_probability);

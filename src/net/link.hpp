@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "netem/profile.hpp"
 #include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
@@ -122,7 +123,27 @@ struct LinkConfig {
   /// family, so soak oracles and trace tooling can attribute loss to an
   /// individual link. Empty (the default) keeps the registry untouched.
   std::string label;
+
+  /// Optional time-varying behaviour (netem subsystem): a bandwidth/latency
+  /// timeline replacing the static bandwidth_bps, plus the cellular radio
+  /// state machine. Null (the default) keeps the legacy static pipe; a
+  /// constant single-segment profile with the radio disabled is byte-exact
+  /// with null. All fault machinery above (Gilbert-Elliott, outages,
+  /// duplication, reordering, corruption, jitter) composes unchanged — the
+  /// dynamics only reshape serialisation time and add per-segment latency.
+  /// Shared: many per-client links typically point at one dynamics object.
+  std::shared_ptr<const netem::LinkDynamics> dynamics;
 };
+
+/// Lower bound on (delivery time − transmit-hook instant) for a link built
+/// from `cfg`: the propagation delay shrunk by the worst-case jitter draw,
+/// plus — when dynamics are attached — the minimum extra latency over the
+/// profile timeline. This is the sharded engine's lookahead contract: a
+/// profile may only ADD delay (per-segment extra latency is validated >= 0,
+/// serialisation and radio promotion only push delivery later), so the bound
+/// stays valid no matter where in the timeline a packet lands. Usable before
+/// any Link exists; Link::min_remote_latency() delegates here.
+sim::Time config_min_latency(const LinkConfig& cfg);
 
 struct LinkStats {
   std::uint64_t packets_sent = 0;
@@ -134,6 +155,10 @@ struct LinkStats {
   std::uint64_t packets_corrupted = 0;  // crossed the wire, dropped at receiver
   std::uint64_t packets_duplicated = 0;
   std::uint64_t packets_reordered = 0;
+  /// Radio promotions charged (netem dynamics with the radio machine only):
+  /// transmissions that began after the inactivity timeout and paid the
+  /// promotion delay before their first bit.
+  std::uint64_t radio_wakeups = 0;
 
   /// Packets that never reached the far end, for any reason.
   std::uint64_t packets_dropped() const {
@@ -189,15 +214,10 @@ class Link {
   void set_remote_deliver(RemoteDeliver fn) { remote_ = std::move(fn); }
 
   /// Lower bound on (delivery time - the instant the hook is called) for any
-  /// packet: the propagation delay shrunk by the worst-case jitter draw.
-  /// The sharded engine's lookahead is the minimum of this over every
-  /// cross-shard link.
-  sim::Time min_remote_latency() const {
-    const double shrink = 1.0 - config_.delay_jitter;
-    return static_cast<sim::Time>(
-        static_cast<double>(config_.propagation_delay) *
-        (shrink > 0.0 ? shrink : 0.0));
-  }
+  /// packet. The sharded engine's lookahead is the minimum of this over
+  /// every cross-shard link; see config_min_latency() for the bound and for
+  /// why netem dynamics cannot invalidate it.
+  sim::Time min_remote_latency() const { return config_min_latency(config_); }
 
   PacketSink* sink() const { return sink_; }
 
@@ -215,6 +235,10 @@ class Link {
  private:
   void start_next_transmission();
   sim::Time serialisation_time(std::size_t wire_bytes) const;
+  /// Profile-driven transmitter-busy time (radio promotion + time-indexed
+  /// serialisation); also reports the current segment's extra latency and
+  /// refreshes the netem gauges. Only called when config_.dynamics is set.
+  sim::Time dynamic_tx_time(std::size_t wire_bytes, sim::Time* extra_latency);
   bool loss_model_drops();
 
   sim::EventQueue& queue_;
@@ -228,6 +252,14 @@ class Link {
   std::deque<Packet> tx_queue_;
   bool transmitting_ = false;
   bool ge_bad_state_ = false;  // Gilbert-Elliott chain state
+  /// Radio machine (netem dynamics only): the instant the radio demotes back
+  /// to IDLE if nothing else transmits. A transmission starting at or past
+  /// it is the "first packet after idle" and is charged the promotion delay;
+  /// packets queued behind it ride the same promotion. Starts at 0 = IDLE.
+  sim::Time radio_active_until_ = 0;
+  /// Wire bytes accepted but not yet clocked out; feeds the standing-queue
+  /// delay gauge (bufferbloat observability).
+  std::size_t queued_wire_bytes_ = 0;
   /// Earliest time the next packet may be *delivered*, ensuring in-order
   /// delivery even with delay jitter. Reordered packets are exempt.
   sim::Time last_delivery_time_ = 0;
@@ -252,6 +284,21 @@ class Link {
     static LabelMetrics bind(const std::string& label);
   };
   LabelMetrics label_metrics_;
+
+  /// netem.* observability, bound only when the link carries non-trivial
+  /// dynamics (a time-varying profile or the radio machine) — a flat
+  /// identity profile leaves the registry exactly as the legacy link does.
+  /// Counters exist as an aggregate family (`netem.radio_wakeups`,
+  /// `netem.tx_under_1mbit_ns`) plus a per-link `netem.<label>.*` family
+  /// when the link is labelled; the gauges (current bandwidth, radio state,
+  /// standing queue delay) are per-link only.
+  struct NetemMetrics {
+    obs::CounterHandle radio_wakeups, tx_under_1mbit_ns;
+    obs::CounterHandle label_radio_wakeups, label_tx_under_1mbit_ns;
+    obs::GaugeHandle bandwidth_bps, radio_state, standing_queue_ns;
+    static NetemMetrics bind(const std::string& label);
+  };
+  NetemMetrics netem_metrics_;
 };
 
 }  // namespace hsim::net

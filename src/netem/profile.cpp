@@ -1,0 +1,408 @@
+#include "netem/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+
+namespace hsim::netem {
+
+namespace {
+
+/// Boundary-walk safety valve. Progress is guaranteed (every slice is at
+/// least 1 ns and multi-segment rates are positive), so this is only ever
+/// reached by a pathological profile such as a 1 ns loop.
+constexpr int kMaxWalkSlices = 1'000'000;
+
+}  // namespace
+
+Profile::Profile(std::vector<Segment> segments, sim::Time period)
+    : segments_(std::move(segments)), period_(period) {
+  if (segments_.empty()) {
+    throw std::invalid_argument("netem::Profile: no segments");
+  }
+  if (segments_.front().start != 0) {
+    throw std::invalid_argument(
+        "netem::Profile: first segment must start at 0");
+  }
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const Segment& s = segments_[i];
+    if (i > 0 && s.start <= segments_[i - 1].start) {
+      throw std::invalid_argument(
+          "netem::Profile: segment starts must be strictly increasing");
+    }
+    if (s.extra_latency < 0) {
+      throw std::invalid_argument(
+          "netem::Profile: negative extra_latency breaks the lookahead "
+          "lower bound");
+    }
+    if (segments_.size() > 1 && s.bandwidth_bps <= 0) {
+      throw std::invalid_argument(
+          "netem::Profile: multi-segment timelines need positive rates");
+    }
+  }
+  if (period_ < 0 ||
+      (period_ > 0 && period_ <= segments_.back().start)) {
+    throw std::invalid_argument(
+        "netem::Profile: loop period must exceed the last segment start");
+  }
+  min_extra_latency_ = segments_.front().extra_latency;
+  for (const Segment& s : segments_) {
+    min_extra_latency_ = std::min(min_extra_latency_, s.extra_latency);
+  }
+}
+
+Profile Profile::constant(std::int64_t bandwidth_bps) {
+  return Profile({Segment{0, bandwidth_bps, 0}}, 0);
+}
+
+std::size_t Profile::segment_index(sim::Time at) const {
+  sim::Time rel = at;
+  if (period_ > 0) {
+    rel = at % period_;
+    if (rel < 0) rel += period_;  // defensive; sim time is non-negative
+  }
+  // First segment whose start is past rel, minus one.
+  std::size_t lo = 0, hi = segments_.size();
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (segments_[mid].start <= rel) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+sim::Time Profile::transmit_duration(sim::Time at, std::size_t wire_bytes) const {
+  const double bits = static_cast<double>(wire_bytes) * 8.0;
+  // Constant-rate fast path: the exact arithmetic of the legacy static link
+  // (net::Link::serialisation_time), so a flat profile is byte-identical.
+  if (constant_rate()) {
+    const std::int64_t rate = segments_.front().bandwidth_bps;
+    if (rate <= 0) return 0;
+    return sim::from_seconds(bits / static_cast<double>(rate));
+  }
+
+  // Walk segment boundaries, draining bits at each segment's rate. The
+  // transmission finishes inside the first segment whose capacity covers the
+  // remainder, so bytes in flight are conserved across every boundary.
+  double remaining = bits;
+  sim::Time elapsed = 0;
+  for (int guard = 0; guard < kMaxWalkSlices; ++guard) {
+    const sim::Time abs = at + elapsed;
+    const std::size_t idx = segment_index(abs);
+    const std::int64_t rate = segments_[idx].bandwidth_bps;
+    if (rate <= 0) return elapsed;  // infinite rate: rest goes out instantly
+    const sim::Time need =
+        sim::from_seconds(remaining / static_cast<double>(rate));
+    // Where (relative to the timeline) does this segment end?
+    sim::Time end_rel;
+    if (idx + 1 < segments_.size()) {
+      end_rel = segments_[idx + 1].start;
+    } else if (period_ > 0) {
+      end_rel = period_;
+    } else {
+      return elapsed + need;  // last segment holds forever
+    }
+    sim::Time rel = abs;
+    if (period_ > 0) rel = abs % period_;
+    const sim::Time slice = end_rel - rel;
+    if (need <= slice) return elapsed + need;
+    remaining -= static_cast<double>(rate) * sim::to_seconds(slice);
+    elapsed += slice;
+    if (remaining <= 0.0) return elapsed;
+  }
+  return elapsed;
+}
+
+// ---- Named synthetic profiles ---------------------------------------------
+
+namespace {
+
+struct WalkSpec {
+  double floor_bps = 0;
+  double ceil_bps = 0;
+  double step = 0.0;          // max fractional move per segment
+  double fade_chance = 0.0;   // chance a segment collapses toward the floor
+  sim::Time extra_lo = 0;     // extra latency when the rate is at the ceiling
+  sim::Time extra_hi = 0;     // extra latency when the rate is at the floor
+};
+
+/// Bounded multiplicative random walk over fixed-length segments. Extra
+/// latency is interpolated against the rate (slow radio conditions also mean
+/// longer scheduling delay), so fades produce the latency spikes seen in
+/// drive traces.
+std::vector<Segment> random_walk(sim::Rng& rng, const WalkSpec& w,
+                                 sim::Time seg_len, int count,
+                                 double start_frac) {
+  std::vector<Segment> out;
+  out.reserve(static_cast<std::size_t>(count));
+  double rate = w.floor_bps + start_frac * (w.ceil_bps - w.floor_bps);
+  for (int i = 0; i < count; ++i) {
+    if (w.fade_chance > 0.0 && rng.chance(w.fade_chance)) {
+      rate = w.floor_bps * rng.uniform_real(1.0, 1.6);
+    } else {
+      rate *= rng.uniform_real(1.0 - w.step, 1.0 + w.step);
+    }
+    rate = std::min(w.ceil_bps, std::max(w.floor_bps, rate));
+    const double frac = (rate - w.floor_bps) / (w.ceil_bps - w.floor_bps);
+    sim::Time extra =
+        w.extra_hi - static_cast<sim::Time>(
+                         frac * static_cast<double>(w.extra_hi - w.extra_lo));
+    // Whole microseconds: the trace-file format's resolution, so the
+    // checked-in profiles/<name>.netem files round-trip exactly.
+    extra -= extra % 1000;
+    out.push_back(Segment{seg_len * i, static_cast<std::int64_t>(rate), extra});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> named_profile_names() {
+  return {"3g-drive", "4g-walk", "lte-stationary", "wifi-congested"};
+}
+
+std::optional<PathProfile> named_profile(std::string_view name) {
+  const sim::Time ms = sim::milliseconds(1);
+  if (name == "3g-drive") {
+    // UMTS/HSPA while driving: 0.3-3.5 Mbit down with deep fades, ~4x slower
+    // uplink, high scheduling latency, slow radio promotion and a deep RNC
+    // buffer (the canonical bufferbloat case).
+    PathProfile p;
+    p.name = "3g-drive";
+    sim::Rng down_rng(0x3D41);
+    sim::Rng up_rng(0x3D42);
+    WalkSpec down{300'000, 3'500'000, 0.35, 0.08, 70 * ms, 200 * ms};
+    WalkSpec up{96'000, 768'000, 0.30, 0.08, 90 * ms, 240 * ms};
+    p.down = Profile(random_walk(down_rng, down, 1000 * ms, 60, 0.6),
+                     sim::seconds(60));
+    p.up = Profile(random_walk(up_rng, up, 1000 * ms, 60, 0.5),
+                   sim::seconds(60));
+    p.radio = {true, 600 * ms, 3000 * ms};
+    p.queue_limit_packets = 256;
+    return p;
+  }
+  if (name == "4g-walk") {
+    // LTE on foot: 4-25 Mbit down, brisk variation, moderate latency, fast
+    // promotion from RRC idle with a long inactivity timer.
+    PathProfile p;
+    p.name = "4g-walk";
+    sim::Rng down_rng(0x4641);
+    sim::Rng up_rng(0x4642);
+    WalkSpec down{4'000'000, 25'000'000, 0.25, 0.03, 25 * ms, 70 * ms};
+    WalkSpec up{1'500'000, 8'000'000, 0.25, 0.03, 30 * ms, 80 * ms};
+    p.down = Profile(random_walk(down_rng, down, 750 * ms, 60, 0.7),
+                     sim::milliseconds(45'000));
+    p.up = Profile(random_walk(up_rng, up, 750 * ms, 60, 0.6),
+                   sim::milliseconds(45'000));
+    p.radio = {true, 260 * ms, 10'000 * ms};
+    p.queue_limit_packets = 512;
+    return p;
+  }
+  if (name == "lte-stationary") {
+    // LTE at a desk: stable 12-18 Mbit down, mild variation, low latency.
+    PathProfile p;
+    p.name = "lte-stationary";
+    sim::Rng down_rng(0x17E1);
+    sim::Rng up_rng(0x17E2);
+    WalkSpec down{12'000'000, 18'000'000, 0.08, 0.0, 22 * ms, 40 * ms};
+    WalkSpec up{5'000'000, 8'000'000, 0.08, 0.0, 26 * ms, 45 * ms};
+    p.down = Profile(random_walk(down_rng, down, 3000 * ms, 10, 0.5),
+                     sim::seconds(30));
+    p.up = Profile(random_walk(up_rng, up, 3000 * ms, 10, 0.5),
+                   sim::seconds(30));
+    p.radio = {true, 100 * ms, 10'000 * ms};
+    p.queue_limit_packets = 384;
+    return p;
+  }
+  if (name == "wifi-congested") {
+    // Shared 2.4 GHz apartment Wi-Fi: 0.5-8 Mbit oscillating with contention
+    // collapses, no radio machine, and a very deep CPE buffer.
+    PathProfile p;
+    p.name = "wifi-congested";
+    sim::Rng down_rng(0x81F1);
+    sim::Rng up_rng(0x81F2);
+    WalkSpec down{500'000, 8'000'000, 0.45, 0.12, 5 * ms, 60 * ms};
+    WalkSpec up{500'000, 6'000'000, 0.45, 0.12, 5 * ms, 60 * ms};
+    p.down = Profile(random_walk(down_rng, down, 400 * ms, 50, 0.8),
+                     sim::milliseconds(20'000));
+    p.up = Profile(random_walk(up_rng, up, 400 * ms, 50, 0.7),
+                   sim::milliseconds(20'000));
+    p.queue_limit_packets = 600;
+    return p;
+  }
+  return std::nullopt;
+}
+
+// ---- Trace file format ----------------------------------------------------
+
+namespace {
+
+std::string format_ms(sim::Time t) {
+  // Millisecond rendering at microsecond resolution, trailing zeros trimmed,
+  // so whole-microsecond times round-trip exactly.
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(t) / 1e6);
+  std::string s(buf);
+  while (s.size() > 1 && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+bool parse_ms(const std::string& tok, sim::Time* out) {
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0' || !std::isfinite(v)) return false;
+  *out = static_cast<sim::Time>(std::llround(v * 1e6));  // ms -> ns
+  return true;
+}
+
+bool parse_i64(const std::string& tok, std::int64_t* out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (end == tok.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool fail(std::string* error, int line, const std::string& what) {
+  if (error != nullptr) {
+    *error = "netem profile line " + std::to_string(line) + ": " + what;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool parse_profile(std::string_view text, PathProfile* out,
+                   std::string* error) {
+  PathProfile p;
+  std::vector<Segment> down, up;
+  sim::Time period = 0;
+  bool saw_profile = false;
+
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    std::istringstream line(raw);
+    std::string keyword;
+    if (!(line >> keyword)) continue;  // blank / comment-only
+
+    std::vector<std::string> toks;
+    for (std::string t; line >> t;) toks.push_back(t);
+
+    if (keyword == "profile") {
+      if (saw_profile) return fail(error, line_no, "duplicate profile line");
+      if (toks.size() != 1) return fail(error, line_no, "profile needs a name");
+      p.name = toks[0];
+      saw_profile = true;
+      continue;
+    }
+    if (!saw_profile) {
+      return fail(error, line_no, "first directive must be 'profile <name>'");
+    }
+    if (keyword == "radio") {
+      if (toks.size() != 2) {
+        return fail(error, line_no, "radio needs <promotion_ms> <idle_ms>");
+      }
+      sim::Time promo = 0, idle = 0;
+      if (!parse_ms(toks[0], &promo) || !parse_ms(toks[1], &idle) ||
+          promo < 0 || idle < 0) {
+        return fail(error, line_no, "bad radio timings");
+      }
+      p.radio = {true, promo, idle};
+    } else if (keyword == "queue") {
+      std::int64_t q = 0;
+      if (toks.size() != 1 || !parse_i64(toks[0], &q) || q <= 0) {
+        return fail(error, line_no, "queue needs a positive packet count");
+      }
+      p.queue_limit_packets = static_cast<std::size_t>(q);
+    } else if (keyword == "loop") {
+      if (toks.size() != 1 || !parse_ms(toks[0], &period) || period <= 0) {
+        return fail(error, line_no, "loop needs a positive period in ms");
+      }
+    } else if (keyword == "down" || keyword == "up") {
+      if (toks.size() != 3) {
+        return fail(error, line_no,
+                    keyword + " needs <start_ms> <rate_bps> <extra_ms>");
+      }
+      Segment s;
+      if (!parse_ms(toks[0], &s.start) || s.start < 0) {
+        return fail(error, line_no, "bad segment start");
+      }
+      if (!parse_i64(toks[1], &s.bandwidth_bps) || s.bandwidth_bps <= 0) {
+        return fail(error, line_no, "segment rate must be a positive bps");
+      }
+      if (!parse_ms(toks[2], &s.extra_latency) || s.extra_latency < 0) {
+        return fail(error, line_no,
+                    "segment extra latency must be >= 0 (lookahead rule)");
+      }
+      (keyword == "down" ? down : up).push_back(s);
+    } else {
+      return fail(error, line_no, "unknown directive '" + keyword + "'");
+    }
+  }
+
+  if (!saw_profile) return fail(error, 0, "missing 'profile <name>' line");
+  if (down.empty()) return fail(error, 0, "at least one 'down' segment required");
+  try {
+    p.down = Profile(down, period);
+    p.up = up.empty() ? p.down : Profile(up, period);
+  } catch (const std::invalid_argument& e) {
+    return fail(error, 0, e.what());
+  }
+  *out = std::move(p);
+  return true;
+}
+
+std::string profile_to_text(const PathProfile& profile) {
+  std::string out;
+  out += "# hsim netem profile (see src/netem/profile.hpp for the format)\n";
+  out += "profile " + profile.name + "\n";
+  if (profile.radio.enabled) {
+    out += "radio " + format_ms(profile.radio.promotion_delay) + " " +
+           format_ms(profile.radio.inactivity_timeout) + "\n";
+  }
+  if (profile.queue_limit_packets > 0) {
+    out += "queue " + std::to_string(profile.queue_limit_packets) + "\n";
+  }
+  if (profile.down.period() > 0) {
+    out += "loop " + format_ms(profile.down.period()) + "\n";
+  }
+  const auto emit = [&out](const char* dir, const Profile& prof) {
+    for (const Segment& s : prof.segments()) {
+      out += std::string(dir) + " " + format_ms(s.start) + " " +
+             std::to_string(s.bandwidth_bps) + " " +
+             format_ms(s.extra_latency) + "\n";
+    }
+  };
+  emit("down", profile.down);
+  if (!(profile.up == profile.down)) emit("up", profile.up);
+  return out;
+}
+
+bool load_profile_file(const std::string& path, PathProfile* out,
+                       std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open profile file: " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_profile(buf.str(), out, error);
+}
+
+}  // namespace hsim::netem

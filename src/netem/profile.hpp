@@ -1,0 +1,192 @@
+// Trace-driven time-varying link profiles (netem).
+//
+// The paper's three networks (LAN/WAN/PPP) are static point configurations.
+// The regimes where the pipelining-vs-multiplexing verdicts actually flip are
+// time-varying: fluctuating cellular bandwidth, radio-wakeup latency spikes,
+// deep bufferbloat queues and asymmetric up/down paths. This subsystem models
+// them as data, not code:
+//
+//   - a Profile is a timeline of piecewise-constant segments, each holding a
+//     bandwidth and an extra one-way latency. The timeline either repeats
+//     with a loop period or holds its last segment forever. Serialisation of
+//     a packet that straddles segment boundaries integrates the rate across
+//     them, so bytes in flight are conserved at every boundary;
+//   - a RadioConfig is the cellular radio state machine
+//     (IDLE -> PROMOTING -> ACTIVE): the first packet after an idle period is
+//     charged a promotion delay, and the radio demotes to IDLE after a
+//     configurable inactivity timeout;
+//   - a PathProfile composes one Profile per direction (asymmetric up/down),
+//     the radio machine (charged on the uplink - the device side), and an
+//     optional deep-buffer (bufferbloat) queue override.
+//
+// Profiles come from a simple line-based trace file format (profiles/*.netem,
+// parse_profile below) or from the seeded synthetic generators behind
+// named_profile() ("3g-drive", "4g-walk", "lte-stationary",
+// "wifi-congested"). A constant single-segment profile is the identity: a
+// link driving one is byte-exact with the legacy static link.
+//
+// Lookahead rule (sharded engine): a profile may only ADD latency. Every
+// segment's extra_latency must be >= 0 (validated), so
+//   min_remote_latency = jittered propagation lower bound
+//                        + min over segments of extra_latency
+// remains a valid delivery-time lower bound no matter where in the timeline
+// a packet lands; serialisation and radio wakeup only push delivery later.
+//
+// This module depends on sim only - net::LinkConfig holds a
+// shared_ptr<const LinkDynamics> and net/harness own the wiring.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hsim::netem {
+
+/// One piecewise-constant stretch of the timeline. `start` is the offset from
+/// the profile epoch (simulation t=0); the segment runs until the next
+/// segment's start (or the loop period / forever for the last one).
+struct Segment {
+  sim::Time start = 0;
+  /// Bits per second; 0 means infinite (no serialisation delay). Only a
+  /// single-segment (constant) profile may carry rate 0 - multi-segment
+  /// timelines must keep every rate positive so the boundary walk always
+  /// makes progress.
+  std::int64_t bandwidth_bps = 0;
+  /// Extra one-way latency added on top of the link's (jittered) propagation
+  /// delay while this segment is current. Must be >= 0 (lookahead rule).
+  sim::Time extra_latency = 0;
+
+  bool operator==(const Segment&) const = default;
+};
+
+/// A single direction's bandwidth/latency timeline.
+class Profile {
+ public:
+  /// Default: constant infinite bandwidth, no extra latency (identity).
+  Profile() = default;
+
+  /// `period` > 0 makes the timeline repeat every `period`; 0 holds the last
+  /// segment forever. Throws std::invalid_argument on a malformed timeline
+  /// (empty, first start != 0, non-increasing starts, negative extra
+  /// latency, non-positive rate in a multi-segment profile, period not past
+  /// the last segment start).
+  explicit Profile(std::vector<Segment> segments, sim::Time period = 0);
+
+  /// The identity profile for a static link of the given rate.
+  static Profile constant(std::int64_t bandwidth_bps);
+
+  /// True for a single never-looping segment - the byte-exact identity case.
+  bool constant_rate() const {
+    return segments_.size() == 1 && period_ == 0;
+  }
+
+  std::int64_t bandwidth_at(sim::Time at) const {
+    return segments_[segment_index(at)].bandwidth_bps;
+  }
+  sim::Time extra_latency_at(sim::Time at) const {
+    return segments_[segment_index(at)].extra_latency;
+  }
+
+  /// Time to clock `wire_bytes` onto the wire starting at absolute time
+  /// `at`, integrating the rate across every segment boundary the
+  /// transmission straddles. The constant-rate path reproduces the legacy
+  /// static-link arithmetic bit for bit.
+  sim::Time transmit_duration(sim::Time at, std::size_t wire_bytes) const;
+
+  /// Lower bound on extra_latency over the whole timeline (lookahead rule).
+  sim::Time min_extra_latency() const { return min_extra_latency_; }
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  sim::Time period() const { return period_; }
+
+  bool operator==(const Profile&) const = default;
+
+ private:
+  std::size_t segment_index(sim::Time at) const;
+
+  std::vector<Segment> segments_{Segment{}};
+  sim::Time period_ = 0;
+  sim::Time min_extra_latency_ = 0;
+};
+
+/// Cellular radio state machine, charged on the uplink (the device radio).
+/// The link is the transmitter, so the machine lives there: a transmission
+/// beginning after `inactivity_timeout` of radio silence pays
+/// `promotion_delay` before its first bit (IDLE -> PROMOTING -> ACTIVE);
+/// packets queued behind it ride the same promotion and pay nothing extra.
+struct RadioConfig {
+  bool enabled = false;
+  sim::Time promotion_delay = 0;
+  sim::Time inactivity_timeout = 0;
+
+  bool operator==(const RadioConfig&) const = default;
+};
+
+/// Exported radio state for the netem.<label>.radio_state gauge.
+enum class RadioState { kIdle = 0, kPromoting = 1, kActive = 2 };
+
+/// What one net::Link consults per transmission. Immutable and shared: the
+/// same dynamics object typically hangs off many per-client LinkConfigs.
+struct LinkDynamics {
+  Profile profile;
+  RadioConfig radio;
+
+  bool operator==(const LinkDynamics&) const = default;
+};
+
+/// A full duplex path description: per-direction timelines, the radio
+/// machine, and an optional bufferbloat queue override.
+struct PathProfile {
+  std::string name;
+  Profile down;  // server -> client
+  Profile up;    // client -> server
+  RadioConfig radio;
+  /// When > 0, overrides queue_limit_packets on both directions (deep
+  /// cellular/CPE buffers - the bufferbloat axis). 0 keeps the link's own.
+  std::size_t queue_limit_packets = 0;
+
+  bool operator==(const PathProfile&) const = default;
+};
+
+// ---- Named synthetic profiles ---------------------------------------------
+
+/// Seeded synthetic generators for the checked-in profiles/ set:
+/// "3g-drive", "4g-walk", "lte-stationary", "wifi-congested". Deterministic:
+/// the same name always yields the same timeline, and the checked-in
+/// profiles/<name>.netem files are pinned against these by test.
+std::optional<PathProfile> named_profile(std::string_view name);
+std::vector<std::string> named_profile_names();
+
+// ---- Trace file format ----------------------------------------------------
+//
+// Line-based text, '#' starts a comment, blank lines ignored:
+//
+//   profile <name>                       # required, first directive
+//   radio <promotion_ms> <idle_ms>       # optional radio machine
+//   queue <packets>                      # optional deep-buffer override
+//   loop <period_ms>                     # optional; > last segment start
+//   down <start_ms> <rate_bps> <extra_ms>  # >= 1 required, first start 0,
+//   down <start_ms> <rate_bps> <extra_ms>  # strictly increasing starts
+//   up   <start_ms> <rate_bps> <extra_ms>  # optional; absent = symmetric
+//
+// Millisecond fields accept decimals down to 1 us resolution; rates are
+// integer bits per second and must be > 0; extra latencies must be >= 0.
+
+/// Parses the trace format. Returns false and fills `error` (line-numbered)
+/// on malformed input; `out` is untouched on failure.
+bool parse_profile(std::string_view text, PathProfile* out, std::string* error);
+
+/// Canonical text rendering; parse_profile(profile_to_text(p)) == p for any
+/// profile whose times are whole microseconds.
+std::string profile_to_text(const PathProfile& profile);
+
+/// Loads and parses a profile file. Returns false and fills `error` if the
+/// file is unreadable or malformed.
+bool load_profile_file(const std::string& path, PathProfile* out,
+                       std::string* error);
+
+}  // namespace hsim::netem
